@@ -1,0 +1,32 @@
+//! Microbenchmark: the sensing pipeline — IMU generation, downsampling,
+//! windowing, and the 120-dim feature extraction that produces every
+//! body-sensor sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plos_sensing::body_sensor::{generate_body_sensor, BodySensorSpec};
+use plos_sensing::features::node_features;
+use std::hint::black_box;
+
+fn bench_node_features(c: &mut Criterion) {
+    // One 3.2 s window at 20 Hz = 64 samples per channel.
+    let channel: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("node_features_64_samples", |b| {
+        b.iter(|| {
+            black_box(node_features(&channel, &channel, &channel, &channel, &channel))
+        })
+    });
+}
+
+fn bench_body_sensor_user(c: &mut Criterion) {
+    let spec = BodySensorSpec { num_users: 1, segments_per_activity: 70, ..Default::default() };
+    c.bench_function("body_sensor_generate_one_user", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(generate_body_sensor(&spec, seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench_node_features, bench_body_sensor_user);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end training benchmarks: centralized vs. distributed PLOS on a
+//! small synthetic cohort (the Fig. 12 comparison at criterion scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plos_core::{CentralizedPlos, DistributedPlos, PlosConfig};
+use plos_sensing::dataset::LabelMask;
+use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+use std::hint::black_box;
+
+fn cohort(users: usize) -> plos_sensing::dataset::MultiUserDataset {
+    let spec = SyntheticSpec {
+        num_users: users,
+        points_per_class: 30,
+        max_rotation: std::f64::consts::FRAC_PI_4,
+        flip_prob: 0.05,
+    };
+    generate_synthetic(&spec, 9).mask_labels(&LabelMask::providers(users / 2, 0.1), 3)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plos_fit");
+    group.sample_size(10);
+    for &users in &[4usize, 8] {
+        let data = cohort(users);
+        let config = PlosConfig::fast();
+        group.bench_with_input(
+            BenchmarkId::new("centralized", users),
+            &users,
+            |b, _| {
+                let trainer = CentralizedPlos::new(config.clone());
+                b.iter(|| black_box(trainer.fit(&data)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("distributed", users),
+            &users,
+            |b, _| {
+                let trainer = DistributedPlos::new(config.clone());
+                b.iter(|| black_box(trainer.fit(&data)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

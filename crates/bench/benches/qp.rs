@@ -1,0 +1,43 @@
+//! Microbenchmark: the grouped QP solver that backs both PLOS duals.
+//!
+//! The cutting-plane loops re-solve the dual after every constraint batch,
+//! so this solver dominates training time at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plos_linalg::{Matrix, Vector};
+use plos_opt::{GroupedQp, QpSolverOptions};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_qp(n: usize, groups: usize, seed: u64) -> GroupedQp {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // PSD Q = AᵀA + ridge.
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = rng.gen_range(-1.0..1.0);
+        }
+    }
+    let mut q = a.transpose().matmul(&a).expect("square");
+    q.add_diagonal(0.5);
+    let b: Vector = (0..n).map(|_| rng.gen_range(-0.5..1.5)).collect();
+    let members: Vec<(Vec<usize>, f64)> = (0..groups)
+        .map(|g| ((g..n).step_by(groups).collect(), 1.0))
+        .collect();
+    GroupedQp::new(q, b, members).expect("valid construction")
+}
+
+fn bench_qp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouped_qp_solve");
+    for &n in &[10usize, 40, 120] {
+        let qp = random_qp(n, (n / 10).max(1), 7);
+        let opts = QpSolverOptions::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| black_box(qp.solve(&opts)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qp);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmark: the dual-coordinate-descent linear SVM (the *All* and
+//! *Single* baselines, and the PLOS initializer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plos_linalg::Vector;
+use plos_ml::svm::{LinearSvm, SvmParams};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn blobs(n: usize, d: usize, seed: u64) -> (Vec<Vector>, Vec<i8>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let y: i8 = if rng.gen_bool(0.5) { 1 } else { -1 };
+        let x: Vector = (0..d)
+            .map(|j| if j == 0 { 2.0 * y as f64 } else { 0.0 } + rng.gen_range(-1.0..1.0))
+            .collect();
+        xs.push(x);
+        ys.push(y);
+    }
+    (xs, ys)
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_svm_fit");
+    for &(n, d) in &[(200usize, 20usize), (500, 120), (1000, 120)] {
+        let (xs, ys) = blobs(n, d, 3);
+        let trainer = LinearSvm::new(SvmParams::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
+            &n,
+            |bencher, _| {
+                bencher.iter(|| black_box(trainer.fit(&xs, &ys)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svm);
+criterion_main!(benches);

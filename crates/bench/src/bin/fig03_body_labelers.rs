@@ -1,0 +1,42 @@
+//! Figure 3 — body-sensor dataset: accuracy vs. number of label providers.
+//!
+//! Paper setup (Sec. VI-B): 20 subjects, 2 activities × 70 segments,
+//! 120-dim features; providers labeled 6 % of their data (~4 samples per
+//! activity); the number of providers sweeps 2 → 18.
+
+use plos_bench::{
+    eval_config_for, mask, print_accuracy_figure, averaged_comparison, AccuracyRow, RunOptions,
+};
+use plos_sensing::body_sensor::{generate_body_sensor, BodySensorSpec};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let spec = if opts.quick {
+        BodySensorSpec { num_users: 8, segments_per_activity: 20, ..Default::default() }
+    } else {
+        BodySensorSpec::default()
+    };
+    let sweep: Vec<usize> = if opts.quick {
+        vec![2, 4, 6]
+    } else {
+        vec![2, 4, 6, 8, 10, 12, 14, 16, 18]
+    };
+    let config = eval_config_for(&opts);
+
+    let rows: Vec<AccuracyRow> = sweep
+        .iter()
+        .map(|&providers| {
+            let scores = averaged_comparison(opts.trials, &config, |trial| {
+                let base = generate_body_sensor(&spec, opts.seed.wrapping_add(trial as u64));
+                mask(&base, providers, 0.06, &opts, trial)
+            });
+            AccuracyRow { x: providers as f64, scores }
+        })
+        .collect();
+
+    print_accuracy_figure(
+        "Figure 3: body-sensor accuracy vs. # of users who provide labels (6% labeled)",
+        "# providers",
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 5 — HAR-like dataset: accuracy vs. number of label providers.
+//!
+//! Paper setup (Sec. VI-C): 30 users, 561-dim features, sitting vs standing
+//! (~50 samples per class per user); providers label 6 % of their data;
+//! the provider count sweeps 6 → 27.
+
+use plos_bench::{
+    averaged_comparison, eval_config_for, mask, print_accuracy_figure, AccuracyRow, RunOptions,
+};
+use plos_sensing::har::{generate_har, HarSpec};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let spec = if opts.quick {
+        HarSpec { num_users: 8, samples_per_class: 20, dim: 60, ..Default::default() }
+    } else {
+        HarSpec::default()
+    };
+    let sweep: Vec<usize> = if opts.quick {
+        vec![2, 4, 6]
+    } else {
+        vec![6, 9, 12, 15, 18, 21, 24, 27]
+    };
+    let config = eval_config_for(&opts);
+
+    let rows: Vec<AccuracyRow> = sweep
+        .iter()
+        .map(|&providers| {
+            let scores = averaged_comparison(opts.trials, &config, |trial| {
+                let base = generate_har(&spec, opts.seed.wrapping_add(trial as u64));
+                mask(&base, providers, 0.06, &opts, trial)
+            });
+            AccuracyRow { x: providers as f64, scores }
+        })
+        .collect();
+
+    print_accuracy_figure(
+        "Figure 5: HAR accuracy vs. # of users who provide labels (6% labeled)",
+        "# providers",
+        &rows,
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 6 — HAR-like dataset: accuracy vs. training rate.
+//!
+//! Paper setup (Sec. VI-C): 15 randomly picked label providers; the labeled
+//! fraction per provider sweeps 4 % → 48 %.
+
+use plos_bench::{
+    averaged_comparison, eval_config_for, mask, print_accuracy_figure, AccuracyRow, RunOptions,
+};
+use plos_sensing::har::{generate_har, HarSpec};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let (spec, providers) = if opts.quick {
+        (HarSpec { num_users: 8, samples_per_class: 20, dim: 60, ..Default::default() }, 4)
+    } else {
+        (HarSpec::default(), 15)
+    };
+    let sweep: Vec<f64> = if opts.quick {
+        vec![0.08, 0.24, 0.48]
+    } else {
+        (1..=12).map(|k| 0.04 * k as f64).collect()
+    };
+    let config = eval_config_for(&opts);
+
+    let rows: Vec<AccuracyRow> = sweep
+        .iter()
+        .map(|&rate| {
+            let scores = averaged_comparison(opts.trials, &config, |trial| {
+                let base = generate_har(&spec, opts.seed.wrapping_add(trial as u64));
+                mask(&base, providers, rate, &opts, trial)
+            });
+            AccuracyRow { x: rate * 100.0, scores }
+        })
+        .collect();
+
+    print_accuracy_figure(
+        "Figure 6: HAR accuracy vs. training rate (%) with 15 providers",
+        "rate (%)",
+        &rows,
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 9 — synthetic dataset: accuracy vs. number of label providers.
+//!
+//! Paper setup (Sec. VI-D): max rotation fixed at π/2, labeling rate 2 %,
+//! provider count sweeps 1 → 10 (panel (b) stops at 9 since with 10
+//! providers no unlabeled users remain).
+
+use plos_bench::{
+    averaged_comparison, eval_config_for, mask, print_accuracy_figure, AccuracyRow, RunOptions,
+};
+use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let points = if opts.quick { 60 } else { 200 };
+    let sweep: Vec<usize> =
+        if opts.quick { vec![2, 5, 9] } else { (1..=9).collect() };
+    let config = eval_config_for(&opts);
+    let spec = SyntheticSpec {
+        num_users: 10,
+        points_per_class: points,
+        max_rotation: std::f64::consts::FRAC_PI_2,
+        flip_prob: 0.1,
+    };
+
+    let rows: Vec<AccuracyRow> = sweep
+        .iter()
+        .map(|&providers| {
+            let scores = averaged_comparison(opts.trials, &config, |trial| {
+                let base = generate_synthetic(&spec, opts.seed.wrapping_add(trial as u64));
+                mask(&base, providers, 0.02, &opts, trial)
+            });
+            AccuracyRow { x: providers as f64, scores }
+        })
+        .collect();
+
+    print_accuracy_figure(
+        "Figure 9: synthetic accuracy vs. # of users who provide labels (2% labeled, rot pi/2)",
+        "# providers",
+        &rows,
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 10 — synthetic dataset: accuracy vs. training rate.
+//!
+//! Paper setup (Sec. VI-D): max rotation π/2, 5 label providers, labeling
+//! rate sweeps 1 % → 10 %.
+
+use plos_bench::{
+    averaged_comparison, eval_config_for, mask, print_accuracy_figure, AccuracyRow, RunOptions,
+};
+use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let points = if opts.quick { 60 } else { 200 };
+    let sweep: Vec<f64> = if opts.quick {
+        vec![0.01, 0.05, 0.10]
+    } else {
+        (1..=10).map(|k| k as f64 / 100.0).collect()
+    };
+    let config = eval_config_for(&opts);
+    let spec = SyntheticSpec {
+        num_users: 10,
+        points_per_class: points,
+        max_rotation: std::f64::consts::FRAC_PI_2,
+        flip_prob: 0.1,
+    };
+
+    let rows: Vec<AccuracyRow> = sweep
+        .iter()
+        .map(|&rate| {
+            let scores = averaged_comparison(opts.trials, &config, |trial| {
+                let base = generate_synthetic(&spec, opts.seed.wrapping_add(trial as u64));
+                mask(&base, 5, rate, &opts, trial)
+            });
+            AccuracyRow { x: rate * 100.0, scores }
+        })
+        .collect();
+
+    print_accuracy_figure(
+        "Figure 10: synthetic accuracy vs. training rate (%) (5 providers, rot pi/2)",
+        "rate (%)",
+        &rows,
+    );
+}

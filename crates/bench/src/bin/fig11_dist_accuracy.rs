@@ -1,0 +1,25 @@
+//! Figure 11 — accuracy difference between centralized and distributed
+//! PLOS.
+//!
+//! Paper setup (Sec. VI-E): synthetic per-user data, 10 → 100 users,
+//! `ρ = 1`, `ε_abs = 10⁻³`. The paper reports a difference "close to zero",
+//! i.e. the ADMM decomposition is a faithful approximation of the
+//! centralized solver.
+
+use plos_bench::{run_scale_point, scale_sweep, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    println!("\n=== Figure 11: accuracy difference (centralized - distributed), percent ===");
+    println!("{:>8} {:>14} {:>14} {:>12}", "# users", "central acc %", "dist acc %", "diff (pp)");
+    for users in scale_sweep(&opts) {
+        let p = run_scale_point(users, &opts);
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>12.2}",
+            p.users,
+            p.acc_centralized * 100.0,
+            p.acc_distributed * 100.0,
+            (p.acc_centralized - p.acc_distributed) * 100.0
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 12 — running time of centralized vs. distributed PLOS.
+//!
+//! Paper setup (Sec. VI-E): centralized runs on a 3.4 GHz server;
+//! distributed runs on Nexus 5 phones computing in parallel, so its running
+//! time is bounded by the slowest phone. The paper's shape: centralized
+//! grows superlinearly with the number of users while distributed stays
+//! almost flat.
+//!
+//! This reproduction measures real wall-clock on the host and rescales the
+//! device side with the Nexus 5 compute profile (see
+//! `plos_net::DeviceProfile`).
+
+use plos_bench::{run_scale_point, scale_sweep, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    println!("\n=== Figure 12: running time (s) vs # of users ===");
+    println!(
+        "{:>8} {:>16} {:>18} {:>10}",
+        "# users", "centralized (s)", "distributed (s)", "ADMM iters"
+    );
+    for users in scale_sweep(&opts) {
+        let p = run_scale_point(users, &opts);
+        println!(
+            "{:>8} {:>16.3} {:>18.3} {:>10}",
+            p.users, p.time_centralized_s, p.time_distributed_s, p.admm_iterations
+        );
+    }
+}

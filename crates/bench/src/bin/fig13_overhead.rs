@@ -1,0 +1,18 @@
+//! Figure 13 — per-user message overhead of distributed PLOS.
+//!
+//! Paper setup (Sec. VI-E): users only exchange model parameters with the
+//! server, so per-user traffic is a few kilobytes and stays flat as the
+//! cohort grows. The byte counts here are exact: every message crosses the
+//! binary codec of `plos-net`.
+
+use plos_bench::{run_scale_point, scale_sweep, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    println!("\n=== Figure 13: message overhead per user (KB) vs # of users ===");
+    println!("{:>8} {:>14} {:>10}", "# users", "KB per user", "ADMM iters");
+    for users in scale_sweep(&opts) {
+        let p = run_scale_point(users, &opts);
+        println!("{:>8} {:>14.2} {:>10}", p.users, p.kb_per_user, p.admm_iterations);
+    }
+}

@@ -1,0 +1,44 @@
+//! Combined runner for the Sec. VI-E scalability experiments: one sweep
+//! over the user counts, three tables — Fig. 11 (accuracy parity), Fig. 12
+//! (running time), Fig. 13 (message overhead). Equivalent to running the
+//! three individual binaries but 3× cheaper, since they share the sweep.
+
+use plos_bench::{run_scale_point, scale_sweep, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let points: Vec<_> = scale_sweep(&opts)
+        .into_iter()
+        .map(|users| run_scale_point(users, &opts))
+        .collect();
+
+    println!("\n=== Figure 11: accuracy difference (centralized - distributed), percent ===");
+    println!("{:>8} {:>14} {:>14} {:>12}", "# users", "central acc %", "dist acc %", "diff (pp)");
+    for p in &points {
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>12.2}",
+            p.users,
+            p.acc_centralized * 100.0,
+            p.acc_distributed * 100.0,
+            (p.acc_centralized - p.acc_distributed) * 100.0
+        );
+    }
+
+    println!("\n=== Figure 12: running time (s) vs # of users ===");
+    println!(
+        "{:>8} {:>16} {:>18} {:>10}",
+        "# users", "centralized (s)", "distributed (s)", "ADMM iters"
+    );
+    for p in &points {
+        println!(
+            "{:>8} {:>16.3} {:>18.3} {:>10}",
+            p.users, p.time_centralized_s, p.time_distributed_s, p.admm_iterations
+        );
+    }
+
+    println!("\n=== Figure 13: message overhead per user (KB) vs # of users ===");
+    println!("{:>8} {:>14} {:>10}", "# users", "KB per user", "ADMM iters");
+    for p in &points {
+        println!("{:>8} {:>14.2} {:>10}", p.users, p.kb_per_user, p.admm_iterations);
+    }
+}

@@ -1,0 +1,332 @@
+//! Figure-reproduction harness for the PLOS paper.
+//!
+//! One binary per figure of the paper's evaluation section (the paper has
+//! no result tables); each prints the same series the figure plots. Shared
+//! machinery lives here: dataset construction per experiment, method
+//! sweeps, trial averaging, and plain-text series output.
+//!
+//! Run everything with reduced sizes:
+//!
+//! ```text
+//! cargo run --release -p plos-bench --bin figures
+//! ```
+//!
+//! or an individual figure at full scale, e.g.
+//!
+//! ```text
+//! cargo run --release -p plos-bench --bin fig08_synth_rotation -- --trials 3
+//! ```
+
+use plos_core::eval::{compare_methods, EvalConfig, MethodScores};
+use plos_core::PlosConfig;
+use plos_sensing::dataset::{LabelMask, MultiUserDataset};
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Number of random trials averaged per point.
+    pub trials: usize,
+    /// Reduced problem sizes for smoke runs.
+    pub quick: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { trials: 1, quick: false, seed: 42 }
+    }
+}
+
+impl RunOptions {
+    /// Parses `--trials N`, `--quick`, `--seed S` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts = RunOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    let v = args.next().expect("--trials requires a value");
+                    opts.trials = v.parse().expect("--trials must be an integer");
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed requires a value");
+                    opts.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--quick" => opts.quick = true,
+                other => panic!("unknown argument {other}; use --trials N | --seed S | --quick"),
+            }
+        }
+        opts
+    }
+}
+
+/// One x-position of an accuracy figure: the four methods on both panels.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// The x value (number of providers, training rate, rotation, ...).
+    pub x: f64,
+    /// Method scores averaged over trials.
+    pub scores: MethodScores,
+}
+
+/// Averages [`compare_methods`] over `trials` different mask seeds.
+///
+/// `make_dataset(trial)` builds the cohort for that trial (generators are
+/// seeded so trial `i` is reproducible).
+pub fn averaged_comparison(
+    trials: usize,
+    config: &EvalConfig,
+    mut make_dataset: impl FnMut(usize) -> MultiUserDataset,
+) -> MethodScores {
+    assert!(trials > 0, "at least one trial required");
+    let mut acc: Option<MethodScores> = None;
+    for trial in 0..trials {
+        let dataset = make_dataset(trial);
+        let scores = compare_methods(&dataset, config);
+        acc = Some(match acc {
+            None => scores,
+            Some(prev) => merge_scores(prev, scores),
+        });
+    }
+    let mut total = acc.expect("trials > 0");
+    scale_scores(&mut total, 1.0 / trials as f64);
+    total
+}
+
+fn merge_opt(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x + y),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn merge_scores(a: MethodScores, b: MethodScores) -> MethodScores {
+    use plos_core::eval::Accuracies;
+    let merge = |x: Accuracies, y: Accuracies| Accuracies {
+        labeled_users: merge_opt(x.labeled_users, y.labeled_users),
+        unlabeled_users: merge_opt(x.unlabeled_users, y.unlabeled_users),
+    };
+    MethodScores {
+        plos: merge(a.plos, b.plos),
+        all: merge(a.all, b.all),
+        group: merge(a.group, b.group),
+        single: merge(a.single, b.single),
+    }
+}
+
+fn scale_scores(s: &mut MethodScores, factor: f64) {
+    for acc in [&mut s.plos, &mut s.all, &mut s.group, &mut s.single] {
+        acc.labeled_users = acc.labeled_users.map(|v| v * factor);
+        acc.unlabeled_users = acc.unlabeled_users.map(|v| v * factor);
+    }
+}
+
+/// Prints the two panels of an accuracy figure in the paper's layout:
+/// method curves over the x sweep, accuracy in percent.
+pub fn print_accuracy_figure(title: &str, x_label: &str, rows: &[AccuracyRow]) {
+    let pct = |v: Option<f64>| match v {
+        Some(a) => format!("{:6.1}", a * 100.0),
+        None => "     -".to_string(),
+    };
+    println!("\n=== {title} ===");
+    println!("--- (a) accuracy (%) on users WITH labels ---");
+    println!("{x_label:>12}   PLOS    All  Group Single");
+    for row in rows {
+        println!(
+            "{:>12.3} {} {} {} {}",
+            row.x,
+            pct(row.scores.plos.labeled_users),
+            pct(row.scores.all.labeled_users),
+            pct(row.scores.group.labeled_users),
+            pct(row.scores.single.labeled_users),
+        );
+    }
+    println!("--- (b) accuracy (%) on users WITHOUT labels ---");
+    println!("{x_label:>12}   PLOS    All  Group Single");
+    for row in rows {
+        println!(
+            "{:>12.3} {} {} {} {}",
+            row.x,
+            pct(row.scores.plos.unlabeled_users),
+            pct(row.scores.all.unlabeled_users),
+            pct(row.scores.group.unlabeled_users),
+            pct(row.scores.single.unlabeled_users),
+        );
+    }
+}
+
+/// The PLOS configuration the figure binaries use at full scale: defaults
+/// tuned like the paper's cross-validated choices.
+pub fn figure_plos_config() -> PlosConfig {
+    PlosConfig {
+        lambda: 40.0,
+        max_cccp_rounds: 6,
+        max_cutting_rounds: 30,
+        restarts: 2,
+        refine_rounds: 2,
+        ..PlosConfig::default()
+    }
+}
+
+/// The evaluation-harness configuration used by the accuracy figures.
+pub fn figure_eval_config() -> EvalConfig {
+    EvalConfig { plos: figure_plos_config(), ..EvalConfig::default() }
+}
+
+/// A reduced-cost PLOS configuration for `--quick` runs.
+pub fn quick_plos_config() -> PlosConfig {
+    PlosConfig { lambda: 40.0, ..PlosConfig::fast() }
+}
+
+/// Evaluation config for `--quick` runs.
+pub fn quick_eval_config() -> EvalConfig {
+    EvalConfig { plos: quick_plos_config(), ..EvalConfig::default() }
+}
+
+/// Selects the eval config according to `--quick`.
+pub fn eval_config_for(opts: &RunOptions) -> EvalConfig {
+    if opts.quick {
+        quick_eval_config()
+    } else {
+        figure_eval_config()
+    }
+}
+
+/// Masks a dataset with `providers` label providers at `rate`, seeded per
+/// trial.
+pub fn mask(
+    dataset: &MultiUserDataset,
+    providers: usize,
+    rate: f64,
+    opts: &RunOptions,
+    trial: usize,
+) -> MultiUserDataset {
+    dataset.mask_labels(
+        &LabelMask::providers(providers, rate),
+        opts.seed.wrapping_add(1000 * trial as u64 + 7),
+    )
+}
+
+/// One point of the Sec. VI-E scalability experiments (Figs. 11–13).
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Number of users.
+    pub users: usize,
+    /// Overall accuracy of centralized PLOS.
+    pub acc_centralized: f64,
+    /// Overall accuracy of distributed PLOS.
+    pub acc_distributed: f64,
+    /// Centralized training wall-clock on the server profile, seconds.
+    pub time_centralized_s: f64,
+    /// Distributed running time, seconds: the slowest phone's compute
+    /// (rescaled to the Nexus 5 profile) plus server aggregation.
+    pub time_distributed_s: f64,
+    /// Mean per-user traffic in kilobytes.
+    pub kb_per_user: f64,
+    /// Total ADMM iterations of the distributed run.
+    pub admm_iterations: usize,
+}
+
+/// Runs both trainers on a synthetic cohort of `users` users and measures
+/// everything Figs. 11–13 report. The paper's Sec. VI-E settings: each user
+/// generates their own data, ρ = 1, ε_abs = 10⁻³.
+pub fn run_scale_point(users: usize, opts: &RunOptions) -> ScalePoint {
+    use plos_core::eval::{plos_predictions, score_predictions};
+    use plos_core::{CentralizedPlos, DistributedPlos};
+    use plos_net::DeviceProfile;
+    use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+    use std::time::Instant;
+
+    let points = if opts.quick { 40 } else { 100 };
+    let spec = SyntheticSpec {
+        num_users: users,
+        points_per_class: points,
+        max_rotation: std::f64::consts::FRAC_PI_2,
+        flip_prob: 0.1,
+    };
+    let providers = (users / 2).max(1);
+    let base = generate_synthetic(&spec, opts.seed);
+    let data = mask(&base, providers, 0.05, opts, 0);
+
+    let plos_cfg = if opts.quick { quick_plos_config() } else { figure_plos_config() };
+
+    let started = Instant::now();
+    let central = CentralizedPlos::new(plos_cfg.clone()).fit(&data);
+    let time_centralized_s = started.elapsed().as_secs_f64();
+
+    let (dist, report) = DistributedPlos::new(plos_cfg).fit(&data);
+
+    let overall = |model: &plos_core::PersonalizedModel| {
+        let acc = score_predictions(&data, &plos_predictions(model, &data));
+        acc.overall(providers, users - providers)
+    };
+
+    let phone = DeviceProfile::nexus5();
+    let reference = DeviceProfile::reference();
+    let phone_time = phone.rescale_from(report.max_client_compute(), &reference);
+    let time_distributed_s = phone_time.as_secs_f64() + report.server_compute.as_secs_f64();
+
+    ScalePoint {
+        users,
+        acc_centralized: overall(&central),
+        acc_distributed: overall(&dist),
+        time_centralized_s,
+        time_distributed_s,
+        kb_per_user: report.mean_user_kb(),
+        admm_iterations: report.admm_iterations,
+    }
+}
+
+/// The user-count sweep of the Sec. VI-E experiments.
+pub fn scale_sweep(opts: &RunOptions) -> Vec<usize> {
+    if opts.quick {
+        vec![10, 20, 30]
+    } else {
+        vec![10, 20, 40, 70, 100]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_core::eval::Accuracies;
+
+    fn scores(v: f64) -> MethodScores {
+        let a = Accuracies { labeled_users: Some(v), unlabeled_users: None };
+        MethodScores { plos: a, all: a, group: a, single: a }
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut m = merge_scores(scores(0.4), scores(0.6));
+        scale_scores(&mut m, 0.5);
+        assert_eq!(m.plos.labeled_users, Some(0.5));
+        assert_eq!(m.plos.unlabeled_users, None);
+    }
+
+    #[test]
+    fn merge_handles_missing_panels() {
+        assert_eq!(merge_opt(Some(1.0), None), Some(1.0));
+        assert_eq!(merge_opt(None, Some(2.0)), Some(2.0));
+        assert_eq!(merge_opt(None, None), None);
+    }
+
+    #[test]
+    fn configs_are_valid() {
+        figure_plos_config().validate();
+        quick_plos_config().validate();
+    }
+
+    #[test]
+    fn default_options() {
+        let o = RunOptions::default();
+        assert_eq!(o.trials, 1);
+        assert!(!o.quick);
+    }
+}

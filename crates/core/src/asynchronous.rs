@@ -1,0 +1,455 @@
+//! Asynchronous distributed PLOS — the paper's Sec. VII future work.
+//!
+//! "The current distributed algorithm is mainly designed for the
+//! synchronous distributed system. For the asynchronous scenario, for
+//! instance, some users may delay their responses for arbitrarily long, we
+//! will leave it as our future work."
+//!
+//! This module implements the standard *stale-update* answer: devices that
+//! are busy when a round arrives reply instantly with their **previous**
+//! local solution instead of recomputing (bounded staleness, à la async
+//! consensus ADMM). The server is oblivious — the wire protocol is
+//! unchanged — and the Eq. (23) updates simply consume whatever mix of
+//! fresh and stale `(w_t, v_t, ξ_t)` arrives. With availability 1 the
+//! algorithm *is* Algorithm 2.
+
+use crate::config::PlosConfig;
+use crate::local::{LocalSolver, LocalUpdate};
+use crate::model::PersonalizedModel;
+use crate::problem;
+use plos_linalg::Vector;
+use plos_net::{star, Endpoint, Message, TrafficStats};
+use plos_opt::History;
+use plos_sensing::dataset::MultiUserDataset;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Straggler model for the asynchronous runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncSpec {
+    /// Probability that a device is free to recompute when a round arrives
+    /// (`1.0` = fully synchronous behaviour).
+    pub availability: f64,
+    /// Seed of the per-device straggler processes.
+    pub seed: u64,
+}
+
+impl Default for AsyncSpec {
+    fn default() -> Self {
+        AsyncSpec { availability: 0.7, seed: 0 }
+    }
+}
+
+/// Measurements of an asynchronous run.
+#[derive(Debug, Clone)]
+pub struct AsyncReport {
+    /// Per-user traffic (client side).
+    pub per_user_traffic: Vec<TrafficStats>,
+    /// Total ADMM iterations.
+    pub admm_iterations: usize,
+    /// CCCP rounds performed.
+    pub cccp_rounds: usize,
+    /// Objective after each CCCP round.
+    pub history: History,
+    /// Stale replies per user (round arrived while "busy").
+    pub stale_replies: Vec<usize>,
+    /// Fresh local solves per user.
+    pub fresh_replies: Vec<usize>,
+}
+
+impl AsyncReport {
+    /// Overall fraction of replies that were stale.
+    pub fn staleness(&self) -> f64 {
+        let stale: usize = self.stale_replies.iter().sum();
+        let fresh: usize = self.fresh_replies.iter().sum();
+        let total = stale + fresh;
+        if total == 0 {
+            0.0
+        } else {
+            stale as f64 / total as f64
+        }
+    }
+}
+
+/// The asynchronous trainer.
+#[derive(Debug, Clone)]
+pub struct AsyncDistributedPlos {
+    config: PlosConfig,
+    spec: AsyncSpec,
+}
+
+struct ClientOutcome {
+    stats: TrafficStats,
+    stale: usize,
+    fresh: usize,
+}
+
+impl AsyncDistributedPlos {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `availability` is outside
+    /// `(0, 1]` (devices that never compute can't train).
+    pub fn new(config: PlosConfig, spec: AsyncSpec) -> Self {
+        config.validate();
+        assert!(
+            spec.availability > 0.0 && spec.availability <= 1.0,
+            "availability must be in (0,1], got {}",
+            spec.availability
+        );
+        AsyncDistributedPlos { config, spec }
+    }
+
+    /// Trains over the simulated network with stragglers.
+    pub fn fit(&self, dataset: &MultiUserDataset) -> (PersonalizedModel, AsyncReport) {
+        let prepared = problem::prepare(dataset, self.config.bias);
+        let t_count = prepared.users.len();
+        let dim = prepared.dim;
+
+        let slots: Mutex<Vec<Option<LocalSolver>>> = Mutex::new(
+            prepared
+                .users
+                .iter()
+                .enumerate()
+                .map(|(t, u)| {
+                    let mut cfg = self.config.clone();
+                    cfg.seed =
+                        cfg.seed.wrapping_add(t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    Some(LocalSolver::new(u.clone(), cfg, t_count))
+                })
+                .collect(),
+        );
+
+        let network = star(t_count);
+        let spec = self.spec;
+        let (server_out, client_outs) = network.run_clients(
+            |server_ends| self.server_loop(server_ends, dim, t_count),
+            |t, endpoint| {
+                let solver =
+                    slots.lock().expect("slot lock").get_mut(t).and_then(Option::take);
+                let solver = solver.expect("each device slot taken once");
+                Self::client_loop(solver, endpoint, spec, t)
+            },
+        );
+
+        let (model, mut report) = server_out;
+        report.per_user_traffic = client_outs.iter().map(|c| c.stats).collect();
+        report.stale_replies = client_outs.iter().map(|c| c.stale).collect();
+        report.fresh_replies = client_outs.iter().map(|c| c.fresh).collect();
+        (model, report)
+    }
+
+    fn client_loop(
+        mut solver: LocalSolver,
+        endpoint: Endpoint,
+        spec: AsyncSpec,
+        t: usize,
+    ) -> ClientOutcome {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            spec.seed ^ (t as u64).wrapping_mul(0xd129_0d3a_37cf_1e2b),
+        );
+        let mut last: Option<LocalUpdate> = None;
+        let mut stale = 0usize;
+        let mut fresh = 0usize;
+        loop {
+            match endpoint.recv() {
+                Ok(Message::Broadcast { round, w0, u_t }) => {
+                    if round == 0 {
+                        let w_init =
+                            solver.initial_hyperplane().unwrap_or_else(|| Vector::zeros(w0.len()));
+                        let reply = Message::ClientUpdate {
+                            round,
+                            user: t as u32,
+                            w_t: w_init,
+                            v_t: Vector::zeros(w0.len()),
+                            xi_t: 0.0,
+                        };
+                        if endpoint.send(&reply).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    // Straggler decision: busy devices reply with the stale
+                    // solution; the very first round always computes.
+                    let update = match &last {
+                        Some(previous) if !rng.gen_bool(spec.availability) => {
+                            stale += 1;
+                            previous.clone()
+                        }
+                        _ => {
+                            fresh += 1;
+                            let u = solver.solve(&w0, &u_t);
+                            last = Some(u.clone());
+                            u
+                        }
+                    };
+                    let reply = Message::ClientUpdate {
+                        round,
+                        user: t as u32,
+                        w_t: update.w_t,
+                        v_t: update.v_t,
+                        xi_t: update.xi_t,
+                    };
+                    if endpoint.send(&reply).is_err() {
+                        break;
+                    }
+                }
+                Ok(Message::CccpAdvance { .. }) => {
+                    solver.advance_cccp();
+                    last = None; // the linearization changed; don't reuse
+                }
+                Ok(Message::Refine { round, w0 }) => {
+                    let seed = solver.seed_for_round(round);
+                    let update = solver.refine(&w0, seed);
+                    fresh += 1;
+                    last = Some(update.clone());
+                    let reply = Message::ClientUpdate {
+                        round,
+                        user: t as u32,
+                        w_t: update.w_t,
+                        v_t: update.v_t,
+                        xi_t: update.xi_t,
+                    };
+                    if endpoint.send(&reply).is_err() {
+                        break;
+                    }
+                }
+                Ok(Message::ClientUpdate { .. }) | Ok(Message::Shutdown) | Err(_) => break,
+            }
+        }
+        ClientOutcome { stats: endpoint.stats(), stale, fresh }
+    }
+
+    fn server_loop(
+        &self,
+        ends: &[Endpoint],
+        dim: usize,
+        t_count: usize,
+    ) -> (PersonalizedModel, AsyncReport) {
+        // Init: average provider hyperplanes (identical to Algorithm 2).
+        let zero = Vector::zeros(dim);
+        for end in ends {
+            end.send(&Message::Broadcast { round: 0, w0: zero.clone(), u_t: zero.clone() })
+                .expect("client alive");
+        }
+        let mut w0 = Vector::zeros(dim);
+        let mut contributors = 0usize;
+        for end in ends {
+            if let Message::ClientUpdate { w_t, .. } = end.recv().expect("init reply") {
+                if w_t.norm() > 0.0 {
+                    w0 += &w_t;
+                    contributors += 1;
+                }
+            }
+        }
+        if contributors > 0 {
+            w0.scale_mut(1.0 / contributors as f64);
+        } else {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+            w0 = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let n = w0.norm();
+            if n > 0.0 {
+                w0.scale_mut(1.0 / n);
+            }
+        }
+
+        let kappa = self.config.lambda / t_count as f64;
+        let rho = self.config.rho;
+        let sqrt_2t = (2.0 * t_count as f64).sqrt();
+        let sqrt_t = (t_count as f64).sqrt();
+
+        let mut us = vec![Vector::zeros(dim); t_count];
+        let mut w_ts = vec![Vector::zeros(dim); t_count];
+        let mut v_ts = vec![Vector::zeros(dim); t_count];
+        let mut xi_ts = vec![0.0f64; t_count];
+        let mut history = History::new();
+        let mut round = 0u32;
+        let mut admm_iterations = 0usize;
+        let mut cccp_rounds = 0usize;
+
+        for cccp_round in 0..self.config.max_cccp_rounds {
+            cccp_rounds += 1;
+            if cccp_round > 0 {
+                for end in ends {
+                    end.send(&Message::CccpAdvance { cccp_round: cccp_round as u32 })
+                        .expect("client alive");
+                }
+            }
+            for _ in 0..self.config.max_admm_iters {
+                round += 1;
+                admm_iterations += 1;
+                for (t, end) in ends.iter().enumerate() {
+                    end.send(&Message::Broadcast {
+                        round,
+                        w0: w0.clone(),
+                        u_t: us[t].clone(),
+                    })
+                    .expect("client alive");
+                }
+                for (t, end) in ends.iter().enumerate() {
+                    match end.recv().expect("client update") {
+                        Message::ClientUpdate { w_t, v_t, xi_t, .. } => {
+                            w_ts[t] = w_t;
+                            v_ts[t] = v_t;
+                            xi_ts[t] = xi_t;
+                        }
+                        other => panic!("unexpected message: {other:?}"),
+                    }
+                }
+                let mut w0_new = Vector::zeros(dim);
+                for t in 0..t_count {
+                    w0_new += &w_ts[t];
+                    w0_new -= &v_ts[t];
+                    w0_new += &us[t];
+                }
+                w0_new.scale_mut(rho / (2.0 + t_count as f64 * rho));
+                let dual_residual = rho * sqrt_2t * w0_new.distance(&w0);
+                let mut primal_sq = 0.0;
+                for t in 0..t_count {
+                    let mut delta = w_ts[t].clone();
+                    delta -= &w0_new;
+                    delta -= &v_ts[t];
+                    primal_sq += delta.norm_squared();
+                    us[t] += &delta;
+                }
+                w0 = w0_new;
+                if dual_residual <= sqrt_2t * self.config.eps_abs
+                    && primal_sq.sqrt() <= sqrt_t * self.config.eps_abs
+                {
+                    break;
+                }
+            }
+            let objective = w0.norm_squared()
+                + kappa * v_ts.iter().map(Vector::norm_squared).sum::<f64>()
+                + xi_ts.iter().sum::<f64>();
+            history.push(objective);
+            if history.converged(self.config.cccp_tol) {
+                break;
+            }
+        }
+
+        // Refinement (always fresh — it anchors the final model).
+        for _ in 0..self.config.refine_rounds {
+            round += 1;
+            for end in ends {
+                end.send(&Message::Refine { round, w0: w0.clone() }).expect("client alive");
+            }
+            for (t, end) in ends.iter().enumerate() {
+                match end.recv().expect("refine reply") {
+                    Message::ClientUpdate { w_t, v_t, xi_t, .. } => {
+                        w_ts[t] = w_t;
+                        v_ts[t] = v_t;
+                        xi_ts[t] = xi_t;
+                    }
+                    other => panic!("unexpected message: {other:?}"),
+                }
+            }
+            let mut mean = Vector::zeros(dim);
+            for w_t in &w_ts {
+                mean += w_t;
+            }
+            mean.scale_mut(1.0 / t_count as f64);
+            w0 = mean.scaled(self.config.lambda / (1.0 + self.config.lambda));
+        }
+
+        for end in ends {
+            let _ = end.send(&Message::Shutdown);
+        }
+        let biases: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
+        let model = PersonalizedModel::new(w0, biases, self.config.bias);
+        let _ = Instant::now();
+        let report = AsyncReport {
+            per_user_traffic: Vec::new(),
+            admm_iterations,
+            cccp_rounds,
+            history,
+            stale_replies: Vec::new(),
+            fresh_replies: Vec::new(),
+        };
+        (model, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{plos_predictions, score_predictions};
+    use plos_sensing::dataset::LabelMask;
+    use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+    fn cohort() -> MultiUserDataset {
+        let spec = SyntheticSpec {
+            num_users: 5,
+            points_per_class: 25,
+            max_rotation: std::f64::consts::FRAC_PI_4,
+            flip_prob: 0.05,
+        };
+        generate_synthetic(&spec, 13).mask_labels(&LabelMask::providers(3, 0.2), 4)
+    }
+
+    fn overall(model: &PersonalizedModel, data: &MultiUserDataset) -> f64 {
+        let acc = score_predictions(data, &plos_predictions(model, data));
+        acc.overall(data.providers().len(), data.num_users() - data.providers().len())
+    }
+
+    #[test]
+    fn stragglers_still_learn() {
+        let data = cohort();
+        let trainer = AsyncDistributedPlos::new(
+            PlosConfig::fast(),
+            AsyncSpec { availability: 0.5, seed: 3 },
+        );
+        let (model, report) = trainer.fit(&data);
+        assert!(overall(&model, &data) > 0.75, "accuracy {}", overall(&model, &data));
+        assert!(report.staleness() > 0.2, "staleness {}", report.staleness());
+        assert_eq!(report.per_user_traffic.len(), 5);
+    }
+
+    #[test]
+    fn full_availability_has_no_stale_replies() {
+        let data = cohort();
+        let trainer = AsyncDistributedPlos::new(
+            PlosConfig::fast(),
+            AsyncSpec { availability: 1.0, seed: 0 },
+        );
+        let (_, report) = trainer.fit(&data);
+        assert_eq!(report.staleness(), 0.0);
+        assert!(report.stale_replies.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn staleness_tracks_availability() {
+        let data = cohort();
+        let run = |availability: f64| {
+            let trainer = AsyncDistributedPlos::new(
+                PlosConfig::fast(),
+                AsyncSpec { availability, seed: 9 },
+            );
+            trainer.fit(&data).1.staleness()
+        };
+        assert!(run(0.3) > run(0.9), "lower availability must raise staleness");
+    }
+
+    #[test]
+    fn async_accuracy_close_to_synchronous() {
+        let data = cohort();
+        let config = PlosConfig::fast();
+        let (sync_model, _) = crate::DistributedPlos::new(config.clone()).fit(&data);
+        let trainer =
+            AsyncDistributedPlos::new(config, AsyncSpec { availability: 0.6, seed: 1 });
+        let (async_model, _) = trainer.fit(&data);
+        let gap = (overall(&sync_model, &data) - overall(&async_model, &data)).abs();
+        assert!(gap < 0.12, "async parity gap {gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in")]
+    fn zero_availability_rejected() {
+        let _ = AsyncDistributedPlos::new(
+            PlosConfig::fast(),
+            AsyncSpec { availability: 0.0, seed: 0 },
+        );
+    }
+}

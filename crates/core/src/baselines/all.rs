@@ -1,0 +1,138 @@
+//! The *All* baseline: one global SVM for everyone.
+//!
+//! "All users are required to upload their data to the server along with the
+//! labels if there are any. The server will train a single global hyperplane
+//! from all the labeled samples, and apply this global hyperplane on the
+//! data of all the users." (Sec. VI-A)
+
+use crate::baselines::UserPredictions;
+use plos_linalg::Vector;
+use plos_ml::svm::{LinearSvm, SvmModel, SvmParams};
+use plos_sensing::dataset::MultiUserDataset;
+
+/// Trained *All* baseline.
+#[derive(Debug, Clone)]
+pub struct AllBaseline {
+    model: SvmModel,
+}
+
+impl AllBaseline {
+    /// Trains the global SVM on every observed label in the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset contains no observed labels at all — *All* is
+    /// undefined without any supervision (the paper's experiments always
+    /// have at least one provider).
+    pub fn fit(dataset: &MultiUserDataset) -> Self {
+        Self::fit_with(dataset, &SvmParams::default())
+    }
+
+    /// Trains with explicit SVM hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// See [`AllBaseline::fit`].
+    pub fn fit_with(dataset: &MultiUserDataset, params: &SvmParams) -> Self {
+        let mut xs: Vec<Vector> = Vec::new();
+        let mut ys: Vec<i8> = Vec::new();
+        for user in dataset.users() {
+            for (i, obs) in user.observed.iter().enumerate() {
+                if let Some(y) = obs {
+                    xs.push(user.features[i].clone());
+                    ys.push(*y);
+                }
+            }
+        }
+        assert!(
+            !xs.is_empty(),
+            "the All baseline needs at least one labeled sample in the cohort"
+        );
+        let model = LinearSvm::new(params.clone()).fit(&xs, &ys);
+        AllBaseline { model }
+    }
+
+    /// The underlying global SVM.
+    pub fn svm(&self) -> &SvmModel {
+        &self.model
+    }
+
+    /// Predicts a single sample (user identity is irrelevant to *All*).
+    pub fn predict(&self, x: &Vector) -> i8 {
+        self.model.predict(x)
+    }
+
+    /// Predictions for every user's full sample set.
+    pub fn predict_all(&self, dataset: &MultiUserDataset) -> Vec<UserPredictions> {
+        dataset
+            .users()
+            .iter()
+            .map(|u| UserPredictions::Labels(self.model.predict_batch(&u.features)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_sensing::dataset::LabelMask;
+    use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+    #[test]
+    fn learns_pooled_boundary() {
+        let spec = SyntheticSpec {
+            num_users: 4,
+            points_per_class: 30,
+            max_rotation: 0.2,
+            flip_prob: 0.0,
+        };
+        let data = generate_synthetic(&spec, 1).mask_labels(&LabelMask::providers(2, 0.3), 2);
+        let all = AllBaseline::fit(&data);
+        let preds = all.predict_all(&data);
+        assert_eq!(preds.len(), 4);
+        for (u, p) in data.users().iter().zip(&preds) {
+            assert!(p.accuracy(&u.truth) > 0.85);
+        }
+    }
+
+    #[test]
+    fn ignores_user_identity() {
+        let spec = SyntheticSpec { num_users: 2, points_per_class: 20, ..Default::default() };
+        let data = generate_synthetic(&spec, 2).mask_labels(&LabelMask::providers(2, 0.5), 1);
+        let all = AllBaseline::fit(&data);
+        let x = &data.user(0).features[0];
+        // Same input, same answer regardless of "whose" sample it is.
+        assert_eq!(all.predict(x), all.svm().predict(x));
+    }
+
+    #[test]
+    fn degrades_when_users_differ_strongly() {
+        // With near-opposite rotations a single hyperplane cannot fit both
+        // extreme users (the paper's Fig. 8 effect).
+        let spec = SyntheticSpec {
+            num_users: 2,
+            points_per_class: 40,
+            max_rotation: std::f64::consts::PI * 0.9,
+            flip_prob: 0.0,
+        };
+        let data = generate_synthetic(&spec, 3).mask_labels(&LabelMask::providers(2, 0.5), 0);
+        let all = AllBaseline::fit(&data);
+        let preds = all.predict_all(&data);
+        let mean_acc: f64 = data
+            .users()
+            .iter()
+            .zip(&preds)
+            .map(|(u, p)| p.accuracy(&u.truth))
+            .sum::<f64>()
+            / 2.0;
+        assert!(mean_acc < 0.85, "All should suffer under strong rotation: {mean_acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one labeled sample")]
+    fn no_labels_panics() {
+        let spec = SyntheticSpec { num_users: 2, points_per_class: 5, ..Default::default() };
+        let data = generate_synthetic(&spec, 0);
+        let _ = AllBaseline::fit(&data);
+    }
+}

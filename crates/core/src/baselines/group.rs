@@ -1,0 +1,266 @@
+//! The *Group* baseline: cluster similar users, one classifier per group.
+//!
+//! Pipeline (Sec. VI-A): hash each user's sensory data into `n = 128`
+//! discrete buckets with the random-hyperplane algorithm, compare users by
+//! the weighted Jaccard similarity of their bucket histograms, cluster users
+//! into groups (spectral clustering, 3 clusters in the paper), then within
+//! each group pool data/labels and train a group classifier — an SVM when
+//! the group has labels of both classes, else k-means on the pooled data.
+
+use crate::baselines::UserPredictions;
+use plos_linalg::Vector;
+use plos_ml::kmeans::KMeans;
+use plos_ml::lsh::RandomHyperplaneHasher;
+use plos_ml::similarity::similarity_matrix;
+use plos_ml::spectral::spectral_clustering;
+use plos_ml::svm::{LinearSvm, SvmModel, SvmParams};
+use plos_sensing::dataset::MultiUserDataset;
+
+/// Knobs of the *Group* baseline (paper values as defaults).
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// LSH hash bits; `2^bits` buckets (paper: 128 buckets → 7 bits).
+    pub lsh_bits: usize,
+    /// Number of user groups (paper: 3).
+    pub num_groups: usize,
+    /// SVM hyperparameters for group classifiers.
+    pub svm: SvmParams,
+    /// Seed for LSH hyperplanes and clustering.
+    pub seed: u64,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig { lsh_bits: 7, num_groups: 3, svm: SvmParams::default(), seed: 0 }
+    }
+}
+
+/// One group's pooled classifier.
+#[derive(Debug, Clone)]
+enum GroupModel {
+    /// The group pooled labels of both classes.
+    Svm(SvmModel),
+    /// Unsupervised group: pooled k-means centroids (samples are assigned to
+    /// the nearest centroid at prediction time).
+    Centroids(Vec<Vector>),
+}
+
+/// Trained *Group* baseline.
+#[derive(Debug, Clone)]
+pub struct GroupBaseline {
+    /// Group id per user.
+    assignment: Vec<usize>,
+    models: Vec<GroupModel>,
+}
+
+impl GroupBaseline {
+    /// Trains the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_groups` is 0 or exceeds the number of users.
+    pub fn fit(dataset: &MultiUserDataset, config: &GroupConfig) -> Self {
+        let t_count = dataset.num_users();
+        assert!(
+            config.num_groups >= 1 && config.num_groups <= t_count,
+            "num_groups must be in 1..={t_count}"
+        );
+
+        // 1. LSH histograms per user.
+        let hasher = RandomHyperplaneHasher::new(dataset.dim(), config.lsh_bits, config.seed);
+        let histograms: Vec<Vec<f64>> =
+            dataset.users().iter().map(|u| hasher.histogram(&u.features)).collect();
+
+        // 2. Pairwise Jaccard similarity → spectral clustering.
+        let affinity = similarity_matrix(&histograms);
+        let assignment = spectral_clustering(&affinity, config.num_groups, config.seed)
+            .expect("affinity matrix is square and symmetric");
+
+        // 3. One classifier per group over pooled members.
+        let models = (0..config.num_groups)
+            .map(|g| {
+                let members: Vec<usize> =
+                    (0..t_count).filter(|&t| assignment[t] == g).collect();
+                let mut xs: Vec<Vector> = Vec::new();
+                let mut ys: Vec<i8> = Vec::new();
+                let mut pool: Vec<Vector> = Vec::new();
+                for &t in &members {
+                    let user = dataset.user(t);
+                    pool.extend(user.features.iter().cloned());
+                    for (i, obs) in user.observed.iter().enumerate() {
+                        if let Some(y) = obs {
+                            xs.push(user.features[i].clone());
+                            ys.push(*y);
+                        }
+                    }
+                }
+                let has_both = ys.iter().any(|&y| y == 1) && ys.iter().any(|&y| y == -1);
+                if has_both {
+                    GroupModel::Svm(LinearSvm::new(config.svm.clone()).fit(&xs, &ys))
+                } else if pool.is_empty() {
+                    // Empty group (spectral clustering may leave one): a
+                    // degenerate centroid model that maps everything to one
+                    // cluster.
+                    GroupModel::Centroids(vec![Vector::zeros(dataset.dim())])
+                } else {
+                    let k = 2.min(pool.len());
+                    let result = KMeans::new(k).fit(&pool, config.seed.wrapping_add(g as u64));
+                    GroupModel::Centroids(result.centroids)
+                }
+            })
+            .collect();
+        GroupBaseline { assignment, models }
+    }
+
+    /// Group id of each user.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether group `g` trained a supervised classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn is_supervised(&self, g: usize) -> bool {
+        matches!(self.models[g], GroupModel::Svm(_))
+    }
+
+    /// Predictions for every user's full sample set, using that user's group
+    /// classifier.
+    pub fn predict_all(&self, dataset: &MultiUserDataset) -> Vec<UserPredictions> {
+        assert_eq!(dataset.num_users(), self.assignment.len(), "dataset/model user mismatch");
+        dataset
+            .users()
+            .iter()
+            .zip(&self.assignment)
+            .map(|(user, &g)| match &self.models[g] {
+                GroupModel::Svm(svm) => {
+                    UserPredictions::Labels(svm.predict_batch(&user.features))
+                }
+                GroupModel::Centroids(centroids) => {
+                    let clusters = user
+                        .features
+                        .iter()
+                        .map(|x| {
+                            centroids
+                                .iter()
+                                .enumerate()
+                                .min_by(|(_, a), (_, b)| {
+                                    x.distance_squared(a)
+                                        .partial_cmp(&x.distance_squared(b))
+                                        .expect("finite distances")
+                                })
+                                .map(|(i, _)| i)
+                                .expect("at least one centroid")
+                        })
+                        .collect();
+                    UserPredictions::Clusters(clusters)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_sensing::dataset::LabelMask;
+    use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+    fn rotated_cohort() -> MultiUserDataset {
+        // 6 users spread over a wide rotation range: the extremes belong in
+        // different groups.
+        let spec = SyntheticSpec {
+            num_users: 6,
+            points_per_class: 30,
+            max_rotation: std::f64::consts::PI * 0.9,
+            flip_prob: 0.0,
+        };
+        generate_synthetic(&spec, 17).mask_labels(&LabelMask::providers(4, 0.3), 3)
+    }
+
+    #[test]
+    fn groups_users_and_predicts() {
+        let d = rotated_cohort();
+        let cfg = GroupConfig { num_groups: 3, ..Default::default() };
+        let group = GroupBaseline::fit(&d, &cfg);
+        assert_eq!(group.assignment().len(), 6);
+        assert_eq!(group.num_groups(), 3);
+        assert!(group.assignment().iter().all(|&g| g < 3));
+        let preds = group.predict_all(&d);
+        assert_eq!(preds.len(), 6);
+        for (u, p) in d.users().iter().zip(&preds) {
+            assert_eq!(p.len(), u.num_samples());
+        }
+    }
+
+    #[test]
+    fn similar_users_share_a_group() {
+        // Adjacent rotations (users 0 and 1) are far more similar than the
+        // extremes (users 0 and 5).
+        let d = rotated_cohort();
+        let cfg = GroupConfig { num_groups: 2, ..Default::default() };
+        let group = GroupBaseline::fit(&d, &cfg);
+        let a = group.assignment();
+        assert_ne!(a[0], a[5], "extreme rotations should split: {a:?}");
+    }
+
+    #[test]
+    fn beats_chance_with_group_labels() {
+        let d = rotated_cohort();
+        let group = GroupBaseline::fit(&d, &GroupConfig::default());
+        let preds = group.predict_all(&d);
+        let mean_acc: f64 = d
+            .users()
+            .iter()
+            .zip(&preds)
+            .map(|(u, p)| p.accuracy(&u.truth))
+            .sum::<f64>()
+            / 6.0;
+        assert!(mean_acc > 0.7, "mean accuracy {mean_acc}");
+    }
+
+    #[test]
+    fn unsupervised_group_uses_clusters() {
+        // No labels anywhere → every group falls back to k-means.
+        let spec = SyntheticSpec {
+            num_users: 4,
+            points_per_class: 20,
+            max_rotation: 0.3,
+            flip_prob: 0.0,
+        };
+        let d = generate_synthetic(&spec, 23);
+        let cfg = GroupConfig { num_groups: 2, ..Default::default() };
+        let group = GroupBaseline::fit(&d, &cfg);
+        for g in 0..2 {
+            assert!(!group.is_supervised(g));
+        }
+        let preds = group.predict_all(&d);
+        for p in &preds {
+            assert!(matches!(p, UserPredictions::Clusters(_)));
+        }
+    }
+
+    #[test]
+    fn single_group_equals_pooling_everyone() {
+        let d = rotated_cohort();
+        let cfg = GroupConfig { num_groups: 1, ..Default::default() };
+        let group = GroupBaseline::fit(&d, &cfg);
+        assert!(group.assignment().iter().all(|&g| g == 0));
+        assert!(group.is_supervised(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_groups must be in")]
+    fn too_many_groups_panics() {
+        let d = rotated_cohort();
+        let cfg = GroupConfig { num_groups: 100, ..Default::default() };
+        let _ = GroupBaseline::fit(&d, &cfg);
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's three baseline methods (Sec. VI-A).
+//!
+//! * [`AllBaseline`] — fully centralized: one global SVM over every
+//!   observed label, applied to every user.
+//! * [`SingleBaseline`] — fully localized: each user trains on only their
+//!   own data; users without labels fall back to k-means clustering,
+//!   evaluated under the best cluster-to-class matching.
+//! * [`GroupBaseline`] — group-based: LSH histograms → Jaccard similarity →
+//!   spectral clustering of users into groups → one classifier per group.
+//!
+//! All three expose [`UserPredictions`] so the evaluation harness treats
+//! them and PLOS uniformly: a method produces, for each user, either signed
+//! labels or (for unsupervised fallbacks) cluster ids that the harness
+//! scores under optimal matching.
+
+mod all;
+mod group;
+mod single;
+
+pub use all::AllBaseline;
+pub use group::{GroupBaseline, GroupConfig};
+pub use single::SingleBaseline;
+
+/// Per-user output of a trained method on that user's samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserPredictions {
+    /// Signed labels in `{−1, +1}`, scored directly against ground truth.
+    Labels(Vec<i8>),
+    /// Cluster ids, scored under the best cluster→class assignment (the
+    /// paper's protocol for unsupervised outputs, Sec. VI-A).
+    Clusters(Vec<usize>),
+}
+
+impl UserPredictions {
+    /// Number of predicted samples.
+    pub fn len(&self) -> usize {
+        match self {
+            UserPredictions::Labels(v) => v.len(),
+            UserPredictions::Clusters(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` when there are no predictions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accuracy against ground-truth ±1 labels, using best-assignment
+    /// matching for cluster outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or `truth` is empty.
+    pub fn accuracy(&self, truth: &[i8]) -> f64 {
+        match self {
+            UserPredictions::Labels(pred) => plos_ml::metrics::accuracy(pred, truth),
+            UserPredictions::Clusters(clusters) => {
+                let classes: Vec<usize> =
+                    truth.iter().map(|&y| if y > 0 { 1 } else { 0 }).collect();
+                plos_ml::matching::best_matching_accuracy(clusters, &classes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_predictions_score_directly() {
+        let p = UserPredictions::Labels(vec![1, -1, 1, 1]);
+        assert_eq!(p.accuracy(&[1, -1, -1, 1]), 0.75);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn cluster_predictions_score_under_matching() {
+        // Clusters perfectly anti-aligned with classes still score 1.0.
+        let p = UserPredictions::Clusters(vec![0, 0, 1, 1]);
+        assert_eq!(p.accuracy(&[1, 1, -1, -1]), 1.0);
+        assert_eq!(p.accuracy(&[-1, -1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(UserPredictions::Clusters(vec![]).is_empty());
+    }
+}

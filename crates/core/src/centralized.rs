@@ -1,0 +1,374 @@
+//! Centralized PLOS — Algorithm 1.
+//!
+//! The trainer alternates two nested loops exactly as the paper describes:
+//!
+//! 1. **CCCP** (outer): fix the sign pattern `sign(w_t⁽ᵏ⁾·x)` of every
+//!    unlabeled sample, turning problem (9) into the convex problem (11);
+//!    stop when the true objective `L` stabilizes (step 7).
+//! 2. **Cutting plane** (inner): grow per-user working sets `Ω_t` with the
+//!    most violated constraints (Eq. 14) and re-solve the dual QP (Eq. 16)
+//!    until no constraint is violated by more than `ε` (steps 4–6).
+//!
+//! The dual is solved by [`DualSolver`], which exploits the feature-map
+//! block structure; the global SVM used to initialize `w'⁽⁰⁾` comes from
+//! `plos-ml`.
+
+use crate::config::PlosConfig;
+use crate::dual::DualSolver;
+use crate::model::PersonalizedModel;
+use crate::problem::{self, Prepared};
+use plos_linalg::Vector;
+use plos_ml::svm::{LinearSvm, SvmParams};
+use plos_opt::{Cccp, History};
+use plos_sensing::dataset::MultiUserDataset;
+use rand::{Rng, SeedableRng};
+
+/// The centralized trainer.
+#[derive(Debug, Clone)]
+pub struct CentralizedPlos {
+    config: PlosConfig,
+}
+
+/// Detailed training output: the model plus convergence diagnostics.
+#[derive(Debug, Clone)]
+pub struct CentralizedFit {
+    /// The trained model.
+    pub model: PersonalizedModel,
+    /// True objective `L` after each CCCP round.
+    pub history: History,
+    /// CCCP rounds performed.
+    pub cccp_rounds: usize,
+    /// Cutting-plane rounds summed over all CCCP rounds.
+    pub cutting_rounds: usize,
+    /// Constraints accumulated over all CCCP rounds.
+    pub constraints_added: usize,
+    /// Whether the CCCP objective converged before the round cap.
+    pub converged: bool,
+}
+
+/// State carried between CCCP rounds.
+struct CccpState {
+    w0: Vector,
+    vs: Vec<Vector>,
+    signs: Vec<Vec<f64>>,
+}
+
+impl CentralizedPlos {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: PlosConfig) -> Self {
+        config.validate();
+        CentralizedPlos { config }
+    }
+
+    /// Trains on a masked multi-user dataset, returning the personalized
+    /// model.
+    pub fn fit(&self, dataset: &MultiUserDataset) -> PersonalizedModel {
+        self.fit_detailed(dataset).model
+    }
+
+    /// Trains and returns convergence diagnostics alongside the model.
+    pub fn fit_detailed(&self, dataset: &MultiUserDataset) -> CentralizedFit {
+        let prepared = problem::prepare(dataset, self.config.bias);
+        let t_count = prepared.users.len();
+        let dim = prepared.dim;
+
+        // Initialization of w'(0): a global SVM over all observed labels
+        // gives the sign pattern CCCP linearizes around first.
+        let w0_init = self.initial_hyperplane(&prepared);
+        let init_signs: Vec<Vec<f64>> = prepared
+            .users
+            .iter()
+            .map(|u| problem::compute_signs(u, &w0_init))
+            .collect();
+        let init = CccpState { w0: w0_init, vs: vec![Vector::zeros(dim); t_count], signs: init_signs };
+
+        let mut cutting_rounds = 0usize;
+        let mut constraints_added = 0usize;
+
+        let cccp = Cccp { tol: self.config.cccp_tol, max_rounds: self.config.max_cccp_rounds };
+        let result = cccp.run(init, |state| {
+            // Fresh working sets: constraints depend on the sign pattern.
+            // The hard class-balance constraints are installed first — they
+            // rule out the degenerate all-on-one-side margin solutions.
+            let mut solver = DualSolver::new(self.config.lambda, t_count, dim);
+            for (t, user) in prepared.users.iter().enumerate() {
+                for k in problem::balance_constraints(user, self.config.balance) {
+                    solver.add_hard_constraint(t, k);
+                }
+            }
+            let mut solution = solver.solve(&self.config.qp);
+            for _round in 0..self.config.max_cutting_rounds {
+                cutting_rounds += 1;
+                let mut any_added = false;
+                for (t, user) in prepared.users.iter().enumerate() {
+                    let w_t = &solution.w0 + &solution.vs[t];
+                    let (constraint, violation) = problem::most_violated_constraint(
+                        user,
+                        &state.signs[t],
+                        &w_t,
+                        solution.xis[t],
+                        &self.config,
+                    );
+                    if violation > self.config.eps {
+                        solver.add_constraint(t, constraint);
+                        constraints_added += 1;
+                        any_added = true;
+                    }
+                }
+                if !any_added {
+                    break;
+                }
+                solution = solver.solve(&self.config.qp);
+            }
+
+            // Refresh the linearization point and report the true objective.
+            let new_signs: Vec<Vec<f64>> = prepared
+                .users
+                .iter()
+                .enumerate()
+                .map(|(t, u)| problem::compute_signs(u, &(&solution.w0 + &solution.vs[t])))
+                .collect();
+            let objective =
+                problem::objective(&prepared, &solution.w0, &solution.vs, &self.config);
+            (
+                CccpState { w0: solution.w0, vs: solution.vs, signs: new_signs },
+                objective,
+            )
+        });
+
+        // Refinement: block-coordinate descent on the true objective with
+        // multi-start per-user CCCP. Each user step exactly minimizes its
+        // block `(λ/T)‖w_t − w0‖² + loss_t(w_t)` over the candidate local
+        // optima; the w0 step is the closed-form minimizer of
+        // `‖w0‖² + (λ/T)Σ‖w_t − w0‖²`, so the objective never increases.
+        let mut w0 = result.state.w0;
+        let mut w_ts: Vec<Vector> =
+            result.state.vs.iter().map(|v| &w0 + v).collect();
+        let mut history = result.history.clone();
+        let mu = 2.0 * self.config.lambda / t_count as f64;
+        for round in 0..self.config.refine_rounds {
+            for (t, user) in prepared.users.iter().enumerate() {
+                let base_signs = problem::compute_signs(user, &w_ts[t]);
+                let seed = self
+                    .config
+                    .seed
+                    .wrapping_add(0x5851_f42d_4c95_7f2d_u64.wrapping_mul((round * t_count + t + 1) as u64));
+                let sol = crate::prox::prox_cccp_multistart(
+                    user,
+                    &w0,
+                    mu,
+                    base_signs,
+                    seed,
+                    &self.config,
+                );
+                // Keep the incumbent when no candidate beats it — this is
+                // what makes the refinement pass monotone.
+                let incumbent =
+                    crate::prox::prox_objective(user, &w0, mu, &w_ts[t], &self.config);
+                if sol.objective < incumbent {
+                    w_ts[t] = sol.w;
+                }
+            }
+            // Closed-form w0 block update.
+            let mut mean = Vector::zeros(dim);
+            for w_t in &w_ts {
+                mean += w_t;
+            }
+            mean.scale_mut(1.0 / t_count as f64);
+            w0 = mean.scaled(self.config.lambda / (1.0 + self.config.lambda));
+            let vs: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
+            history.push(problem::objective(&prepared, &w0, &vs, &self.config));
+        }
+        let vs: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
+
+        let model = PersonalizedModel::new(w0, vs, self.config.bias);
+        CentralizedFit {
+            model,
+            cccp_rounds: result.history.len(),
+            history,
+            cutting_rounds,
+            constraints_added,
+            converged: result.converged,
+        }
+    }
+
+    /// Global-SVM initialization over all observed labels; falls back to a
+    /// deterministic pseudo-random unit vector when no user provides labels
+    /// (pure maximum-margin clustering).
+    fn initial_hyperplane(&self, prepared: &Prepared) -> Vector {
+        let mut xs: Vec<Vector> = Vec::new();
+        let mut ys: Vec<i8> = Vec::new();
+        for user in &prepared.users {
+            for &(i, y) in &user.labeled {
+                xs.push(user.features[i].clone());
+                ys.push(y as i8);
+            }
+        }
+        let has_both_classes = ys.iter().any(|&y| y == 1) && ys.iter().any(|&y| y == -1);
+        if !xs.is_empty() && has_both_classes {
+            // Features are already bias-augmented; disable the SVM's own
+            // augmentation.
+            let params = SvmParams { c: 1.0, bias: None, ..SvmParams::default() };
+            return LinearSvm::new(params).fit(&xs, &ys).weights().clone();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let mut w: Vector =
+            (0..prepared.dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm = w.norm();
+        if norm > 0.0 {
+            w.scale_mut(1.0 / norm);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_sensing::dataset::{LabelMask, UserData};
+    use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+    fn small_synthetic(users: usize, providers: usize, rate: f64) -> MultiUserDataset {
+        let spec = SyntheticSpec {
+            num_users: users,
+            points_per_class: 30,
+            max_rotation: std::f64::consts::FRAC_PI_4,
+            flip_prob: 0.05,
+        };
+        generate_synthetic(&spec, 11).mask_labels(&LabelMask::providers(providers, 0.2_f64.max(rate)), 5)
+    }
+
+    fn accuracy(model: &PersonalizedModel, dataset: &MultiUserDataset) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (t, u) in dataset.users().iter().enumerate() {
+            for (x, &y) in u.features.iter().zip(&u.truth) {
+                if model.predict(t, x) == y {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn learns_separable_multi_user_problem() {
+        let dataset = small_synthetic(4, 2, 0.2);
+        let fit = CentralizedPlos::new(PlosConfig::fast()).fit_detailed(&dataset);
+        let acc = accuracy(&fit.model, &dataset);
+        assert!(acc > 0.78, "accuracy {acc}");
+        assert!(fit.constraints_added > 0);
+        assert!(fit.cccp_rounds >= 1);
+    }
+
+    #[test]
+    fn cccp_objective_is_monotone_decreasing() {
+        let dataset = small_synthetic(3, 2, 0.3);
+        let fit = CentralizedPlos::new(PlosConfig::fast()).fit_detailed(&dataset);
+        assert!(
+            fit.history.is_monotone_decreasing(1e-3),
+            "objective history {:?}",
+            fit.history.values()
+        );
+    }
+
+    #[test]
+    fn benefits_users_without_labels() {
+        // Users 0..2 labeled, user 3 unlabeled but aligned with the others.
+        let dataset = small_synthetic(4, 3, 0.3);
+        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        for t in dataset.non_providers() {
+            let u = dataset.user(t);
+            let preds = model.predict_batch(t, &u.features);
+            let acc = preds.iter().zip(&u.truth).filter(|(p, y)| p == y).count() as f64
+                / u.num_samples() as f64;
+            // Clustering symmetry: accept either labeling orientation for a
+            // label-free user, but the split itself must be right.
+            let acc = acc.max(1.0 - acc);
+            assert!(acc > 0.8, "unlabeled user {t} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn zero_label_dataset_still_trains() {
+        // Pure maximum-margin clustering: no user provides labels.
+        let spec = SyntheticSpec {
+            num_users: 2,
+            points_per_class: 25,
+            max_rotation: 0.1,
+            flip_prob: 0.0,
+        };
+        let dataset = generate_synthetic(&spec, 3);
+        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        // The margin split should align with the true classes up to sign.
+        let u = dataset.user(0);
+        let preds = model.predict_batch(0, &u.features);
+        let acc = preds.iter().zip(&u.truth).filter(|(p, y)| p == y).count() as f64 / 50.0;
+        let acc = acc.max(1.0 - acc);
+        assert!(acc > 0.8, "clustering accuracy {acc}");
+    }
+
+    #[test]
+    fn single_user_degenerates_to_semi_supervised_svm() {
+        let features = vec![
+            Vector::from(vec![2.0, 0.1]),
+            Vector::from(vec![2.5, -0.2]),
+            Vector::from(vec![-2.0, 0.3]),
+            Vector::from(vec![-2.2, 0.0]),
+        ];
+        let mut user = UserData::new(features, vec![1, 1, -1, -1]);
+        user.observed = vec![Some(1), None, Some(-1), None];
+        let dataset = MultiUserDataset::new(vec![user]);
+        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        for (x, &y) in dataset.user(0).features.iter().zip(&dataset.user(0).truth) {
+            assert_eq!(model.predict(0, x), y);
+        }
+    }
+
+    #[test]
+    fn large_lambda_approaches_global_model() {
+        let dataset = small_synthetic(4, 2, 0.3);
+        let config = PlosConfig { lambda: 1e5, ..PlosConfig::fast() };
+        let model = CentralizedPlos::new(config).fit(&dataset);
+        for t in 0..4 {
+            assert!(
+                model.personalization_ratio(t) < 0.05,
+                "user {t} deviates: {}",
+                model.personalization_ratio(t)
+            );
+        }
+    }
+
+    #[test]
+    fn small_lambda_allows_personalization() {
+        // Strong rotation makes users genuinely different; tiny λ lets the
+        // biases absorb that difference.
+        let spec = SyntheticSpec {
+            num_users: 3,
+            points_per_class: 25,
+            max_rotation: std::f64::consts::PI * 0.75,
+            flip_prob: 0.0,
+        };
+        let dataset =
+            generate_synthetic(&spec, 7).mask_labels(&LabelMask::providers(3, 0.3), 2);
+        let config = PlosConfig { lambda: 0.5, ..PlosConfig::fast() };
+        let model = CentralizedPlos::new(config).fit(&dataset);
+        let max_ratio = (0..3)
+            .map(|t| model.personalization_ratio(t))
+            .fold(0.0_f64, f64::max);
+        assert!(max_ratio > 0.05, "no personalization happened: {max_ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_config_and_data() {
+        let dataset = small_synthetic(3, 2, 0.3);
+        let m1 = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        let m2 = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,169 @@
+//! PLOS hyperparameters.
+
+use plos_opt::QpSolverOptions;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters shared by the centralized and distributed trainers.
+///
+/// The paper's objective (Eq. 2) has three predefined parameters: `λ`
+/// controls how far personal hyperplanes may deviate from the global one
+/// (large λ → everyone shares one hyperplane, i.e. the *All* baseline;
+/// small λ → independent per-user models, i.e. the *Single* baseline);
+/// `C_l` and `C_u` weight the losses of labeled and unlabeled samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlosConfig {
+    /// Coupling strength `λ > 0` between personal and global hyperplanes.
+    pub lambda: f64,
+    /// Weight `C_l` of labeled-sample hinge losses.
+    pub c_labeled: f64,
+    /// Weight `C_u` of unlabeled-sample margin losses.
+    pub c_unlabeled: f64,
+    /// Cutting-plane violation tolerance `ε` (Algorithm 1, step 6).
+    pub eps: f64,
+    /// Maximum cutting-plane rounds per convex subproblem.
+    pub max_cutting_rounds: usize,
+    /// Convergence tolerance on the CCCP objective `L` (Algorithm 1, step 7).
+    pub cccp_tol: f64,
+    /// Maximum CCCP rounds.
+    pub max_cccp_rounds: usize,
+    /// Bias augmentation: if `Some(b)` every feature vector is extended with
+    /// the constant `b` so hyperplanes need not pass through the origin
+    /// (footnote 1 of the paper).
+    pub bias: Option<f64>,
+    /// Inner QP solver tuning.
+    pub qp: QpSolverOptions,
+    /// ADMM penalty `ρ` (distributed only; paper: 1.0).
+    pub rho: f64,
+    /// ADMM absolute residual tolerance `ε_abs` (distributed only; paper:
+    /// 1e-3).
+    pub eps_abs: f64,
+    /// Maximum ADMM iterations per CCCP round (distributed only).
+    pub max_admm_iters: usize,
+    /// Class-balance bound `ℓ` from maximum-margin clustering (Xu et al.
+    /// 2005, the formulation PLOS builds on): each user's hyperplane must
+    /// satisfy `|w_t · x̄_t| ≤ ℓ`, where `x̄_t` is the mean of the user's
+    /// *unlabeled* samples. Without it the margin term `|w·x|` admits the
+    /// degenerate solution that puts every sample on one side — easy to hit
+    /// in high-dimensional, uncentered feature spaces. `f64::INFINITY`
+    /// disables the constraint.
+    pub balance: f64,
+    /// Random sign-pattern restarts per user in the refinement stage. The
+    /// maximum-margin-clustering term is non-convex and CCCP is sensitive to
+    /// its initialization (Xu et al. 2005); multi-start per-user refinement
+    /// escapes the poor local optima a purely global initialization can pin
+    /// unlabeled users to. `0` disables restarts (paper-vanilla CCCP).
+    pub restarts: usize,
+    /// Rounds of block-coordinate refinement after the joint solve: each
+    /// round re-solves every user's subproblem (with restarts) against the
+    /// current `w0`, then updates `w0` in closed form. `0` disables
+    /// refinement.
+    pub refine_rounds: usize,
+    /// Seed for the (rare) random choices, e.g. the zero-label
+    /// initialization and the refinement restarts.
+    pub seed: u64,
+}
+
+impl Default for PlosConfig {
+    fn default() -> Self {
+        PlosConfig {
+            lambda: 100.0,
+            c_labeled: 100.0,
+            c_unlabeled: 1.0,
+            eps: 1e-3,
+            max_cutting_rounds: 60,
+            cccp_tol: 1e-3,
+            max_cccp_rounds: 12,
+            bias: Some(1.0),
+            qp: QpSolverOptions::default(),
+            rho: 1.0,
+            eps_abs: 1e-3,
+            max_admm_iters: 60,
+            balance: 0.5,
+            restarts: 3,
+            refine_rounds: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl PlosConfig {
+    /// A cheaper configuration for tests and doc examples: looser tolerances
+    /// and tighter iteration caps, same algorithm.
+    pub fn fast() -> Self {
+        PlosConfig {
+            eps: 1e-2,
+            max_cutting_rounds: 25,
+            cccp_tol: 1e-2,
+            max_cccp_rounds: 5,
+            max_admm_iters: 25,
+            eps_abs: 1e-2,
+            qp: QpSolverOptions { tol: 1e-8, max_sweeps: 2000 },
+            restarts: 2,
+            refine_rounds: 1,
+            ..PlosConfig::default()
+        }
+    }
+
+    /// Returns a copy with a different `λ` (used by the λ-sweep experiment,
+    /// Fig. 7).
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of range; called by the trainers on
+    /// entry.
+    pub fn validate(&self) {
+        assert!(self.lambda > 0.0 && self.lambda.is_finite(), "lambda must be positive");
+        assert!(self.c_labeled >= 0.0, "c_labeled must be non-negative");
+        assert!(self.c_unlabeled >= 0.0, "c_unlabeled must be non-negative");
+        assert!(self.eps >= 0.0, "eps must be non-negative");
+        assert!(self.max_cutting_rounds > 0, "max_cutting_rounds must be positive");
+        assert!(self.max_cccp_rounds > 0, "max_cccp_rounds must be positive");
+        assert!(self.rho > 0.0, "rho must be positive");
+        assert!(self.eps_abs > 0.0, "eps_abs must be positive");
+        assert!(self.balance >= 0.0, "balance bound must be non-negative");
+        if let Some(b) = self.bias {
+            assert!(b.is_finite(), "bias constant must be finite");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        PlosConfig::default().validate();
+        PlosConfig::fast().validate();
+    }
+
+    #[test]
+    fn with_lambda_overrides() {
+        let c = PlosConfig::default().with_lambda(7.5);
+        assert_eq!(c.lambda, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_rejected() {
+        PlosConfig { lambda: 0.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be positive")]
+    fn zero_rho_rejected() {
+        PlosConfig { rho: 0.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bias constant must be finite")]
+    fn nan_bias_rejected() {
+        PlosConfig { bias: Some(f64::NAN), ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,508 @@
+//! Distributed PLOS — Algorithm 2, over the simulated device network.
+//!
+//! One server thread (the caller) and `T` device threads communicate only
+//! through [`plos_net`] messages; raw samples never leave the device
+//! closures. Per CCCP round the server drives the ADMM loop:
+//!
+//! * **scatter** `Broadcast { w0, u_t }` to every device,
+//! * devices solve the local QP of Eq. (22) ([`LocalSolver`]) and **gather**
+//!   back `ClientUpdate { w_t, v_t, ξ_t }`,
+//! * the server applies the closed-form updates of Eq. (23) and stops the
+//!   loop on the residual criterion of Eq. (24),
+//! * when the objective `L` stops improving the server either advances CCCP
+//!   (`CccpAdvance`, devices re-linearize around their own `w_t`) or sends
+//!   `Shutdown`.
+
+use crate::config::PlosConfig;
+use crate::local::LocalSolver;
+use crate::model::PersonalizedModel;
+use crate::problem;
+use plos_linalg::Vector;
+use plos_net::{star, Endpoint, Message, TrafficStats};
+use plos_opt::History;
+use plos_sensing::dataset::MultiUserDataset;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The distributed trainer.
+#[derive(Debug, Clone)]
+pub struct DistributedPlos {
+    config: PlosConfig,
+}
+
+/// Everything the paper's Sec. VI-E experiments measure about a distributed
+/// run.
+#[derive(Debug, Clone)]
+pub struct DistributedReport {
+    /// Per-user traffic (client-side view): what each phone sent/received.
+    pub per_user_traffic: Vec<TrafficStats>,
+    /// Total ADMM iterations across all CCCP rounds.
+    pub admm_iterations: usize,
+    /// CCCP rounds performed.
+    pub cccp_rounds: usize,
+    /// Objective `L` after each CCCP round (Eq. 23).
+    pub history: History,
+    /// Whether the CCCP objective converged before the round cap.
+    pub converged: bool,
+    /// Cumulative local-solve compute time per user, as measured on the
+    /// simulation host (rescale with [`plos_net::DeviceProfile`] for
+    /// device-equivalent time).
+    pub per_user_compute: Vec<Duration>,
+    /// Server-side compute time (aggregation only, excluding waiting).
+    pub server_compute: Duration,
+    /// End-to-end wall-clock time of the run.
+    pub wall_clock: Duration,
+}
+
+impl DistributedReport {
+    /// The slowest device's cumulative compute time — the quantity that
+    /// bounds distributed running time, since devices compute in parallel
+    /// (Sec. VI-E, "the total running time is determined by the smartphone
+    /// that processes the most amount of data").
+    pub fn max_client_compute(&self) -> Duration {
+        self.per_user_compute.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean per-user traffic in kilobytes (Fig. 13's unit).
+    pub fn mean_user_kb(&self) -> f64 {
+        if self.per_user_traffic.is_empty() {
+            return 0.0;
+        }
+        self.per_user_traffic.iter().map(TrafficStats::total_kb).sum::<f64>()
+            / self.per_user_traffic.len() as f64
+    }
+}
+
+/// What each device thread hands back when it shuts down.
+struct ClientOutcome {
+    stats: TrafficStats,
+    compute: Duration,
+}
+
+impl DistributedPlos {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: PlosConfig) -> Self {
+        config.validate();
+        DistributedPlos { config }
+    }
+
+    /// Trains over the simulated device network and returns the model plus
+    /// the measurement report.
+    pub fn fit(&self, dataset: &MultiUserDataset) -> (PersonalizedModel, DistributedReport) {
+        let started = Instant::now();
+        let prepared = problem::prepare(dataset, self.config.bias);
+        let t_count = prepared.users.len();
+        let dim = prepared.dim;
+
+        // Hand each device thread its own data through a take-once slot map
+        // (the closure is shared across threads).
+        let slots: Mutex<Vec<Option<LocalSolver>>> = Mutex::new(
+            prepared
+                .users
+                .iter()
+                .enumerate()
+                .map(|(t, u)| {
+                    // Salt each device's seed so refinement restarts differ
+                    // across users.
+                    let mut cfg = self.config.clone();
+                    cfg.seed = cfg.seed.wrapping_add(t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    Some(LocalSolver::new(u.clone(), cfg, t_count))
+                })
+                .collect(),
+        );
+
+        let network = star(t_count);
+        let config = self.config.clone();
+        let (server_out, client_outs) = network.run_clients(
+            |server_ends| self.server_loop(server_ends, dim, t_count),
+            |t, endpoint| {
+                let solver = slots.lock().expect("slot lock").get_mut(t).and_then(Option::take);
+                let solver = solver.expect("each device slot is taken exactly once");
+                Self::client_loop(&config, solver, endpoint)
+            },
+        );
+
+        let (model, mut report) = server_out;
+        report.per_user_traffic = client_outs.iter().map(|c| c.stats).collect();
+        report.per_user_compute = client_outs.iter().map(|c| c.compute).collect();
+        report.wall_clock = started.elapsed();
+        (model, report)
+    }
+
+    /// The device thread: answer broadcasts with local solves until
+    /// shutdown.
+    fn client_loop(
+        _config: &PlosConfig,
+        mut solver: LocalSolver,
+        endpoint: Endpoint,
+    ) -> ClientOutcome {
+        let mut compute = Duration::ZERO;
+        loop {
+            match endpoint.recv() {
+                Ok(Message::Broadcast { round, w0, u_t }) => {
+                    if round == 0 {
+                        // Init round: contribute a local hyperplane if this
+                        // device has labels of both classes.
+                        let start = Instant::now();
+                        let w_init =
+                            solver.initial_hyperplane().unwrap_or_else(|| Vector::zeros(w0.len()));
+                        compute += start.elapsed();
+                        let reply = Message::ClientUpdate {
+                            round,
+                            user: 0, // filled meaningfully below; server matches by link
+                            w_t: w_init,
+                            v_t: Vector::zeros(w0.len()),
+                            xi_t: 0.0,
+                        };
+                        if endpoint.send(&reply).is_err() {
+                            break;
+                        }
+                    } else {
+                        let start = Instant::now();
+                        let update = solver.solve(&w0, &u_t);
+                        compute += start.elapsed();
+                        let reply = Message::ClientUpdate {
+                            round,
+                            user: 0,
+                            w_t: update.w_t,
+                            v_t: update.v_t,
+                            xi_t: update.xi_t,
+                        };
+                        if endpoint.send(&reply).is_err() {
+                            break;
+                        }
+                    }
+                }
+                Ok(Message::CccpAdvance { .. }) => solver.advance_cccp(),
+                Ok(Message::Refine { round, w0 }) => {
+                    let start = Instant::now();
+                    let seed = solver.seed_for_round(round);
+                    let update = solver.refine(&w0, seed);
+                    compute += start.elapsed();
+                    let reply = Message::ClientUpdate {
+                        round,
+                        user: 0,
+                        w_t: update.w_t,
+                        v_t: update.v_t,
+                        xi_t: update.xi_t,
+                    };
+                    if endpoint.send(&reply).is_err() {
+                        break;
+                    }
+                }
+                // Devices never receive peer updates; treat as protocol
+                // violation and stop.
+                Ok(Message::ClientUpdate { .. }) | Ok(Message::Shutdown) | Err(_) => break,
+            }
+        }
+        ClientOutcome { stats: endpoint.stats(), compute }
+    }
+
+    /// The server thread: initialization, CCCP × ADMM driving, shutdown.
+    fn server_loop(
+        &self,
+        ends: &[Endpoint],
+        dim: usize,
+        t_count: usize,
+    ) -> (PersonalizedModel, DistributedReport) {
+        let mut server_compute = Duration::ZERO;
+
+        // ---- Initialization round: average provider hyperplanes. ----
+        let zero = Vector::zeros(dim);
+        for end in ends {
+            end.send(&Message::Broadcast { round: 0, w0: zero.clone(), u_t: zero.clone() })
+                .expect("client alive during init");
+        }
+        let mut w0 = Vector::zeros(dim);
+        let mut contributors = 0usize;
+        for end in ends {
+            match end.recv().expect("init reply") {
+                Message::ClientUpdate { w_t, .. } => {
+                    let t0 = Instant::now();
+                    if w_t.norm() > 0.0 {
+                        w0 += &w_t;
+                        contributors += 1;
+                    }
+                    server_compute += t0.elapsed();
+                }
+                other => panic!("unexpected init reply: {other:?}"),
+            }
+        }
+        if contributors > 0 {
+            w0.scale_mut(1.0 / contributors as f64);
+        } else {
+            // No provider anywhere: deterministic random init, mirroring the
+            // centralized fallback.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+            w0 = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let n = w0.norm();
+            if n > 0.0 {
+                w0.scale_mut(1.0 / n);
+            }
+        }
+
+        // ---- CCCP × ADMM ----
+        let kappa = self.config.lambda / t_count as f64;
+        let rho = self.config.rho;
+        let sqrt_2t = (2.0 * t_count as f64).sqrt();
+        let sqrt_t = (t_count as f64).sqrt();
+
+        let mut us = vec![Vector::zeros(dim); t_count];
+        let mut w_ts = vec![Vector::zeros(dim); t_count];
+        let mut v_ts = vec![Vector::zeros(dim); t_count];
+        let mut xi_ts = vec![0.0f64; t_count];
+
+        let mut history = History::new();
+        let mut admm_iterations = 0usize;
+        let mut round = 0u32;
+        let mut converged = false;
+        let mut cccp_rounds = 0usize;
+
+        for cccp_round in 0..self.config.max_cccp_rounds {
+            cccp_rounds += 1;
+            if cccp_round > 0 {
+                for end in ends {
+                    end.send(&Message::CccpAdvance { cccp_round: cccp_round as u32 })
+                        .expect("client alive");
+                }
+            }
+            for _ in 0..self.config.max_admm_iters {
+                round += 1;
+                admm_iterations += 1;
+                // Scatter.
+                for (t, end) in ends.iter().enumerate() {
+                    end.send(&Message::Broadcast {
+                        round,
+                        w0: w0.clone(),
+                        u_t: us[t].clone(),
+                    })
+                    .expect("client alive");
+                }
+                // Gather (links are 1:1, so order per link is guaranteed).
+                for (t, end) in ends.iter().enumerate() {
+                    match end.recv().expect("client update") {
+                        Message::ClientUpdate { round: r, w_t, v_t, xi_t, .. } => {
+                            assert_eq!(r, round, "client answered the wrong round");
+                            w_ts[t] = w_t;
+                            v_ts[t] = v_t;
+                            xi_ts[t] = xi_t;
+                        }
+                        other => panic!("unexpected message: {other:?}"),
+                    }
+                }
+                // Eq. (23): closed-form z- and u-updates.
+                let t0 = Instant::now();
+                let mut w0_new = Vector::zeros(dim);
+                for t in 0..t_count {
+                    w0_new += &w_ts[t];
+                    w0_new -= &v_ts[t];
+                    w0_new += &us[t];
+                }
+                w0_new.scale_mut(rho / (2.0 + t_count as f64 * rho));
+                // Eq. (24): residuals.
+                let dual_residual = rho * sqrt_2t * w0_new.distance(&w0);
+                let mut primal_sq = 0.0;
+                for t in 0..t_count {
+                    let mut delta = w_ts[t].clone();
+                    delta -= &w0_new;
+                    delta -= &v_ts[t];
+                    primal_sq += delta.norm_squared();
+                    us[t] += &delta;
+                }
+                w0 = w0_new;
+                server_compute += t0.elapsed();
+
+                if dual_residual <= sqrt_2t * self.config.eps_abs
+                    && primal_sq.sqrt() <= sqrt_t * self.config.eps_abs
+                {
+                    break;
+                }
+            }
+
+            // Objective L (Eq. 23, third line).
+            let objective = w0.norm_squared()
+                + kappa * v_ts.iter().map(Vector::norm_squared).sum::<f64>()
+                + xi_ts.iter().sum::<f64>();
+            history.push(objective);
+            if history.converged(self.config.cccp_tol) {
+                converged = true;
+                break;
+            }
+        }
+
+        // ---- Refinement: multi-start per-device re-solve + closed-form w0
+        // block updates (same messages, still only model parameters). ----
+        for _ in 0..self.config.refine_rounds {
+            round += 1;
+            for end in ends {
+                end.send(&Message::Refine { round, w0: w0.clone() }).expect("client alive");
+            }
+            for (t, end) in ends.iter().enumerate() {
+                match end.recv().expect("refine reply") {
+                    Message::ClientUpdate { round: r, w_t, v_t, xi_t, .. } => {
+                        assert_eq!(r, round, "client answered the wrong refine round");
+                        w_ts[t] = w_t;
+                        v_ts[t] = v_t;
+                        xi_ts[t] = xi_t;
+                    }
+                    other => panic!("unexpected message: {other:?}"),
+                }
+            }
+            let t0 = Instant::now();
+            let mut mean = Vector::zeros(dim);
+            for w_t in &w_ts {
+                mean += w_t;
+            }
+            mean.scale_mut(1.0 / t_count as f64);
+            w0 = mean.scaled(self.config.lambda / (1.0 + self.config.lambda));
+            server_compute += t0.elapsed();
+            // xi_ts now carry true local losses, so this is the true
+            // objective in the problem-(3) scale.
+            let objective = w0.norm_squared()
+                + kappa
+                    * w_ts.iter().map(|w_t| w_t.distance_squared(&w0)).sum::<f64>()
+                + xi_ts.iter().sum::<f64>();
+            history.push(objective);
+        }
+
+        for end in ends {
+            let _ = end.send(&Message::Shutdown);
+        }
+
+        // Personalized hyperplanes are exactly the devices' final w_t.
+        let biases: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
+        let model = PersonalizedModel::new(w0, biases, self.config.bias);
+        let report = DistributedReport {
+            per_user_traffic: Vec::new(), // filled by fit()
+            admm_iterations,
+            cccp_rounds,
+            history,
+            converged,
+            per_user_compute: Vec::new(), // filled by fit()
+            server_compute,
+            wall_clock: Duration::ZERO, // filled by fit()
+        };
+        (model, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_sensing::dataset::LabelMask;
+    use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+    fn dataset(users: usize, providers: usize) -> MultiUserDataset {
+        let spec = SyntheticSpec {
+            num_users: users,
+            points_per_class: 25,
+            max_rotation: std::f64::consts::FRAC_PI_4,
+            flip_prob: 0.05,
+        };
+        generate_synthetic(&spec, 13).mask_labels(&LabelMask::providers(providers, 0.2), 4)
+    }
+
+    fn accuracy(model: &PersonalizedModel, dataset: &MultiUserDataset) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (t, u) in dataset.users().iter().enumerate() {
+            for (x, &y) in u.features.iter().zip(&u.truth) {
+                if model.predict(t, x) == y {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn distributed_training_learns() {
+        let data = dataset(4, 2);
+        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        let acc = accuracy(&model, &data);
+        assert!(acc > 0.8, "accuracy {acc}");
+        assert!(report.admm_iterations > 0);
+        assert_eq!(report.per_user_traffic.len(), 4);
+        assert_eq!(report.per_user_compute.len(), 4);
+    }
+
+    #[test]
+    fn traffic_is_model_parameters_only() {
+        let data = dataset(3, 2);
+        let (_, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        // Upper bound: every client message carries at most 2 vectors + a
+        // few scalars per round, so bytes/user stays far below the raw data
+        // size (25*2 samples × 2 dims × 8 bytes would already be 800 B per
+        // single exchange if data were shipped; instead the total per round
+        // pair is ~2×(2×(4+2·8)+...)).
+        for stats in &report.per_user_traffic {
+            let rounds = report.admm_iterations as u64 + 2; // + init + cccp msgs
+            let per_round = stats.total_bytes() / rounds.max(1);
+            // One broadcast + one update, each ≈ 2 vectors of dim 3 (+bias).
+            assert!(per_round < 300, "per-round bytes {per_round}");
+            assert!(stats.messages_sent > 0 && stats.messages_received > 0);
+        }
+    }
+
+    #[test]
+    fn matches_centralized_accuracy_closely() {
+        // The paper's Fig. 11: |acc(dist) − acc(cent)| ≈ 0.
+        let data = dataset(5, 3);
+        let config = PlosConfig::fast();
+        let central = crate::CentralizedPlos::new(config.clone()).fit(&data);
+        let (dist, _) = DistributedPlos::new(config).fit(&data);
+        let gap = (accuracy(&central, &data) - accuracy(&dist, &data)).abs();
+        assert!(gap < 0.08, "accuracy gap {gap}");
+    }
+
+    #[test]
+    fn consensus_is_reached() {
+        let data = dataset(4, 2);
+        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        assert!(report.cccp_rounds >= 1);
+        // w_t = w0 + v_t by construction; personalization stays bounded.
+        for t in 0..4 {
+            assert!(model.personalized_hyperplane(t).is_finite());
+        }
+    }
+
+    #[test]
+    fn works_with_zero_providers() {
+        let spec = SyntheticSpec {
+            num_users: 3,
+            points_per_class: 20,
+            max_rotation: 0.1,
+            flip_prob: 0.0,
+        };
+        let data = generate_synthetic(&spec, 5);
+        let (model, _) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        let acc = accuracy(&model, &data);
+        // Clustering orientation is arbitrary without labels.
+        let acc = acc.max(1.0 - acc);
+        assert!(acc > 0.75, "clustering accuracy {acc}");
+    }
+
+    #[test]
+    fn single_user_works() {
+        let data = dataset(1, 1);
+        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        assert_eq!(model.num_users(), 1);
+        assert_eq!(report.per_user_traffic.len(), 1);
+        assert!(accuracy(&model, &data) > 0.8);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let data = dataset(3, 2);
+        let (_, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        assert!(report.max_client_compute() >= Duration::ZERO);
+        assert!(report.mean_user_kb() > 0.0);
+        assert!(report.wall_clock > Duration::ZERO);
+    }
+}

@@ -1,0 +1,332 @@
+//! The structured dual QP of Eq. (16), solved without materializing the
+//! feature map.
+//!
+//! The paper reformulates the multi-hyperplane primal through the feature
+//! map Φ of Eq. (7): `Φ(x_it)` has a copy of `x_it/√(T/λ)` in a shared
+//! block and another copy in user `t`'s private block, and
+//! `w' = (√(T/λ)·w0, w_1−w0, …, w_T−w0)` (Eq. 8). This file exploits the
+//! block structure instead of building those `(T+1)·d`-dimensional vectors:
+//! for aggregated constraints `z_kt` living in user blocks,
+//!
+//! ```text
+//! ⟨z_kt, z_k′t′⟩ = (λ/T + [t = t′]) · ⟨s_kt, s_k′t′⟩
+//! ```
+//!
+//! with `s_kt ∈ R^d` from Eq. (17). The dual variables `γ_kt ≥ 0` satisfy
+//! one capped-sum constraint per user, `Σ_k γ_kt ≤ T/2λ`, and the KKT
+//! stationarity condition recovers the primal as `w0 = (λ/T)·Σ γ·s` and
+//! `v_t = Σ_{k∈Ω_t} γ_kt·s_kt`.
+
+use crate::problem::{slack_for, Constraint};
+use plos_linalg::{Matrix, Vector};
+use plos_opt::{GroupedQp, QpSolverOptions};
+
+/// Incremental solver for the Eq. (16) dual over growing working sets.
+///
+/// Constraints are appended as the cutting-plane loop discovers them; the
+/// Gram matrix of `⟨s_i, s_j⟩` inner products is cached so each new
+/// constraint costs one row of dot products.
+#[derive(Debug, Clone)]
+pub struct DualSolver {
+    lambda: f64,
+    t_count: usize,
+    dim: usize,
+    /// `(owning user, constraint)` in insertion order.
+    entries: Vec<(usize, Constraint)>,
+    /// Whether the matching entry is a *hard* constraint (no slack, no cap):
+    /// used for the class-balance constraints.
+    hard: Vec<bool>,
+    /// Cached `⟨s_i, s_j⟩` for `j <= i` (lower triangle, row-indexed).
+    dots: Vec<Vec<f64>>,
+    /// Warm-start point carried across solves.
+    warm: Vector,
+}
+
+/// Primal variables recovered from a dual solve.
+#[derive(Debug, Clone)]
+pub struct DualSolution {
+    /// Global hyperplane `w0`.
+    pub w0: Vector,
+    /// Personal biases `v_t`.
+    pub vs: Vec<Vector>,
+    /// Per-user slacks `ξ_t` implied by the working sets.
+    pub xis: Vec<f64>,
+    /// Dual objective value of Eq. (16) (in the Eq.-9 scale).
+    pub dual_objective: f64,
+}
+
+impl DualSolver {
+    /// Creates an empty solver for `t_count` users in dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`, `t_count == 0`, or `dim == 0`.
+    pub fn new(lambda: f64, t_count: usize, dim: usize) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        assert!(t_count > 0, "need at least one user");
+        assert!(dim > 0, "dimension must be positive");
+        DualSolver {
+            lambda,
+            t_count,
+            dim,
+            entries: Vec::new(),
+            hard: Vec::new(),
+            dots: Vec::new(),
+            warm: Vector::zeros(0),
+        }
+    }
+
+    /// Number of constraints accumulated so far.
+    pub fn num_constraints(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends one cutting-plane constraint owned by user `t` (soft: shares
+    /// the user's slack `ξ_t` and counts toward the dual cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range or the constraint has the wrong
+    /// dimension.
+    pub fn add_constraint(&mut self, t: usize, k: Constraint) {
+        self.push_entry(t, k, false);
+    }
+
+    /// Appends one *hard* constraint for user `t` — no slack and an
+    /// unbounded (non-negative) dual multiplier. Used for the class-balance
+    /// constraints `±x̄·w_t ≥ −ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range or the constraint has the wrong
+    /// dimension.
+    pub fn add_hard_constraint(&mut self, t: usize, k: Constraint) {
+        self.push_entry(t, k, true);
+    }
+
+    fn push_entry(&mut self, t: usize, k: Constraint, hard: bool) {
+        assert!(t < self.t_count, "user index out of range");
+        assert_eq!(k.s.len(), self.dim, "constraint dimension mismatch");
+        let mut row = Vec::with_capacity(self.entries.len() + 1);
+        for (_, existing) in &self.entries {
+            row.push(existing.s.dot(&k.s));
+        }
+        row.push(k.s.norm_squared());
+        self.dots.push(row);
+        self.entries.push((t, k));
+        self.hard.push(hard);
+        // Extend the warm start with a zero for the new variable.
+        let mut warm = std::mem::take(&mut self.warm).into_inner();
+        warm.resize(self.entries.len(), 0.0);
+        self.warm = Vector::from(warm);
+    }
+
+    /// Solves the dual over the current working sets and recovers the primal
+    /// variables. With no constraints the solution is the trivial
+    /// `w0 = 0, v = 0, ξ = 0`.
+    pub fn solve(&mut self, opts: &QpSolverOptions) -> DualSolution {
+        let n = self.entries.len();
+        if n == 0 {
+            return DualSolution {
+                w0: Vector::zeros(self.dim),
+                vs: vec![Vector::zeros(self.dim); self.t_count],
+                xis: vec![0.0; self.t_count],
+                dual_objective: 0.0,
+            };
+        }
+        let coupling = self.lambda / self.t_count as f64;
+        let mut q = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let same_user = self.entries[i].0 == self.entries[j].0;
+                let base = self.dots[i][j];
+                let value = (coupling + if same_user { 1.0 } else { 0.0 }) * base;
+                q[(i, j)] = value;
+                q[(j, i)] = value;
+            }
+        }
+        let b: Vector = self.entries.iter().map(|(_, k)| k.c).collect();
+        // One capped-sum group per user: Σ_k γ_kt ≤ T/2λ.
+        let cap = self.t_count as f64 / (2.0 * self.lambda);
+        let groups: Vec<(Vec<usize>, f64)> = (0..self.t_count)
+            .map(|t| {
+                let members: Vec<usize> = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, (owner, _))| *owner == t && !self.hard[*i])
+                    .map(|(i, _)| i)
+                    .collect();
+                (members, cap)
+            })
+            .filter(|(members, _)| !members.is_empty())
+            .collect();
+        let qp = GroupedQp::new(q, b, groups).expect("dual QP construction is internally consistent");
+        let sol = qp.solve_warm(self.warm.clone(), opts);
+        self.warm = sol.gamma.clone();
+
+        // KKT recovery: w0 = (λ/T) Σ γ s, v_t = Σ_{k∈Ω_t} γ s.
+        let mut w0 = Vector::zeros(self.dim);
+        let mut vs = vec![Vector::zeros(self.dim); self.t_count];
+        for (gamma_i, (t, k)) in sol.gamma.iter().zip(&self.entries) {
+            if *gamma_i != 0.0 {
+                w0.axpy(coupling * gamma_i, &k.s);
+                vs[*t].axpy(*gamma_i, &k.s);
+            }
+        }
+        let xis: Vec<f64> = (0..self.t_count)
+            .map(|t| {
+                let w_t = &w0 + &vs[t];
+                // Hard constraints carry no slack.
+                let mine: Vec<Constraint> = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, (owner, _))| *owner == t && !self.hard[*i])
+                    .map(|(_, (_, k))| k.clone())
+                    .collect();
+                slack_for(&mine, &w_t)
+            })
+            .collect();
+        DualSolution { w0, vs, xis, dual_objective: -sol.objective }
+    }
+
+    /// The PLOS primal objective in the scale of problem (4):
+    /// `‖w0‖² + (λ/T)Σ‖v_t‖² + Σξ_t`.
+    pub fn primal_objective(&self, sol: &DualSolution) -> f64 {
+        let coupling = self.lambda / self.t_count as f64;
+        sol.w0.norm_squared()
+            + coupling * sol.vs.iter().map(Vector::norm_squared).sum::<f64>()
+            + sol.xis.iter().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> QpSolverOptions {
+        QpSolverOptions::default()
+    }
+
+    #[test]
+    fn empty_solver_returns_trivial_solution() {
+        let mut solver = DualSolver::new(1.0, 3, 2);
+        let sol = solver.solve(&opts());
+        assert_eq!(sol.w0, Vector::zeros(2));
+        assert_eq!(sol.vs.len(), 3);
+        assert_eq!(sol.xis, vec![0.0; 3]);
+        assert_eq!(sol.dual_objective, 0.0);
+    }
+
+    #[test]
+    fn single_constraint_single_user_matches_hand_solution() {
+        // T = 1, λ = 1: coupling = 1, cap = 0.5.
+        // One constraint s = (1, 0), c = 1.
+        // Q = (1 + 1)·1 = 2, b = 1 ⇒ unconstrained γ* = 0.5, exactly at cap.
+        let mut solver = DualSolver::new(1.0, 1, 2);
+        solver.add_constraint(0, Constraint { s: Vector::from(vec![1.0, 0.0]), c: 1.0 });
+        let sol = solver.solve(&opts());
+        // w0 = coupling·γ·s = 0.5·(1,0)·1 = (0.5, 0); v0 = γ·s = (0.5, 0).
+        assert!((sol.w0[0] - 0.5).abs() < 1e-6);
+        assert!((sol.vs[0][0] - 0.5).abs() < 1e-6);
+        // w_t = (1, 0): slack = c − s·w = 0.
+        assert!(sol.xis[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn strong_duality_holds_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for trial in 0..10 {
+            let t_count = rng.gen_range(1..4);
+            let dim = rng.gen_range(1..4);
+            let lambda = rng.gen_range(0.5..4.0);
+            let mut solver = DualSolver::new(lambda, t_count, dim);
+            for t in 0..t_count {
+                for _ in 0..rng.gen_range(1..4) {
+                    let s: Vector = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let c = rng.gen_range(0.0..1.5);
+                    solver.add_constraint(t, Constraint { s, c });
+                }
+            }
+            let sol = solver.solve(&opts());
+            // In the Eq.-9 scale, primal = ½‖w′‖² + (T/2λ)Σξ and equals the
+            // dual optimum at the exact solution. Our primal_objective is
+            // (2λ/T)× that scale.
+            let primal_scaled =
+                solver.primal_objective(&sol) * t_count as f64 / (2.0 * lambda);
+            assert!(
+                (primal_scaled - sol.dual_objective).abs() < 1e-4,
+                "trial {trial}: primal {primal_scaled} vs dual {}",
+                sol.dual_objective
+            );
+        }
+    }
+
+    #[test]
+    fn large_lambda_shrinks_personal_biases() {
+        // Same constraint for two users; large λ forces w_t ≈ w0.
+        let k = Constraint { s: Vector::from(vec![1.0]), c: 1.0 };
+        let solve_with = |lambda: f64| {
+            let mut solver = DualSolver::new(lambda, 2, 1);
+            solver.add_constraint(0, k.clone());
+            solver.add_constraint(1, k.clone());
+            solver.solve(&opts())
+        };
+        let tight = solve_with(1000.0);
+        let loose = solve_with(0.01);
+        let bias_norm = |sol: &DualSolution| {
+            sol.vs.iter().map(Vector::norm).sum::<f64>() / sol.w0.norm().max(1e-12)
+        };
+        assert!(bias_norm(&tight) < 0.01, "tight {}", bias_norm(&tight));
+        assert!(bias_norm(&loose) > bias_norm(&tight));
+    }
+
+    #[test]
+    fn gram_cache_matches_naive_reconstruction() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut solver = DualSolver::new(2.0, 2, 3);
+        let mut constraints = Vec::new();
+        for i in 0..5 {
+            let s: Vector = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let k = Constraint { s, c: 0.5 };
+            constraints.push(k.clone());
+            solver.add_constraint(i % 2, k);
+        }
+        for i in 0..5 {
+            for j in 0..=i {
+                assert!(
+                    (solver.dots[i][j] - constraints[i].s.dot(&constraints[j].s)).abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_grows_with_constraints() {
+        let mut solver = DualSolver::new(1.0, 1, 1);
+        solver.add_constraint(0, Constraint { s: Vector::from(vec![1.0]), c: 1.0 });
+        let _ = solver.solve(&opts());
+        solver.add_constraint(0, Constraint { s: Vector::from(vec![0.5]), c: 0.2 });
+        let sol = solver.solve(&opts());
+        assert_eq!(solver.num_constraints(), 2);
+        assert!(sol.w0.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "user index out of range")]
+    fn bad_user_index_rejected() {
+        let mut solver = DualSolver::new(1.0, 1, 1);
+        solver.add_constraint(5, Constraint { s: Vector::from(vec![1.0]), c: 1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint dimension mismatch")]
+    fn bad_dimension_rejected() {
+        let mut solver = DualSolver::new(1.0, 1, 2);
+        solver.add_constraint(0, Constraint { s: Vector::from(vec![1.0]), c: 1.0 });
+    }
+}

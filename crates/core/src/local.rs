@@ -1,0 +1,290 @@
+//! The on-device subproblem of distributed PLOS (Eq. 22).
+//!
+//! During ADMM, user `t` repeatedly solves
+//!
+//! ```text
+//! min_{w_t, v_t, ξ_t ≥ 0}  ξ_t + (λ/T)‖v_t‖² + (ρ/2)‖w_t − w0 − v_t + u_t‖²
+//! s.t. cutting-plane constraints  s_k · w_t ≥ c_k − ξ_t,  k ∈ Ω_t
+//! ```
+//!
+//! over only its own raw data. With `κ = λ/T` and `a = w0 − u_t`, the inner
+//! minimization over `v_t` is closed-form, `v_t* = ρ/(2κ+ρ)·(w_t − a)`,
+//! leaving an SVM-like problem in `w_t` alone with effective curvature
+//! `μ = 2κρ/(2κ+ρ)`:
+//!
+//! ```text
+//! min_w  (μ/2)‖w − a‖² + ξ(w),    ξ(w) = max(0, max_k (c_k − s_k·w))
+//! ```
+//!
+//! whose working-set dual is a tiny capped-simplex QP — the same
+//! [`GroupedQp`] machinery as the centralized dual, with
+//! `w = a + (1/μ)·Σ α_k s_k`. The working set persists across ADMM
+//! iterations within a CCCP round (old constraints remain valid constraints
+//! of the same convexified problem) and is cleared when the server advances
+//! CCCP, because the sign pattern changes.
+
+use crate::config::PlosConfig;
+use crate::problem::{self, Constraint, PreparedUser};
+use crate::prox;
+use plos_linalg::Vector;
+
+/// Device-resident solver state for one user.
+#[derive(Debug, Clone)]
+pub struct LocalSolver {
+    user: PreparedUser,
+    config: PlosConfig,
+    t_count: usize,
+    signs: Option<Vec<f64>>,
+    working_set: Vec<Constraint>,
+    /// Hard class-balance constraints (empty when disabled or fully
+    /// labeled).
+    balance: Vec<Constraint>,
+    /// Last personalized hyperplane; the linearization point for the next
+    /// CCCP round.
+    w_t: Vector,
+}
+
+/// Output of one local solve.
+#[derive(Debug, Clone)]
+pub struct LocalUpdate {
+    /// Personalized hyperplane `w_t`.
+    pub w_t: Vector,
+    /// Personal bias `v_t`.
+    pub v_t: Vector,
+    /// Slack `ξ_t`.
+    pub xi_t: f64,
+}
+
+impl LocalSolver {
+    /// Creates the device solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `t_count == 0`.
+    pub fn new(user: PreparedUser, config: PlosConfig, t_count: usize) -> Self {
+        config.validate();
+        assert!(t_count > 0, "t_count must be positive");
+        let dim = user.features[0].len();
+        let balance = problem::balance_constraints(&user, config.balance);
+        LocalSolver {
+            user,
+            config,
+            t_count,
+            signs: None,
+            working_set: Vec::new(),
+            balance,
+            w_t: Vector::zeros(dim),
+        }
+    }
+
+    /// Clears the CCCP linearization so the next solve re-derives the sign
+    /// pattern from the current `w_t` (Algorithm 2, step 7 → step 3).
+    pub fn advance_cccp(&mut self) {
+        self.signs = None;
+        self.working_set.clear();
+    }
+
+    /// Number of constraints currently in the device working set.
+    pub fn working_set_len(&self) -> usize {
+        self.working_set.len()
+    }
+
+    /// This user's contribution to the server objective (Eq. 23):
+    /// the true local loss at the current `w_t`.
+    pub fn local_loss(&self) -> f64 {
+        problem::true_user_loss(&self.user, &self.w_t, &self.config)
+    }
+
+    /// Trains a purely local SVM on this device's observed labels, used as
+    /// the distributed initialization of `w'⁽⁰⁾`: providers ship their local
+    /// hyperplane to the server, which averages them into `w0⁽⁰⁾` — only
+    /// model parameters travel, never data.
+    ///
+    /// Returns `None` when the user lacks labels of both classes.
+    pub fn initial_hyperplane(&self) -> Option<Vector> {
+        let has_pos = self.user.labeled.iter().any(|&(_, y)| y > 0.0);
+        let has_neg = self.user.labeled.iter().any(|&(_, y)| y < 0.0);
+        if !has_pos || !has_neg {
+            return None;
+        }
+        let xs: Vec<Vector> =
+            self.user.labeled.iter().map(|&(i, _)| self.user.features[i].clone()).collect();
+        let ys: Vec<i8> = self.user.labeled.iter().map(|&(_, y)| y as i8).collect();
+        // Features were bias-augmented during prepare(); keep the SVM raw.
+        let params = plos_ml::svm::SvmParams {
+            c: 1.0,
+            bias: None,
+            ..plos_ml::svm::SvmParams::default()
+        };
+        Some(plos_ml::svm::LinearSvm::new(params).fit(&xs, &ys).weights().clone())
+    }
+
+    /// Solves Eq. (22) given the server's current `w0` and scaled dual
+    /// `u_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w0`/`u_t` dimensions don't match the data.
+    pub fn solve(&mut self, w0: &Vector, u_t: &Vector) -> LocalUpdate {
+        let dim = self.user.features[0].len();
+        assert_eq!(w0.len(), dim, "w0 dimension mismatch");
+        assert_eq!(u_t.len(), dim, "u_t dimension mismatch");
+
+        // Lazily (re-)derive the sign pattern: on the very first solve the
+        // linearization point is the incoming global hyperplane, afterwards
+        // the device's own last w_t.
+        if self.signs.is_none() {
+            let anchor = if self.w_t.norm() == 0.0 { w0 } else { &self.w_t };
+            self.signs = Some(problem::compute_signs(&self.user, anchor));
+        }
+
+        let kappa = self.config.lambda / self.t_count as f64;
+        let rho = self.config.rho;
+        let mu = 2.0 * kappa * rho / (2.0 * kappa + rho);
+        let a = w0 - u_t;
+
+        let signs = self.signs.as_ref().expect("signs derived above");
+        let w = prox::cutting_plane(
+            &self.user,
+            signs,
+            &a,
+            mu,
+            &mut self.working_set,
+            &self.balance,
+            &self.config,
+        );
+
+        let xi_t = problem::slack_for(&self.working_set, &w);
+        let v_t = (&w - &a).scaled(rho / (2.0 * kappa + rho));
+        self.w_t = w.clone();
+        LocalUpdate { w_t: w, v_t, xi_t }
+    }
+
+    /// Deterministic per-device seed for refinement round `round` (the
+    /// config seed is salted per user by the trainer).
+    pub fn seed_for_round(&self, round: u32) -> u64 {
+        self.config.seed ^ (u64::from(round) << 32)
+    }
+
+    /// Refinement step (post-ADMM): re-solves this user's exact subproblem
+    /// `(λ/T)‖w − w0‖² + loss(w)` with multi-start CCCP and adopts the best
+    /// local optimum. Returns the refined update; `xi_t` carries the true
+    /// local loss so the server can track the objective.
+    pub fn refine(&mut self, w0: &Vector, seed: u64) -> LocalUpdate {
+        let mu = 2.0 * self.config.lambda / self.t_count as f64;
+        let anchor_for_signs = if self.w_t.norm() == 0.0 { w0 } else { &self.w_t };
+        let base_signs = problem::compute_signs(&self.user, anchor_for_signs);
+        let sol =
+            prox::prox_cccp_multistart(&self.user, w0, mu, base_signs, seed, &self.config);
+        let incumbent = prox::prox_objective(&self.user, w0, mu, &self.w_t, &self.config);
+        let sol = if sol.objective < incumbent && self.w_t.norm() > 0.0 {
+            sol
+        } else if self.w_t.norm() > 0.0 {
+            prox::ProxSolution { w: self.w_t.clone(), objective: incumbent }
+        } else {
+            sol
+        };
+        self.w_t = sol.w.clone();
+        self.signs = Some(problem::compute_signs(&self.user, &sol.w));
+        self.working_set.clear();
+        let v_t = &sol.w - w0;
+        let xi_t = problem::true_user_loss(&self.user, &sol.w, &self.config);
+        LocalUpdate { w_t: sol.w, v_t, xi_t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_sensing::dataset::{MultiUserDataset, UserData};
+
+    fn labeled_user() -> PreparedUser {
+        let mut u = UserData::new(
+            vec![
+                Vector::from(vec![1.0, 0.2]),
+                Vector::from(vec![1.5, -0.1]),
+                Vector::from(vec![-1.0, 0.1]),
+                Vector::from(vec![-1.2, -0.3]),
+            ],
+            vec![1, 1, -1, -1],
+        );
+        u.observed = vec![Some(1), Some(1), Some(-1), Some(-1)];
+        let dataset = MultiUserDataset::new(vec![u]);
+        problem::prepare(&dataset, None).users.remove(0)
+    }
+
+    fn config() -> PlosConfig {
+        PlosConfig { bias: None, ..PlosConfig::fast() }
+    }
+
+    #[test]
+    fn solve_fits_local_labels() {
+        let mut solver = LocalSolver::new(labeled_user(), config(), 4);
+        // Neutral server state: w0 = u = 0.
+        let update = solver.solve(&Vector::zeros(2), &Vector::zeros(2));
+        assert!(update.w_t[0] > 0.0, "separator should point at the positive class");
+        assert!(solver.working_set_len() > 0);
+        // Consensus decomposition w_t = (w0 + u adjustments) + v_t holds by
+        // construction: with w0 = u = 0, w_t ∝ v_t.
+        let ratio = update.v_t[0] / update.w_t[0];
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn strong_prox_pull_keeps_w_near_anchor() {
+        // Huge rho forces w_t ≈ w0 − u_t.
+        let cfg = PlosConfig { rho: 1e6, lambda: 1e6, ..config() };
+        let mut solver = LocalSolver::new(labeled_user(), cfg, 1);
+        let w0 = Vector::from(vec![3.0, -1.0]);
+        let update = solver.solve(&w0, &Vector::zeros(2));
+        assert!(update.w_t.distance(&w0) < 0.1, "w_t strayed: {:?}", update.w_t);
+    }
+
+    #[test]
+    fn xi_is_zero_when_anchor_already_satisfies_margins() {
+        // Anchor far in the separating direction: all margins > 1 already.
+        let mut solver = LocalSolver::new(labeled_user(), config(), 2);
+        let w0 = Vector::from(vec![50.0, 0.0]);
+        let update = solver.solve(&w0, &Vector::zeros(2));
+        assert!(update.xi_t < 1e-6, "xi = {}", update.xi_t);
+    }
+
+    #[test]
+    fn advance_cccp_clears_state() {
+        let mut solver = LocalSolver::new(labeled_user(), config(), 2);
+        let _ = solver.solve(&Vector::zeros(2), &Vector::zeros(2));
+        assert!(solver.working_set_len() > 0);
+        solver.advance_cccp();
+        assert_eq!(solver.working_set_len(), 0);
+    }
+
+    #[test]
+    fn repeated_solves_converge_to_stable_w() {
+        let mut solver = LocalSolver::new(labeled_user(), config(), 2);
+        let w0 = Vector::from(vec![0.5, 0.0]);
+        let u = Vector::zeros(2);
+        let first = solver.solve(&w0, &u);
+        let second = solver.solve(&w0, &u);
+        assert!(
+            first.w_t.distance(&second.w_t) < 1e-4,
+            "repeat solve moved: {} ",
+            first.w_t.distance(&second.w_t)
+        );
+    }
+
+    #[test]
+    fn local_loss_reflects_fit_quality() {
+        let mut solver = LocalSolver::new(labeled_user(), config(), 2);
+        let before = solver.local_loss(); // w_t = 0 → full hinge loss
+        let _ = solver.solve(&Vector::zeros(2), &Vector::zeros(2));
+        let after = solver.local_loss();
+        assert!(after < before, "loss did not improve: {before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "w0 dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut solver = LocalSolver::new(labeled_user(), config(), 2);
+        let _ = solver.solve(&Vector::zeros(3), &Vector::zeros(3));
+    }
+}

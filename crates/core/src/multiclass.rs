@@ -1,0 +1,187 @@
+//! Multi-class personalized learning via one-vs-rest PLOS.
+//!
+//! The paper trains binary personalized classifiers and lists extending the
+//! framework "to other machine learning models" as future work (Sec. VII).
+//! This module provides the canonical extension: one PLOS model per class in
+//! a one-vs-rest arrangement, predicting by the largest personalized
+//! decision value. Everything personalizes exactly as in the binary case —
+//! each user gets `k` hyperplanes `w_t^{(c)} = w0^{(c)} + v_t^{(c)}`.
+
+use crate::centralized::CentralizedPlos;
+use crate::config::PlosConfig;
+use crate::model::PersonalizedModel;
+use plos_linalg::Vector;
+use plos_sensing::multiclass::MultiClassDataset;
+use serde::{Deserialize, Serialize};
+
+/// A trained one-vs-rest PLOS classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticlassModel {
+    per_class: Vec<PersonalizedModel>,
+}
+
+impl MulticlassModel {
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.per_class[0].num_users()
+    }
+
+    /// The binary PLOS model of one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_model(&self, class: usize) -> &PersonalizedModel {
+        &self.per_class[class]
+    }
+
+    /// Per-class decision values of user `t` on `x`.
+    pub fn decision_values(&self, t: usize, x: &Vector) -> Vec<f64> {
+        self.per_class.iter().map(|m| m.decision(t, x)).collect()
+    }
+
+    /// Predicted class id for user `t` (arg-max decision; ties break to the
+    /// lowest class id).
+    pub fn predict(&self, t: usize, x: &Vector) -> usize {
+        let scores = self.decision_values(t, x);
+        let mut best = 0usize;
+        for (c, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Batch prediction for user `t`.
+    pub fn predict_batch(&self, t: usize, xs: &[Vector]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(t, x)).collect()
+    }
+}
+
+/// One-vs-rest PLOS trainer.
+#[derive(Debug, Clone)]
+pub struct MulticlassPlos {
+    config: PlosConfig,
+}
+
+impl MulticlassPlos {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: PlosConfig) -> Self {
+        config.validate();
+        MulticlassPlos { config }
+    }
+
+    /// Trains `k` binary PLOS models, one per class.
+    pub fn fit(&self, dataset: &MultiClassDataset) -> MulticlassModel {
+        let per_class = (0..dataset.num_classes())
+            .map(|class| {
+                let binary = dataset.one_vs_rest(class);
+                // Salt the seed per class so refinement restarts differ.
+                let mut config = self.config.clone();
+                config.seed = config.seed.wrapping_add(class as u64 * 7919);
+                CentralizedPlos::new(config).fit(&binary)
+            })
+            .collect();
+        MulticlassModel { per_class }
+    }
+}
+
+/// Mean per-user multi-class accuracy, split by provider status (mirrors
+/// the binary harness in [`crate::eval`]).
+pub fn multiclass_accuracy(
+    model: &MulticlassModel,
+    dataset: &MultiClassDataset,
+) -> (Option<f64>, Option<f64>) {
+    let mut labeled = Vec::new();
+    let mut unlabeled = Vec::new();
+    for (t, user) in dataset.users().iter().enumerate() {
+        let preds = model.predict_batch(t, &user.features);
+        let correct = preds.iter().zip(&user.truth).filter(|(p, y)| p == y).count();
+        let acc = correct as f64 / user.num_samples() as f64;
+        if user.is_provider() {
+            labeled.push(acc);
+        } else {
+            unlabeled.push(acc);
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    };
+    (mean(&labeled), mean(&unlabeled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_sensing::dataset::LabelMask;
+    use plos_sensing::multiclass::{generate_multiclass, MultiClassSpec};
+
+    fn cohort() -> MultiClassDataset {
+        let spec = MultiClassSpec {
+            num_users: 4,
+            num_classes: 3,
+            samples_per_class: 15,
+            dim: 8,
+            class_radius: 3.0,
+            noise_std: 0.8,
+            personal_variation: 0.2,
+        };
+        generate_multiclass(&spec, 5).mask_labels(&LabelMask::providers(3, 0.3), 2)
+    }
+
+    #[test]
+    fn shape_of_trained_model() {
+        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&cohort());
+        assert_eq!(model.num_classes(), 3);
+        assert_eq!(model.num_users(), 4);
+        for c in 0..3 {
+            assert_eq!(model.class_model(c).num_users(), 4);
+        }
+    }
+
+    #[test]
+    fn learns_separated_classes() {
+        let data = cohort();
+        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+        let (labeled, unlabeled) = multiclass_accuracy(&model, &data);
+        // Chance is 1/3; providers must be far above it.
+        assert!(labeled.unwrap() > 0.7, "labeled accuracy {labeled:?}");
+        assert!(unlabeled.unwrap() > 0.4, "unlabeled accuracy {unlabeled:?}");
+    }
+
+    #[test]
+    fn decision_values_have_one_entry_per_class() {
+        let data = cohort();
+        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+        let scores = model.decision_values(0, &data.user(0).features[0]);
+        assert_eq!(scores.len(), 3);
+        let pred = model.predict(0, &data.user(0).features[0]);
+        assert!(pred < 3);
+    }
+
+    #[test]
+    fn predictions_cover_all_classes_on_balanced_data() {
+        let data = cohort();
+        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+        let preds = model.predict_batch(0, &data.user(0).features);
+        let mut seen = [false; 3];
+        for p in preds {
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some class never predicted: {seen:?}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Shared internal machinery of the PLOS optimization problem.
+//!
+//! Both trainers manipulate the same objects:
+//!
+//! * prepared per-user data (bias-augmented features, split into labeled and
+//!   unlabeled index sets);
+//! * CCCP **sign patterns** `sign(w_t⁽ᵏ⁾ · x_it)` for unlabeled samples
+//!   (Eq. 10);
+//! * **aggregated constraints** `(s, c)` — Eq. (17)/(18) restricted to one
+//!   user's block of the feature map: a selector `c_t ∈ {0,1}^{m_t}` yields
+//!   `s = (1/m_t)(C_l Σ c_i y_i x_i + C_u Σ c_i sign_i x_i)` and
+//!   `c = (1/m_t)(C_l Σ c_i + C_u Σ c_i)`, with the primal constraint
+//!   reading `s · w_t ≥ c − ξ_t`;
+//! * the **most-violated-constraint oracle** of Eq. (14);
+//! * the true (non-convexified) per-user loss used to monitor CCCP.
+
+use crate::config::PlosConfig;
+use plos_linalg::Vector;
+use plos_sensing::dataset::MultiUserDataset;
+
+/// One aggregated cutting-plane constraint `s · w_t ≥ c − ξ_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Aggregated direction `s` (user-block restriction of Eq. 17).
+    pub s: Vector,
+    /// Aggregated right-hand side `c` (Eq. 18).
+    pub c: f64,
+}
+
+/// One user's data prepared for optimization.
+#[derive(Debug, Clone)]
+pub struct PreparedUser {
+    /// Bias-augmented feature vectors.
+    pub features: Vec<Vector>,
+    /// `(sample index, label)` for labeled samples.
+    pub labeled: Vec<(usize, f64)>,
+    /// Sample indices without labels.
+    pub unlabeled: Vec<usize>,
+}
+
+impl PreparedUser {
+    /// Total sample count `m_t`.
+    pub fn num_samples(&self) -> usize {
+        self.features.len()
+    }
+}
+
+/// The full prepared problem.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Users in dataset order.
+    pub users: Vec<PreparedUser>,
+    /// Augmented feature dimension.
+    pub dim: usize,
+}
+
+/// Prepares a dataset: applies bias augmentation and splits label sets.
+pub fn prepare(dataset: &MultiUserDataset, bias: Option<f64>) -> Prepared {
+    let users = dataset
+        .users()
+        .iter()
+        .map(|u| {
+            let features: Vec<Vector> = match bias {
+                Some(b) => u.features.iter().map(|x| x.with_appended(b)).collect(),
+                None => u.features.clone(),
+            };
+            let mut labeled = Vec::new();
+            let mut unlabeled = Vec::new();
+            for (i, obs) in u.observed.iter().enumerate() {
+                match obs {
+                    Some(y) => labeled.push((i, *y as f64)),
+                    None => unlabeled.push(i),
+                }
+            }
+            PreparedUser { features, labeled, unlabeled }
+        })
+        .collect::<Vec<_>>();
+    let dim = users[0].features[0].len();
+    Prepared { users, dim }
+}
+
+/// CCCP sign pattern for one user: `sign(w_t · x_i)` for each unlabeled
+/// sample, aligned with `user.unlabeled`. `sign(0)` is taken as `+1`.
+pub fn compute_signs(user: &PreparedUser, w_t: &Vector) -> Vec<f64> {
+    user.unlabeled
+        .iter()
+        .map(|&i| if w_t.dot(&user.features[i]) >= 0.0 { 1.0 } else { -1.0 })
+        .collect()
+}
+
+/// The most violated constraint for one user (Eq. 14): select every labeled
+/// sample with functional margin `y_i (w_t·x_i) < 1` and every unlabeled
+/// sample with linearized margin `sign_i (w_t·x_i) < 1`, then aggregate.
+///
+/// Returns the constraint together with its violation against the current
+/// slack, `(c − s·w_t) − ξ_t`; the caller adds the constraint only when the
+/// violation exceeds `ε`.
+///
+/// # Panics
+///
+/// Panics if `signs.len() != user.unlabeled.len()`.
+pub fn most_violated_constraint(
+    user: &PreparedUser,
+    signs: &[f64],
+    w_t: &Vector,
+    xi_t: f64,
+    config: &PlosConfig,
+) -> (Constraint, f64) {
+    assert_eq!(signs.len(), user.unlabeled.len(), "sign pattern length mismatch");
+    let m = user.num_samples() as f64;
+    let mut s = Vector::zeros(w_t.len());
+    let mut c = 0.0;
+    for &(i, y) in &user.labeled {
+        let x = &user.features[i];
+        if y * w_t.dot(x) < 1.0 {
+            s.axpy(config.c_labeled / m * y, x);
+            c += config.c_labeled / m;
+        }
+    }
+    for (&i, &sign) in user.unlabeled.iter().zip(signs) {
+        let x = &user.features[i];
+        if sign * w_t.dot(x) < 1.0 {
+            s.axpy(config.c_unlabeled / m * sign, x);
+            c += config.c_unlabeled / m;
+        }
+    }
+    let violation = (c - s.dot(w_t)) - xi_t;
+    (Constraint { s, c }, violation)
+}
+
+/// The class-balance constraints of maximum-margin clustering (Xu et al.
+/// 2005) for one user: `|w · x̄| ≤ ℓ` with `x̄` the mean of the user's
+/// unlabeled samples, expressed as the two half-space constraints
+/// `(−x̄)·w ≥ −ℓ` and `x̄·w ≥ −ℓ`.
+///
+/// These are *hard* constraints — no slack variable — so the duals treat
+/// their multipliers as unbounded (still `≥ 0`). Returns an empty vector
+/// when the user has no unlabeled samples or the bound is infinite.
+pub fn balance_constraints(user: &PreparedUser, bound: f64) -> Vec<Constraint> {
+    if user.unlabeled.is_empty() || !bound.is_finite() {
+        return Vec::new();
+    }
+    let dim = user.features[0].len();
+    let mut mean = Vector::zeros(dim);
+    for &i in &user.unlabeled {
+        mean += &user.features[i];
+    }
+    mean.scale_mut(1.0 / user.unlabeled.len() as f64);
+    vec![
+        Constraint { s: -&mean, c: -bound },
+        Constraint { s: mean, c: -bound },
+    ]
+}
+
+/// The slack `ξ_t` implied by a working set: `max(0, max_k (c_k − s_k·w_t))`.
+pub fn slack_for(constraints: &[Constraint], w_t: &Vector) -> f64 {
+    constraints
+        .iter()
+        .map(|k| k.c - k.s.dot(w_t))
+        .fold(0.0_f64, f64::max)
+}
+
+/// The *true* per-user loss of problem (3) — hinge on labeled samples and
+/// `max(0, 1 − |w_t·x|)` on unlabeled ones — which CCCP decreases
+/// monotonically.
+pub fn true_user_loss(user: &PreparedUser, w_t: &Vector, config: &PlosConfig) -> f64 {
+    let m = user.num_samples() as f64;
+    let mut loss = 0.0;
+    for &(i, y) in &user.labeled {
+        loss += config.c_labeled / m * (1.0 - y * w_t.dot(&user.features[i])).max(0.0);
+    }
+    for &i in &user.unlabeled {
+        loss += config.c_unlabeled / m * (1.0 - w_t.dot(&user.features[i]).abs()).max(0.0);
+    }
+    loss
+}
+
+/// The full PLOS objective in the scale of problems (3)/(4):
+/// `‖w0‖² + (λ/T) Σ‖v_t‖² + Σ_t loss_t`.
+pub fn objective(
+    prepared: &Prepared,
+    w0: &Vector,
+    vs: &[Vector],
+    config: &PlosConfig,
+) -> f64 {
+    let t_count = prepared.users.len() as f64;
+    let reg: f64 = w0.norm_squared()
+        + config.lambda / t_count * vs.iter().map(Vector::norm_squared).sum::<f64>();
+    let loss: f64 = prepared
+        .users
+        .iter()
+        .zip(vs)
+        .map(|(u, v)| true_user_loss(u, &(w0 + v), config))
+        .sum();
+    reg + loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_sensing::dataset::UserData;
+
+    fn config() -> PlosConfig {
+        PlosConfig { c_labeled: 2.0, c_unlabeled: 1.0, bias: None, ..PlosConfig::default() }
+    }
+
+    /// Two users, 2-D, user 0 fully labeled, user 1 unlabeled.
+    fn dataset() -> MultiUserDataset {
+        let mut u0 = UserData::new(
+            vec![
+                Vector::from(vec![1.0, 0.0]),
+                Vector::from(vec![-1.0, 0.0]),
+                Vector::from(vec![2.0, 1.0]),
+            ],
+            vec![1, -1, 1],
+        );
+        u0.observed = vec![Some(1), Some(-1), None];
+        let u1 = UserData::new(
+            vec![Vector::from(vec![0.5, 0.5]), Vector::from(vec![-0.5, -0.5])],
+            vec![1, -1],
+        );
+        MultiUserDataset::new(vec![u0, u1])
+    }
+
+    #[test]
+    fn prepare_splits_label_sets() {
+        let p = prepare(&dataset(), None);
+        assert_eq!(p.dim, 2);
+        assert_eq!(p.users[0].labeled, vec![(0, 1.0), (1, -1.0)]);
+        assert_eq!(p.users[0].unlabeled, vec![2]);
+        assert!(p.users[1].labeled.is_empty());
+        assert_eq!(p.users[1].unlabeled, vec![0, 1]);
+    }
+
+    #[test]
+    fn prepare_applies_bias_augmentation() {
+        let p = prepare(&dataset(), Some(3.0));
+        assert_eq!(p.dim, 3);
+        assert_eq!(p.users[0].features[0].as_slice(), &[1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn signs_follow_hyperplane() {
+        let p = prepare(&dataset(), None);
+        let w = Vector::from(vec![1.0, 0.0]);
+        assert_eq!(compute_signs(&p.users[0], &w), vec![1.0]);
+        assert_eq!(compute_signs(&p.users[1], &w), vec![1.0, -1.0]);
+        // Zero decision value maps to +1.
+        let w_zero = Vector::zeros(2);
+        assert_eq!(compute_signs(&p.users[1], &w_zero), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn most_violated_selects_only_margin_violators() {
+        let p = prepare(&dataset(), None);
+        let cfg = config();
+        // w = (10, 0): labeled margins are 10 and 10 (no violation);
+        // unlabeled sample (2,1) has |w·x| = 20 >= 1 (no violation).
+        let w = Vector::from(vec![10.0, 0.0]);
+        let signs = compute_signs(&p.users[0], &w);
+        let (k, violation) = most_violated_constraint(&p.users[0], &signs, &w, 0.0, &cfg);
+        assert_eq!(k.c, 0.0);
+        assert_eq!(k.s.norm(), 0.0);
+        assert!(violation <= 0.0);
+    }
+
+    #[test]
+    fn most_violated_aggregates_violators() {
+        let p = prepare(&dataset(), None);
+        let cfg = config();
+        // w = 0: every sample violates its margin.
+        let w = Vector::zeros(2);
+        let signs = compute_signs(&p.users[0], &w);
+        let (k, violation) = most_violated_constraint(&p.users[0], &signs, &w, 0.0, &cfg);
+        // c = (Cl*2 + Cu*1)/3 = (4 + 1)/3.
+        assert!((k.c - 5.0 / 3.0).abs() < 1e-12);
+        // s = (1/3)(2*(1,0)*1 + 2*(-1,0)*(-1) + 1*(2,1)*+1) = (1/3)(6,1).
+        assert!((k.s[0] - 2.0).abs() < 1e-12);
+        assert!((k.s[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((violation - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_accounts_for_existing_slack() {
+        let p = prepare(&dataset(), None);
+        let cfg = config();
+        let w = Vector::zeros(2);
+        let signs = compute_signs(&p.users[0], &w);
+        let (_, violation) = most_violated_constraint(&p.users[0], &signs, &w, 10.0, &cfg);
+        assert!(violation < 0.0, "large slack absorbs the violation");
+    }
+
+    #[test]
+    fn slack_is_max_over_constraints_clamped_at_zero() {
+        let ks = vec![
+            Constraint { s: Vector::from(vec![1.0]), c: 0.5 },
+            Constraint { s: Vector::from(vec![-1.0]), c: 0.2 },
+        ];
+        let w = Vector::from(vec![1.0]);
+        // c - s·w = -0.5 and 1.2.
+        assert!((slack_for(&ks, &w) - 1.2).abs() < 1e-12);
+        let w2 = Vector::from(vec![5.0]);
+        assert_eq!(slack_for(&ks, &w2), 5.2_f64.max(0.0).min(5.2)); // -4.5 vs 5.2
+        assert_eq!(slack_for(&[], &w), 0.0);
+    }
+
+    #[test]
+    fn true_loss_matches_manual_computation() {
+        let p = prepare(&dataset(), None);
+        let cfg = config();
+        let w = Vector::from(vec![0.5, 0.0]);
+        // labeled: y=1, margin 0.5 -> hinge 0.5; y=-1 at (-1,0): margin 0.5 -> 0.5
+        // unlabeled (2,1): |w·x| = 1.0 -> hinge 0.
+        // loss = (2/3)(0.5) + (2/3)(0.5) + 0 = 2/3.
+        let loss = true_user_loss(&p.users[0], &w, &cfg);
+        assert!((loss - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_combines_regularizers_and_losses() {
+        let p = prepare(&dataset(), None);
+        let cfg = PlosConfig { lambda: 4.0, ..config() };
+        let w0 = Vector::from(vec![1.0, 0.0]);
+        let vs = vec![Vector::zeros(2), Vector::from(vec![0.0, 1.0])];
+        let obj = objective(&p, &w0, &vs, &cfg);
+        let manual = 1.0
+            + 4.0 / 2.0 * 1.0
+            + true_user_loss(&p.users[0], &w0, &cfg)
+            + true_user_loss(&p.users[1], &(&w0 + &vs[1]), &cfg);
+        assert!((obj - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign pattern length mismatch")]
+    fn sign_length_checked() {
+        let p = prepare(&dataset(), None);
+        let cfg = config();
+        let w = Vector::zeros(2);
+        let _ = most_violated_constraint(&p.users[0], &[], &w, 0.0, &cfg);
+    }
+}

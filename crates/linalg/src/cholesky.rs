@@ -1,0 +1,193 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used to solve the small regularized normal-equation systems that appear
+//! inside the working-set QPs, and as a positive-definiteness check in tests.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// ```
+/// use plos_linalg::{Cholesky, Matrix, Vector};
+/// # fn main() -> Result<(), plos_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]])?;
+/// let chol = Cholesky::factor(&a)?;
+/// let x = chol.solve(&Vector::from(vec![6.0, 5.0]))?;
+/// // verify A·x == b
+/// let b = a.matvec(&x);
+/// assert!((b[0] - 6.0).abs() < 1e-12 && (b[1] - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is `<= 0` (the
+    ///   matrix is indefinite or numerically singular).
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Borrows the lower-triangular factor.
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` given the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` differs from
+    /// the factored dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.l.nrows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Forward substitution: L·y = b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ·x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of the factored matrix, `log det A = 2·Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.nrows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Returns `true` if `a` is symmetric positive-definite within `tol` symmetry
+/// tolerance (checked by attempting a Cholesky factorization).
+pub fn is_positive_definite(a: &Matrix, tol: f64) -> bool {
+    a.is_symmetric(tol) && Cholesky::factor(a).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let l = chol.factor_l();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct_check() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let b = Vector::from(vec![1.0, -2.0, 0.5]);
+        let x = chol.solve(&b).unwrap();
+        let bb = a.matvec(&x);
+        for i in 0..3 {
+            assert!((bb[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::factor(&a).unwrap_err(), LinalgError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn solve_checks_dimension() {
+        let chol = Cholesky::factor(&Matrix::identity(2)).unwrap();
+        assert!(chol.solve(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn log_det_identity_is_zero() {
+        let chol = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!(chol.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_diagonal() {
+        let chol = Cholesky::factor(&Matrix::from_diagonal(&[2.0, 8.0])).unwrap();
+        assert!((chol.log_det() - 16.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_definite_probe() {
+        assert!(is_positive_definite(&spd3(), 1e-12));
+        let indef = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(!is_positive_definite(&indef, 1e-12));
+        assert!(!is_positive_definite(&Matrix::zeros(2, 3), 1e-12));
+    }
+}

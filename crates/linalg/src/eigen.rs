@@ -1,0 +1,258 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! Spectral clustering (the paper's *Group* baseline, Sec. VI-A) needs the
+//! bottom eigenvectors of a graph Laplacian. Affinity matrices in the PLOS
+//! experiments are small (one row per user, ≤ 100), where Jacobi iteration is
+//! simple, numerically robust, and plenty fast.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix.
+///
+/// Eigenpairs are sorted by ascending eigenvalue, which is the order spectral
+/// clustering consumes them in.
+///
+/// ```
+/// use plos_linalg::{Matrix, SymmetricEigen};
+/// # fn main() -> Result<(), plos_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]])?;
+/// let eig = SymmetricEigen::decompose(&a)?;
+/// assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `eigenvalues[j]`.
+    eigenvectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+impl SymmetricEigen {
+    /// Decomposes a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NoConvergence`] if the off-diagonal mass does not
+    ///   vanish within the sweep budget (does not happen for well-formed
+    ///   symmetric input).
+    ///
+    /// Symmetry is enforced by averaging `a` with its transpose, so tiny
+    /// asymmetries from floating-point accumulation are tolerated.
+    pub fn decompose(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        let n = a.nrows();
+        // Work on the symmetrized copy.
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+            }
+        }
+        let mut v = Matrix::identity(n);
+        let tol = 1e-14 * m.frobenius_norm().max(1.0);
+
+        for sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off += m[(p, q)] * m[(p, q)];
+                }
+            }
+            if off.sqrt() <= tol {
+                return Ok(Self::finish(m, v));
+            }
+            let _ = sweep;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol / (n as f64) {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    // Stable computation of tan(rotation angle).
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply the rotation to rows/columns p and q of m.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        // One final tolerance check before giving up.
+        let mut off = 0.0;
+        let n2 = m.nrows();
+        for p in 0..n2 {
+            for q in (p + 1)..n2 {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off.sqrt() <= tol * 10.0 {
+            Ok(Self::finish(m, v))
+        } else {
+            Err(LinalgError::NoConvergence { iterations: MAX_SWEEPS })
+        }
+    }
+
+    fn finish(m: Matrix, v: Matrix) -> Self {
+        let n = m.nrows();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        idx.sort_by(|&a, &b| raw[a].partial_cmp(&raw[b]).expect("finite eigenvalues"));
+        let eigenvalues: Vec<f64> = idx.iter().map(|&i| raw[i]).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in idx.iter().enumerate() {
+            for r in 0..n {
+                eigenvectors[(r, new_col)] = v[(r, old_col)];
+            }
+        }
+        SymmetricEigen { eigenvalues, eigenvectors }
+    }
+
+    /// Eigenvalues in ascending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Eigenvector matrix; column `j` pairs with `eigenvalues()[j]`.
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// Copies the eigenvector for the `j`-th smallest eigenvalue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn eigenvector(&self, j: usize) -> Vector {
+        self.eigenvectors.column(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &Matrix, tol: f64) {
+        let eig = SymmetricEigen::decompose(a).unwrap();
+        let n = a.nrows();
+        for j in 0..n {
+            let v = eig.eigenvector(j);
+            let av = a.matvec(&v);
+            let lv = v.scaled(eig.eigenvalues()[j]);
+            assert!(av.distance(&lv) < tol, "eigenpair {j} residual too large");
+            assert!((v.norm() - 1.0).abs() < tol, "eigenvector {j} not unit norm");
+        }
+        // Ascending order.
+        for j in 1..n {
+            assert!(eig.eigenvalues()[j] >= eig.eigenvalues()[j - 1] - tol);
+        }
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let eig = SymmetricEigen::decompose(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-10);
+        assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-10);
+        check_decomposition(&a, 1e-9);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::from_diagonal(&[3.0, -1.0, 2.0]);
+        let eig = SymmetricEigen::decompose(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[-1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn random_symmetric_matrices_decompose() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 5, 8, 12] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let x: f64 = rng.gen_range(-2.0..2.0);
+                    a[(i, j)] = x;
+                    a[(j, i)] = x;
+                }
+            }
+            check_decomposition(&a, 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5, 0.2],
+            vec![0.5, 2.0, -0.3],
+            vec![0.2, -0.3, 3.0],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::decompose(&a).unwrap();
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            SymmetricEigen::decompose(&Matrix::zeros(2, 3)).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+    }
+
+    #[test]
+    fn laplacian_has_zero_eigenvalue_with_constant_eigenvector() {
+        // Path graph Laplacian on 4 nodes.
+        let a = Matrix::from_rows(&[
+            vec![1.0, -1.0, 0.0, 0.0],
+            vec![-1.0, 2.0, -1.0, 0.0],
+            vec![0.0, -1.0, 2.0, -1.0],
+            vec![0.0, 0.0, -1.0, 1.0],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::decompose(&a).unwrap();
+        assert!(eig.eigenvalues()[0].abs() < 1e-10);
+        let v0 = eig.eigenvector(0);
+        // Constant eigenvector (up to sign): all entries equal.
+        for i in 1..4 {
+            assert!((v0[i] - v0[0]).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! General dense linear solve via Gaussian elimination with partial pivoting.
+//!
+//! The PLOS duals are solved iteratively, but a direct solver is still needed
+//! for small auxiliary systems (e.g. least-squares fits in the experiment
+//! harness) and as an oracle in tests.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is not square.
+/// * [`LinalgError::DimensionMismatch`] if `b.len() != a.nrows()`.
+/// * [`LinalgError::Singular`] if a pivot is numerically zero.
+///
+/// ```
+/// use plos_linalg::{solve_linear_system, Matrix, Vector};
+/// # fn main() -> Result<(), plos_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]])?;
+/// let x = solve_linear_system(&a, &Vector::from(vec![5.0, 10.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_linear_system(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+    }
+    let n = a.nrows();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_linear_system",
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.clone();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = m[(col, col)].abs();
+        for r in (col + 1)..n {
+            if m[(r, col)].abs() > pivot_val {
+                pivot_val = m[(r, col)].abs();
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+            let tmp = rhs[col];
+            rhs[col] = rhs[pivot_row];
+            rhs[pivot_row] = tmp;
+        }
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / m[(col, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m[(col, c)];
+                m[(r, c)] -= factor * v;
+            }
+            let v = rhs[col];
+            rhs[r] -= factor * v;
+        }
+    }
+    // Back substitution.
+    let mut x = Vector::zeros(n);
+    for r in (0..n).rev() {
+        let mut sum = rhs[r];
+        for c in (r + 1)..n {
+            sum -= m[(r, c)] * x[c];
+        }
+        x[r] = sum / m[(r, r)];
+    }
+    Ok(x)
+}
+
+/// Solves the least-squares problem `min_x ‖A·x − b‖²` via the regularized
+/// normal equations `(AᵀA + ridge·I)·x = Aᵀb`.
+///
+/// # Errors
+///
+/// Propagates errors from the inner linear solve; `ridge > 0` guarantees a
+/// non-singular system for any `A`.
+pub fn least_squares(a: &Matrix, b: &Vector, ridge: f64) -> Result<Vector, LinalgError> {
+    if b.len() != a.nrows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "least_squares",
+            expected: a.nrows(),
+            actual: b.len(),
+        });
+    }
+    let at = a.transpose();
+    let mut ata = at.matmul(a)?;
+    ata.add_diagonal(ridge);
+    let atb = at.matvec(b);
+    solve_linear_system(&ata, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let b = Vector::from(vec![1.0, 2.0, 3.0]);
+        let x = solve_linear_system(&Matrix::identity(3), &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solves_requiring_pivot() {
+        // First pivot is zero, forcing a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve_linear_system(&a, &Vector::from(vec![2.0, 3.0])).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(
+            solve_linear_system(&a, &Vector::zeros(2)).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(solve_linear_system(&Matrix::zeros(2, 3), &Vector::zeros(2)).is_err());
+        assert!(solve_linear_system(&Matrix::identity(2), &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn random_systems_round_trip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 4, 7] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.gen_range(-1.0..1.0);
+                }
+                a[(i, i)] += (n as f64) + 1.0; // diagonally dominant => nonsingular
+            }
+            let x_true: Vector = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let b = a.matvec(&x_true);
+            let x = solve_linear_system(&a, &b).unwrap();
+            assert!(x.distance(&x_true) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // Fit y = 2x + 1 from exact points using design matrix [x, 1].
+        let a = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 1.0],
+        ])
+        .unwrap();
+        let b = Vector::from(vec![1.0, 3.0, 5.0, 7.0]);
+        let x = least_squares(&a, &b, 1e-12).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_checks_dims() {
+        assert!(least_squares(&Matrix::zeros(3, 2), &Vector::zeros(2), 1e-6).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Descriptive statistics over `f64` slices.
+//!
+//! The paper's feature pipeline (Sec. VI-B) extracts mean, standard
+//! deviation, median absolute deviation, max, min, energy, and interquartile
+//! range from every windowed sensor signal. These helpers implement those
+//! statistics once, shared by the sensing crate and the experiment harness.
+
+use crate::error::LinalgError;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64, LinalgError> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { op: "mean" });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation (divides by `n`, matching typical
+/// sensing-feature implementations).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Result<f64, LinalgError> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Ok(var.sqrt())
+}
+
+/// Median (average of the two central order statistics for even lengths).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64, LinalgError> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { op: "median" });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Ok(sorted[n / 2])
+    } else {
+        Ok(0.5 * (sorted[n / 2 - 1] + sorted[n / 2]))
+    }
+}
+
+/// Median absolute deviation: `median(|xᵢ − median(x)|)`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn median_absolute_deviation(xs: &[f64]) -> Result<f64, LinalgError> {
+    let med = median(xs)?;
+    let devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&devs)
+}
+
+/// Maximum value.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn max(xs: &[f64]) -> Result<f64, LinalgError> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.max(x))))
+        .ok_or(LinalgError::Empty { op: "max" })
+}
+
+/// Minimum value.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn min(xs: &[f64]) -> Result<f64, LinalgError> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+        .ok_or(LinalgError::Empty { op: "min" })
+}
+
+/// Signal energy: mean of squared samples.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn energy(xs: &[f64]) -> Result<f64, LinalgError> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { op: "energy" });
+    }
+    Ok(xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64)
+}
+
+/// Linear-interpolated percentile, `p ∈ [0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or not finite.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64, LinalgError> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100], got {p}");
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { op: "percentile" });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Interquartile range: `percentile(75) − percentile(25)`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn interquartile_range(xs: &[f64]) -> Result<f64, LinalgError> {
+    Ok(percentile(xs, 75.0)? - percentile(xs, 25.0)?)
+}
+
+/// Sample Pearson correlation between two equal-length slices.
+///
+/// # Errors
+///
+/// * [`LinalgError::Empty`] if the slices are empty.
+/// * [`LinalgError::DimensionMismatch`] if lengths differ.
+///
+/// Returns `0.0` when either input is constant (zero variance).
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Result<f64, LinalgError> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "correlation",
+            expected: xs.len(),
+            actual: ys.len(),
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(num / (dx.sqrt() * dy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XS: &[f64] = &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(XS).unwrap(), 5.0);
+        assert_eq!(std_dev(XS).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+        assert!(std_dev(&[]).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert!(median(&[]).is_err());
+    }
+
+    #[test]
+    fn mad_known_value() {
+        // median = 4.5, |x - 4.5| = [2.5,0.5,0.5,0.5,0.5,0.5,2.5,4.5], median = 0.5
+        assert_eq!(median_absolute_deviation(XS).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn min_max_energy() {
+        assert_eq!(max(XS).unwrap(), 9.0);
+        assert_eq!(min(XS).unwrap(), 2.0);
+        assert_eq!(energy(&[1.0, 2.0, 2.0]).unwrap(), 3.0);
+        assert!(max(&[]).is_err());
+        assert!(min(&[]).is_err());
+        assert!(energy(&[]).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 4.0);
+        assert_eq!(percentile(&xs, 50.0).unwrap(), 2.5);
+        assert_eq!(percentile(&[7.0], 31.0).unwrap(), 7.0);
+        assert!(percentile(&[], 50.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn iqr_known_value() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(interquartile_range(&xs).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn correlation_behaviour() {
+        let xs = [1.0, 2.0, 3.0];
+        let up = [2.0, 4.0, 6.0];
+        let down = [3.0, 2.0, 1.0];
+        assert!((correlation(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&xs, &[5.0, 5.0, 5.0]).unwrap(), 0.0);
+        assert!(correlation(&xs, &[1.0]).is_err());
+        assert!(correlation(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn statistics_are_translation_aware() {
+        // std, MAD and IQR are translation-invariant; mean/max/min shift.
+        let shifted: Vec<f64> = XS.iter().map(|x| x + 10.0).collect();
+        assert_eq!(std_dev(&shifted).unwrap(), std_dev(XS).unwrap());
+        assert_eq!(
+            median_absolute_deviation(&shifted).unwrap(),
+            median_absolute_deviation(XS).unwrap()
+        );
+        assert_eq!(
+            interquartile_range(&shifted).unwrap(),
+            interquartile_range(XS).unwrap()
+        );
+        assert_eq!(mean(&shifted).unwrap(), mean(XS).unwrap() + 10.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-validation splits and grid search.
+//!
+//! The paper selects hyperparameters "based on the accuracy reported by
+//! leave-one-out cross-validation" (Sec. VI-A). These helpers produce the
+//! index splits and drive a simple grid search over candidate parameter
+//! values.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One train/validation split (index sets into the caller's sample array).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices to train on.
+    pub train: Vec<usize>,
+    /// Indices to validate on.
+    pub validation: Vec<usize>,
+}
+
+/// Produces `k` shuffled folds over `n` samples.
+///
+/// Every sample appears in exactly one validation set; fold sizes differ by
+/// at most one.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<Split> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "k={k} exceeds n={n}");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, idx) in order.into_iter().enumerate() {
+        folds[pos % k].push(idx);
+    }
+    (0..k)
+        .map(|f| {
+            let validation = folds[f].clone();
+            let train = folds
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| *g != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            Split { train, validation }
+        })
+        .collect()
+}
+
+/// Leave-one-out splits over `n` samples (`n` folds of one validation
+/// sample each).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn leave_one_out(n: usize) -> Vec<Split> {
+    assert!(n > 0, "n must be positive");
+    (0..n)
+        .map(|i| Split {
+            train: (0..n).filter(|&j| j != i).collect(),
+            validation: vec![i],
+        })
+        .collect()
+}
+
+/// Exhaustive grid search: evaluates `score` on every candidate and returns
+/// the `(best_candidate, best_score)` pair (higher is better; ties keep the
+/// earliest candidate).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or a score is NaN.
+pub fn grid_search<P: Clone>(candidates: &[P], mut score: impl FnMut(&P) -> f64) -> (P, f64) {
+    assert!(!candidates.is_empty(), "grid search needs at least one candidate");
+    let mut best: Option<(P, f64)> = None;
+    for c in candidates {
+        let s = score(c);
+        assert!(!s.is_nan(), "score must not be NaN");
+        if best.as_ref().is_none_or(|(_, bs)| s > *bs) {
+            best = Some((c.clone(), s));
+        }
+    }
+    best.expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn k_fold_partitions_all_indices() {
+        let splits = k_fold(10, 3, 0);
+        assert_eq!(splits.len(), 3);
+        let mut seen = HashSet::new();
+        for s in &splits {
+            for &i in &s.validation {
+                assert!(seen.insert(i), "index {i} validated twice");
+            }
+            // Train and validation are disjoint and cover everything.
+            let train: HashSet<_> = s.train.iter().copied().collect();
+            assert!(s.validation.iter().all(|i| !train.contains(i)));
+            assert_eq!(s.train.len() + s.validation.len(), 10);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn k_fold_sizes_balanced() {
+        let splits = k_fold(11, 4, 1);
+        let sizes: Vec<usize> = splits.iter().map(|s| s.validation.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+    }
+
+    #[test]
+    fn k_fold_deterministic_per_seed() {
+        assert_eq!(k_fold(8, 2, 5), k_fold(8, 2, 5));
+        assert_ne!(k_fold(8, 2, 5), k_fold(8, 2, 6));
+    }
+
+    #[test]
+    fn loo_has_n_singleton_folds() {
+        let splits = leave_one_out(4);
+        assert_eq!(splits.len(), 4);
+        for (i, s) in splits.iter().enumerate() {
+            assert_eq!(s.validation, vec![i]);
+            assert_eq!(s.train.len(), 3);
+            assert!(!s.train.contains(&i));
+        }
+    }
+
+    #[test]
+    fn grid_search_picks_max() {
+        let (best, score) = grid_search(&[1.0, 2.0, 3.0], |&x| -(x - 2.0_f64).powi(2));
+        assert_eq!(best, 2.0);
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn grid_search_ties_keep_first() {
+        let (best, _) = grid_search(&["a", "b"], |_| 1.0);
+        assert_eq!(best, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "k=5 exceeds n=3")]
+    fn k_fold_rejects_excess_k() {
+        let _ = k_fold(3, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_grid_panics() {
+        let _ = grid_search::<f64>(&[], |_| 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! k-means clustering with k-means++ initialization.
+//!
+//! The *Single* baseline applies k-means to users with no labels
+//! (Sec. VI-A), and spectral clustering finishes with k-means on the
+//! embedded rows. Runs are deterministic given a seed.
+
+use plos_linalg::Vector;
+use rand::{Rng, SeedableRng};
+
+/// k-means trainer.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when no assignment changes in an iteration.
+    pub n_init: usize,
+}
+
+impl Default for KMeans {
+    fn default() -> Self {
+        KMeans { k: 2, max_iters: 300, n_init: 4 }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per sample, in `0..k`.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k` of them.
+    pub centroids: Vec<Vector>,
+    /// Sum of squared distances of samples to their centroid.
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Creates a trainer for `k` clusters with default iteration limits.
+    pub fn new(k: usize) -> Self {
+        KMeans { k, ..KMeans::default() }
+    }
+
+    /// Clusters `xs`, restarting `n_init` times and keeping the lowest
+    /// inertia.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty, `k == 0`, or `k > xs.len()`.
+    pub fn fit(&self, xs: &[Vector], seed: u64) -> KMeansResult {
+        assert!(!xs.is_empty(), "k-means requires at least one sample");
+        assert!(self.k > 0, "k must be positive");
+        assert!(self.k <= xs.len(), "k={} exceeds number of samples {}", self.k, xs.len());
+        let mut best: Option<KMeansResult> = None;
+        for restart in 0..self.n_init.max(1) {
+            let result = self.fit_once(xs, seed.wrapping_add(restart as u64));
+            if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
+                best = Some(result);
+            }
+        }
+        best.expect("at least one restart")
+    }
+
+    fn fit_once(&self, xs: &[Vector], seed: u64) -> KMeansResult {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut centroids = self.init_plus_plus(xs, &mut rng);
+        let n = xs.len();
+        let mut assignments = vec![0usize; n];
+
+        for _ in 0..self.max_iters {
+            // Assignment step.
+            let mut changed = false;
+            for (i, x) in xs.iter().enumerate() {
+                let nearest = Self::nearest(&centroids, x).0;
+                if assignments[i] != nearest {
+                    assignments[i] = nearest;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let dim = xs[0].len();
+            let mut sums = vec![Vector::zeros(dim); self.k];
+            let mut counts = vec![0usize; self.k];
+            for (i, x) in xs.iter().enumerate() {
+                sums[assignments[i]] += x;
+                counts[assignments[i]] += 1;
+            }
+            let mut new_centroids = centroids.clone();
+            for (c, (sum, count)) in new_centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    *c = sum.scaled(1.0 / *count as f64);
+                } else {
+                    // Re-seed an empty cluster at the point farthest from its
+                    // current nearest centroid to avoid dead clusters.
+                    let far = xs
+                        .iter()
+                        .max_by(|a, b| {
+                            let da = Self::nearest(&centroids, a).1;
+                            let db = Self::nearest(&centroids, b).1;
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .expect("non-empty input");
+                    *c = far.clone();
+                }
+            }
+            centroids = new_centroids;
+            if !changed {
+                break;
+            }
+        }
+
+        let inertia = xs
+            .iter()
+            .zip(&assignments)
+            .map(|(x, &a)| x.distance_squared(&centroids[a]))
+            .sum();
+        KMeansResult { assignments, centroids, inertia }
+    }
+
+    fn init_plus_plus(&self, xs: &[Vector], rng: &mut impl Rng) -> Vec<Vector> {
+        let mut centroids = Vec::with_capacity(self.k);
+        centroids.push(xs[rng.gen_range(0..xs.len())].clone());
+        while centroids.len() < self.k {
+            let d2: Vec<f64> = xs.iter().map(|x| Self::nearest(&centroids, x).1).collect();
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                // All points coincide with existing centroids; pick uniformly.
+                xs[rng.gen_range(0..xs.len())].clone()
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = xs.len() - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        chosen = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                xs[chosen].clone()
+            };
+            centroids.push(next);
+        }
+        centroids
+    }
+
+    /// Index and squared distance of the nearest centroid.
+    fn nearest(centroids: &[Vector], x: &Vector) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, c) in centroids.iter().enumerate() {
+            let d = x.distance_squared(c);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn v(data: &[f64]) -> Vector {
+        Vector::from(data)
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut xs = Vec::new();
+        for _ in 0..30 {
+            xs.push(v(&[10.0 + rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]));
+        }
+        for _ in 0..30 {
+            xs.push(v(&[-10.0 + rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]));
+        }
+        let result = KMeans::new(2).fit(&xs, 9);
+        // All of the first 30 share one cluster, all of the last 30 the other.
+        let first = result.assignments[0];
+        assert!(result.assignments[..30].iter().all(|&a| a == first));
+        assert!(result.assignments[30..].iter().all(|&a| a != first));
+        assert!(result.inertia < 60.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let xs = vec![v(&[0.0]), v(&[5.0]), v(&[10.0])];
+        let result = KMeans::new(3).fit(&xs, 3);
+        assert!(result.inertia < 1e-12);
+        let mut sorted = result.assignments.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let xs = vec![v(&[1.0]), v(&[3.0])];
+        let result = KMeans::new(1).fit(&xs, 0);
+        assert!((result.centroids[0][0] - 2.0).abs() < 1e-12);
+        assert_eq!(result.assignments, vec![0, 0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<Vector> = (0..20).map(|i| v(&[(i % 5) as f64, (i / 5) as f64])).collect();
+        let a = KMeans::new(3).fit(&xs, 77);
+        let b = KMeans::new(3).fit(&xs, 77);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let xs = vec![v(&[1.0, 1.0]); 5];
+        let result = KMeans::new(2).fit(&xs, 4);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds number of samples")]
+    fn k_larger_than_n_panics() {
+        let _ = KMeans::new(3).fit(&[v(&[1.0])], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_input_panics() {
+        let _ = KMeans::new(1).fit(&[], 0);
+    }
+}

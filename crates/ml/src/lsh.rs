@@ -1,0 +1,178 @@
+//! Sign-random-projection hashing (random hyperplane LSH).
+//!
+//! The *Group* baseline (Sec. VI-A) "applies the random hyperplane algorithm
+//! [Charikar 2002] on their sensory data, which hashes the continuous
+//! sensory data to n discrete buckets while keeping the distance between the
+//! data", with `n = 128` buckets. With `b` random hyperplanes each sample
+//! maps to a `b`-bit sign pattern, i.e. one of `2^b` buckets — `b = 7` gives
+//! the paper's 128 buckets. Per-user bucket-frequency histograms then feed
+//! the Jaccard similarity.
+
+use plos_linalg::Vector;
+use rand::{Rng, SeedableRng};
+use rand::distributions::Distribution;
+
+/// A fixed set of random hyperplanes hashing vectors to `2^bits` buckets.
+#[derive(Debug, Clone)]
+pub struct RandomHyperplaneHasher {
+    hyperplanes: Vec<Vector>,
+}
+
+impl RandomHyperplaneHasher {
+    /// Samples `bits` Gaussian hyperplanes in dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`, `bits > 20` (bucket table would explode), or
+    /// `dim == 0`.
+    pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
+        assert!(bits > 0 && bits <= 20, "bits must be in 1..=20, got {bits}");
+        assert!(dim > 0, "dim must be positive");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let normal = StandardNormal;
+        let hyperplanes = (0..bits)
+            .map(|_| (0..dim).map(|_| normal.sample(&mut rng)).collect())
+            .collect();
+        RandomHyperplaneHasher { hyperplanes }
+    }
+
+    /// Number of hash bits.
+    pub fn bits(&self) -> usize {
+        self.hyperplanes.len()
+    }
+
+    /// Number of buckets (`2^bits`).
+    pub fn num_buckets(&self) -> usize {
+        1 << self.bits()
+    }
+
+    /// Hashes one vector to its bucket index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn bucket(&self, x: &Vector) -> usize {
+        let mut idx = 0usize;
+        for (bit, h) in self.hyperplanes.iter().enumerate() {
+            if h.dot(x) >= 0.0 {
+                idx |= 1 << bit;
+            }
+        }
+        idx
+    }
+
+    /// Builds a bucket-frequency histogram over a set of samples.
+    ///
+    /// The histogram has `num_buckets()` entries and sums to `xs.len()`.
+    pub fn histogram(&self, xs: &[Vector]) -> Vec<f64> {
+        let mut hist = vec![0.0; self.num_buckets()];
+        for x in xs {
+            hist[self.bucket(x)] += 1.0;
+        }
+        hist
+    }
+}
+
+/// Standard normal sampler via Box–Muller (keeps us off rand_distr, which is
+/// not on the offline crate list).
+struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f64]) -> Vector {
+        Vector::from(data)
+    }
+
+    #[test]
+    fn bucket_count_is_power_of_two() {
+        let h = RandomHyperplaneHasher::new(4, 7, 0);
+        assert_eq!(h.bits(), 7);
+        assert_eq!(h.num_buckets(), 128);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h1 = RandomHyperplaneHasher::new(3, 5, 42);
+        let h2 = RandomHyperplaneHasher::new(3, 5, 42);
+        let x = v(&[0.3, -1.2, 0.8]);
+        assert_eq!(h1.bucket(&x), h2.bucket(&x));
+    }
+
+    #[test]
+    fn identical_vectors_share_a_bucket() {
+        let h = RandomHyperplaneHasher::new(3, 7, 1);
+        let x = v(&[1.0, 2.0, 3.0]);
+        assert_eq!(h.bucket(&x), h.bucket(&x.clone()));
+        // Positive scaling preserves all signs, hence the bucket.
+        assert_eq!(h.bucket(&x), h.bucket(&x.scaled(3.0)));
+    }
+
+    #[test]
+    fn opposite_vectors_land_in_complementary_buckets() {
+        let h = RandomHyperplaneHasher::new(3, 7, 2);
+        let x = v(&[0.5, -0.25, 2.0]);
+        let bx = h.bucket(&x);
+        let bnx = h.bucket(&(-&x));
+        // Sign flips every bit except exact-zero projections (measure zero).
+        assert_eq!(bx ^ bnx, h.num_buckets() - 1);
+    }
+
+    #[test]
+    fn histogram_sums_to_sample_count() {
+        let h = RandomHyperplaneHasher::new(2, 4, 3);
+        let xs: Vec<Vector> = (0..50)
+            .map(|i| v(&[(i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()]))
+            .collect();
+        let hist = h.histogram(&xs);
+        assert_eq!(hist.len(), 16);
+        assert_eq!(hist.iter().sum::<f64>(), 50.0);
+    }
+
+    #[test]
+    fn nearby_vectors_usually_collide_more_than_far_ones() {
+        // Angular LSH property: collision prob = 1 − θ/π per bit.
+        let trials = 200;
+        let mut near_hits = 0;
+        let mut far_hits = 0;
+        for seed in 0..trials {
+            let h = RandomHyperplaneHasher::new(2, 1, seed);
+            let x = v(&[1.0, 0.0]);
+            let near = v(&[0.95, 0.1]); // ~6 degrees away
+            let far = v(&[-0.9, 0.5]); // ~150 degrees away
+            if h.bucket(&x) == h.bucket(&near) {
+                near_hits += 1;
+            }
+            if h.bucket(&x) == h.bucket(&far) {
+                far_hits += 1;
+            }
+        }
+        assert!(near_hits > far_hits, "near={near_hits} far={far_hits}");
+        assert!(near_hits as f64 / trials as f64 > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn zero_bits_panics() {
+        let _ = RandomHyperplaneHasher::new(2, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_panics() {
+        let _ = RandomHyperplaneHasher::new(0, 3, 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Cluster-to-class matching for evaluating unsupervised predictions.
+//!
+//! The *Single* baseline clusters unlabeled users with k-means, and "since
+//! the cluster may mismatch with the ground truth labels, we conduct label
+//! matching on the clustering results and evaluate them under the best class
+//! assignments" (Sec. VI-A). The optimal one-to-one matching is found with
+//! the Hungarian algorithm on the cluster/class contingency table.
+
+/// Solves the assignment problem: given an `n × n` cost matrix (row i
+/// assigned to column `perm[i]`), returns the permutation minimizing total
+/// cost. O(n³) Hungarian algorithm (Jonker–Volgenant style potentials).
+///
+/// # Panics
+///
+/// Panics if `cost` is empty or ragged.
+pub fn hungarian_min_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "cost matrix must be non-empty");
+    assert!(cost.iter().all(|row| row.len() == n), "cost matrix must be square");
+
+    // Potentials and matching arrays are 1-indexed internally.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut perm = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            perm[p[j] - 1] = j - 1;
+        }
+    }
+    perm
+}
+
+/// Accuracy of a clustering against ground-truth class ids, evaluated under
+/// the best one-to-one cluster→class matching.
+///
+/// `clusters[i]` and `classes[i]` are ids in `0..k` (ids above `k−1` are
+/// allowed; the matrix is sized by the max id seen). Returns a fraction in
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or of different lengths.
+pub fn best_matching_accuracy(clusters: &[usize], classes: &[usize]) -> f64 {
+    assert!(!clusters.is_empty(), "empty inputs");
+    assert_eq!(clusters.len(), classes.len(), "length mismatch");
+    let k = clusters
+        .iter()
+        .chain(classes.iter())
+        .copied()
+        .max()
+        .expect("non-empty")
+        + 1;
+    // Contingency counts.
+    let mut counts = vec![vec![0.0_f64; k]; k];
+    for (&c, &y) in clusters.iter().zip(classes) {
+        counts[c][y] += 1.0;
+    }
+    // Maximize matches == minimize negated counts.
+    let cost: Vec<Vec<f64>> = counts.iter().map(|row| row.iter().map(|&c| -c).collect()).collect();
+    let perm = hungarian_min_assignment(&cost);
+    let matched: f64 = (0..k).map(|c| counts[c][perm[c]]).sum();
+    matched / clusters.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_assignment_on_diagonal_costs() {
+        let cost = vec![
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        assert_eq!(hungarian_min_assignment(&cost), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn permuted_optimum() {
+        let cost = vec![
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+            vec![0.0, 9.0, 9.0],
+        ];
+        assert_eq!(hungarian_min_assignment(&cost), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn classic_example_total_cost() {
+        // Known optimal assignment cost = 5 (1-indexed classic example).
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let perm = hungarian_min_assignment(&cost);
+        let total: f64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn one_by_one() {
+        assert_eq!(hungarian_min_assignment(&[vec![3.0]]), vec![0]);
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for n in [2usize, 3, 5, 8] {
+            let cost: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect()).collect();
+            let perm = hungarian_min_assignment(&cost);
+            let mut seen = vec![false; n];
+            for &j in &perm {
+                assert!(!seen[j], "duplicate column {j}");
+                seen[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..5);
+            let cost: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect()).collect();
+            let perm = hungarian_min_assignment(&cost);
+            let got: f64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            // Brute force over all permutations.
+            let mut best = f64::INFINITY;
+            let mut idx: Vec<usize> = (0..n).collect();
+            permute(&mut idx, 0, &mut |p| {
+                let c: f64 = p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+                if c < best {
+                    best = c;
+                }
+            });
+            assert!((got - best).abs() < 1e-9, "hungarian {got} vs brute {best}");
+        }
+    }
+
+    fn permute(idx: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == idx.len() {
+            f(idx);
+            return;
+        }
+        for i in k..idx.len() {
+            idx.swap(k, i);
+            permute(idx, k + 1, f);
+            idx.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn matching_accuracy_perfect_after_relabeling() {
+        // Clusters are classes with swapped ids.
+        let clusters = vec![1, 1, 0, 0];
+        let classes = vec![0, 0, 1, 1];
+        assert_eq!(best_matching_accuracy(&clusters, &classes), 1.0);
+    }
+
+    #[test]
+    fn matching_accuracy_partial() {
+        let clusters = vec![0, 0, 0, 1];
+        let classes = vec![0, 0, 1, 1];
+        assert_eq!(best_matching_accuracy(&clusters, &classes), 0.75);
+    }
+
+    #[test]
+    fn matching_accuracy_three_way() {
+        let clusters = vec![2, 2, 0, 0, 1, 1];
+        let classes = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(best_matching_accuracy(&clusters, &classes), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn matching_length_mismatch_panics() {
+        let _ = best_matching_accuracy(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Classification metrics reported by the paper's experiments.
+
+/// Fraction of positions where `predicted[i] == actual[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or of different lengths.
+///
+/// ```
+/// use plos_ml::accuracy;
+/// assert_eq!(accuracy(&[1, -1, 1], &[1, 1, 1]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(predicted: &[i8], actual: &[i8]) -> f64 {
+    assert!(!predicted.is_empty(), "accuracy of empty predictions is undefined");
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let correct = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// Binary confusion counts for labels in `{−1, +1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionCounts {
+    /// Predicted +1, actual +1.
+    pub true_positive: usize,
+    /// Predicted +1, actual −1.
+    pub false_positive: usize,
+    /// Predicted −1, actual −1.
+    pub true_negative: usize,
+    /// Predicted −1, actual +1.
+    pub false_negative: usize,
+}
+
+impl ConfusionCounts {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any label is not ±1.
+    pub fn from_predictions(predicted: &[i8], actual: &[i8]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut c = ConfusionCounts::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            assert!(p.abs() == 1 && a.abs() == 1, "labels must be ±1");
+            match (p, a) {
+                (1, 1) => c.true_positive += 1,
+                (1, -1) => c.false_positive += 1,
+                (-1, -1) => c.true_negative += 1,
+                (-1, 1) => c.false_negative += 1,
+                _ => unreachable!(),
+            }
+        }
+        c
+    }
+
+    /// Total number of samples tallied.
+    pub fn total(&self) -> usize {
+        self.true_positive + self.false_positive + self.true_negative + self.false_negative
+    }
+
+    /// Overall accuracy; 0 for an empty tally.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / total as f64
+    }
+
+    /// Precision of the positive class; 0 when nothing was predicted +1.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive + self.false_positive;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positive as f64 / denom as f64
+    }
+
+    /// Recall of the positive class; 0 when nothing was actually +1.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positive + self.false_negative;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positive as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 1, -1, -1], &[1, -1, -1, -1]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+        assert_eq!(accuracy(&[1], &[-1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty predictions")]
+    fn accuracy_empty_panics() {
+        let _ = accuracy(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, -1]);
+    }
+
+    #[test]
+    fn confusion_counts_tally() {
+        let c = ConfusionCounts::from_predictions(&[1, 1, -1, -1, 1], &[1, -1, -1, 1, 1]);
+        assert_eq!(c.true_positive, 2);
+        assert_eq!(c.false_positive, 1);
+        assert_eq!(c.true_negative, 1);
+        assert_eq!(c.false_negative, 1);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.accuracy(), 0.6);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let c = ConfusionCounts {
+            true_positive: 3,
+            false_positive: 1,
+            true_negative: 4,
+            false_negative: 2,
+        };
+        assert_eq!(c.precision(), 0.75);
+        assert_eq!(c.recall(), 0.6);
+        assert!((c.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_tallies_return_zero() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be ±1")]
+    fn confusion_rejects_bad_labels() {
+        let _ = ConfusionCounts::from_predictions(&[0], &[1]);
+    }
+}

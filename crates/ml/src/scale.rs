@@ -1,0 +1,135 @@
+//! Standard (z-score) feature scaling.
+//!
+//! The paper normalizes sensor signals before feature extraction and the
+//! experiments standardize feature matrices so the margin-based objectives
+//! are comparable across users.
+
+use plos_linalg::Vector;
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension standardizer: `x' = (x − mean) / std`.
+///
+/// Dimensions with zero variance are shifted to zero but not rescaled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vector,
+    stds: Vector,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on a sample of vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or ragged.
+    pub fn fit(xs: &[Vector]) -> Self {
+        assert!(!xs.is_empty(), "cannot fit a scaler on no data");
+        let d = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == d), "ragged feature vectors");
+        let n = xs.len() as f64;
+        let mut means = Vector::zeros(d);
+        for x in xs {
+            means += x;
+        }
+        means.scale_mut(1.0 / n);
+        let mut vars = Vector::zeros(d);
+        for x in xs {
+            for j in 0..d {
+                let diff = x[j] - means[j];
+                vars[j] += diff * diff;
+            }
+        }
+        let stds: Vector = vars.iter().map(|&v| (v / n).sqrt()).collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Dimension the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn transform(&self, x: &Vector) -> Vector {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        (0..x.len())
+            .map(|j| {
+                let centered = x[j] - self.means[j];
+                if self.stds[j] > 0.0 {
+                    centered / self.stds[j]
+                } else {
+                    centered
+                }
+            })
+            .collect()
+    }
+
+    /// Standardizes a batch.
+    pub fn transform_batch(&self, xs: &[Vector]) -> Vec<Vector> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+
+    /// Convenience: fit on `xs` and return the transformed batch plus the
+    /// fitted scaler.
+    pub fn fit_transform(xs: &[Vector]) -> (Vec<Vector>, Self) {
+        let scaler = Self::fit(xs);
+        let out = scaler.transform_batch(xs);
+        (out, scaler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f64]) -> Vector {
+        Vector::from(data)
+    }
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_std() {
+        let xs = vec![v(&[1.0, 10.0]), v(&[2.0, 20.0]), v(&[3.0, 30.0])];
+        let (out, scaler) = StandardScaler::fit_transform(&xs);
+        assert_eq!(scaler.dim(), 2);
+        for j in 0..2 {
+            let col: Vec<f64> = out.iter().map(|x| x[j]).collect();
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_centered_not_scaled() {
+        let xs = vec![v(&[5.0, 1.0]), v(&[5.0, 3.0])];
+        let (out, _) = StandardScaler::fit_transform(&xs);
+        assert_eq!(out[0][0], 0.0);
+        assert_eq!(out[1][0], 0.0);
+        assert!(out[0][1] != 0.0);
+    }
+
+    #[test]
+    fn transform_applies_train_statistics_to_new_data() {
+        let xs = vec![v(&[0.0]), v(&[2.0])];
+        let scaler = StandardScaler::fit(&xs);
+        // mean=1, std=1 -> x=3 maps to 2.
+        assert!((scaler.transform(&v(&[3.0]))[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        let _ = StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_transform_panics() {
+        let scaler = StandardScaler::fit(&[v(&[1.0])]);
+        let _ = scaler.transform(&v(&[1.0, 2.0]));
+    }
+}

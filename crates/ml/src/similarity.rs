@@ -1,0 +1,125 @@
+//! Histogram similarity used to compare users in the *Group* baseline.
+//!
+//! Given per-user bucket-frequency histograms `(u₁…u_n)` and `(v₁…v_n)`, the
+//! paper defines `S(u, v) = Σᵢ min(uᵢ, vᵢ) / Σᵢ max(uᵢ, vᵢ)` — the weighted
+//! Jaccard similarity coefficient (Sec. VI-A).
+
+/// Weighted Jaccard similarity `Σ min / Σ max` of two non-negative
+/// histograms.
+///
+/// Returns `1.0` when both histograms are entirely zero (two empty users are
+/// considered identical), matching the convention that Jaccard of two empty
+/// sets is 1.
+///
+/// # Panics
+///
+/// Panics if the histograms have different lengths or contain negative
+/// entries.
+///
+/// ```
+/// use plos_ml::histogram_jaccard;
+/// let s = histogram_jaccard(&[1.0, 2.0], &[2.0, 1.0]);
+/// assert!((s - 0.5).abs() < 1e-12);
+/// ```
+pub fn histogram_jaccard(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "histogram length mismatch");
+    let mut min_sum = 0.0;
+    let mut max_sum = 0.0;
+    for (&a, &b) in u.iter().zip(v) {
+        assert!(a >= 0.0 && b >= 0.0, "histograms must be non-negative");
+        min_sum += a.min(b);
+        max_sum += a.max(b);
+    }
+    if max_sum == 0.0 {
+        1.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+/// Builds the symmetric pairwise similarity matrix for a set of histograms.
+///
+/// Entry `(i, j)` is [`histogram_jaccard`] of histograms `i` and `j`; the
+/// diagonal is 1.
+///
+/// # Panics
+///
+/// Panics if histograms are ragged (via [`histogram_jaccard`]).
+pub fn similarity_matrix(histograms: &[Vec<f64>]) -> plos_linalg::Matrix {
+    let n = histograms.len();
+    let mut m = plos_linalg::Matrix::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = 1.0;
+        for j in (i + 1)..n {
+            let s = histogram_jaccard(&histograms[i], &histograms[j]);
+            m[(i, j)] = s;
+            m[(j, i)] = s;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_histograms_have_similarity_one() {
+        assert_eq!(histogram_jaccard(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_histograms_have_similarity_zero() {
+        assert_eq!(histogram_jaccard(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // min = [1, 1], max = [2, 2] => 2/4.
+        assert!((histogram_jaccard(&[1.0, 2.0], &[2.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histograms_are_identical() {
+        assert_eq!(histogram_jaccard(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let u = [3.0, 0.0, 1.0];
+        let v = [1.0, 2.0, 1.0];
+        assert_eq!(histogram_jaccard(&u, &v), histogram_jaccard(&v, &u));
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let u = [5.0, 0.1, 2.0, 0.0];
+        let v = [0.0, 4.0, 2.0, 1.0];
+        let s = histogram_jaccard(&u, &v);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_input_panics() {
+        let _ = histogram_jaccard(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_entries_panic() {
+        let _ = histogram_jaccard(&[-1.0], &[1.0]);
+    }
+
+    #[test]
+    fn similarity_matrix_is_symmetric_with_unit_diagonal() {
+        let hists = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let m = similarity_matrix(&hists);
+        assert!(m.is_symmetric(1e-12));
+        for i in 0..3 {
+            assert_eq!(m[(i, i)], 1.0);
+        }
+        assert_eq!(m[(0, 1)], 0.0);
+        assert!((m[(0, 2)] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Normalized spectral clustering (Ng–Jordan–Weiss).
+//!
+//! The *Group* baseline clusters users into groups through "spectral
+//! clustering" of their pairwise Jaccard similarities (Sec. VI-A, with 3
+//! clusters). Pipeline: symmetric-normalized Laplacian
+//! `L = I − D^{−1/2} W D^{−1/2}`, bottom-`k` eigenvectors via the Jacobi
+//! eigensolver, row-normalization, k-means on the embedded rows.
+
+use crate::kmeans::KMeans;
+use plos_linalg::{LinalgError, Matrix, SymmetricEigen, Vector};
+
+/// Clusters the nodes of an affinity graph into `k` groups.
+///
+/// `affinity` must be square, symmetric and non-negative; entry `(i, j)` is
+/// the similarity between nodes `i` and `j` (self-similarities on the
+/// diagonal are ignored — the algorithm zeroes them before normalizing, the
+/// usual convention).
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for a non-square affinity.
+/// * [`LinalgError::DimensionMismatch`] if `k` is 0 or exceeds the number of
+///   nodes.
+/// * Propagates eigensolver failures.
+pub fn spectral_clustering(
+    affinity: &Matrix,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<usize>, LinalgError> {
+    if !affinity.is_square() {
+        return Err(LinalgError::NotSquare { rows: affinity.nrows(), cols: affinity.ncols() });
+    }
+    let n = affinity.nrows();
+    if k == 0 || k > n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "spectral_clustering (k)",
+            expected: n,
+            actual: k,
+        });
+    }
+    if k == n {
+        return Ok((0..n).collect());
+    }
+
+    // W with zeroed diagonal; D = row sums.
+    let mut w = affinity.clone();
+    for i in 0..n {
+        w[(i, i)] = 0.0;
+    }
+    let degrees: Vec<f64> = (0..n).map(|i| w.row(i).iter().sum()).collect();
+
+    // L_sym = I − D^{−1/2} W D^{−1/2}; isolated nodes keep L_ii = 1.
+    let mut lap = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && degrees[i] > 0.0 && degrees[j] > 0.0 {
+                lap[(i, j)] = -w[(i, j)] / (degrees[i] * degrees[j]).sqrt();
+            }
+        }
+    }
+
+    let eig = SymmetricEigen::decompose(&lap)?;
+    // Embed each node as the i-th row of the bottom-k eigenvector matrix.
+    let mut rows: Vec<Vector> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row: Vector = (0..k).map(|j| eig.eigenvectors()[(i, j)]).collect();
+        let norm = row.norm();
+        if norm > 0.0 {
+            row.scale_mut(1.0 / norm);
+        }
+        rows.push(row);
+    }
+
+    let result = KMeans::new(k).fit(&rows, seed);
+    Ok(result.assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block-diagonal affinity with `sizes` dense blocks and `off` weight
+    /// between blocks.
+    fn block_affinity(sizes: &[usize], within: f64, off: f64) -> Matrix {
+        let n: usize = sizes.iter().sum();
+        let mut block_of = Vec::with_capacity(n);
+        for (b, &s) in sizes.iter().enumerate() {
+            block_of.extend(std::iter::repeat(b).take(s));
+        }
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = if block_of[i] == block_of[j] { within } else { off };
+            }
+        }
+        m
+    }
+
+    fn agree_up_to_relabeling(a: &[usize], b: &[usize]) -> bool {
+        // Same partition iff the co-membership relations match.
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                if (a[i] == a[j]) != (b[i] == b[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn recovers_two_clean_blocks() {
+        let aff = block_affinity(&[5, 5], 1.0, 0.01);
+        let labels = spectral_clustering(&aff, 2, 0).unwrap();
+        let expected = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        assert!(agree_up_to_relabeling(&labels, &expected), "{labels:?}");
+    }
+
+    #[test]
+    fn recovers_three_blocks_like_the_paper() {
+        // The paper's Group baseline uses 3 clusters.
+        let aff = block_affinity(&[4, 4, 4], 1.0, 0.05);
+        let labels = spectral_clustering(&aff, 3, 1).unwrap();
+        let expected = vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2];
+        assert!(agree_up_to_relabeling(&labels, &expected), "{labels:?}");
+    }
+
+    #[test]
+    fn unequal_block_sizes() {
+        let aff = block_affinity(&[6, 2], 1.0, 0.02);
+        let labels = spectral_clustering(&aff, 2, 5).unwrap();
+        let expected = vec![0, 0, 0, 0, 0, 0, 1, 1];
+        assert!(agree_up_to_relabeling(&labels, &expected), "{labels:?}");
+    }
+
+    #[test]
+    fn k_equals_n_is_identity_partition() {
+        let aff = block_affinity(&[3], 1.0, 0.0);
+        let labels = spectral_clustering(&aff, 3, 0).unwrap();
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_cluster_groups_everything() {
+        let aff = block_affinity(&[2, 2], 1.0, 0.1);
+        let labels = spectral_clustering(&aff, 1, 0).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(spectral_clustering(&Matrix::zeros(2, 3), 1, 0).is_err());
+        let aff = Matrix::identity(3);
+        assert!(spectral_clustering(&aff, 0, 0).is_err());
+        assert!(spectral_clustering(&aff, 4, 0).is_err());
+    }
+
+    #[test]
+    fn isolated_nodes_do_not_crash() {
+        // Zero affinity everywhere: every node is isolated.
+        let aff = Matrix::zeros(4, 4);
+        let labels = spectral_clustering(&aff, 2, 0).unwrap();
+        assert_eq!(labels.len(), 4);
+        assert!(labels.iter().all(|&l| l < 2));
+    }
+}

@@ -1,0 +1,180 @@
+//! Length-prefixed binary wire format.
+//!
+//! Hand-rolled on top of the `bytes` crate (the offline crate list has no
+//! serde *format* crate). All integers are little-endian; vectors are a
+//! `u32` length followed by `f64` components. The format is versioned with a
+//! leading magic byte so decoding garbage fails loudly instead of silently.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use plos_linalg::Vector;
+use std::fmt;
+
+/// Wire-format version tag; bump on breaking changes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the announced payload.
+    UnexpectedEof {
+        /// Bytes needed to continue decoding.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Unknown message tag byte.
+    UnknownTag(u8),
+    /// Wire version mismatch.
+    BadVersion(u8),
+    /// A declared length was implausibly large.
+    LengthOverflow(u64),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of buffer: need {needed} bytes, have {remaining}")
+            }
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::LengthOverflow(n) => write!(f, "declared length {n} too large"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Maximum vector length accepted by the decoder (sanity bound).
+const MAX_VEC_LEN: u64 = 16 * 1024 * 1024;
+
+/// Appends a vector: `u32` length + little-endian `f64` components.
+pub fn put_vector(buf: &mut BytesMut, v: &Vector) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v.iter() {
+        buf.put_f64_le(x);
+    }
+}
+
+/// Reads a vector written by [`put_vector`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::UnexpectedEof`] on truncation and
+/// [`CodecError::LengthOverflow`] on absurd lengths.
+pub fn get_vector(buf: &mut Bytes) -> Result<Vector, CodecError> {
+    let len = get_u32(buf)? as u64;
+    if len > MAX_VEC_LEN {
+        return Err(CodecError::LengthOverflow(len));
+    }
+    let len = len as usize;
+    let need = len * 8;
+    if buf.remaining() < need {
+        return Err(CodecError::UnexpectedEof { needed: need, remaining: buf.remaining() });
+    }
+    Ok((0..len).map(|_| buf.get_f64_le()).collect())
+}
+
+/// Reads a `u8`, checking availability.
+pub fn get_u8(buf: &mut Bytes) -> Result<u8, CodecError> {
+    ensure(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+/// Reads a little-endian `u32`, checking availability.
+pub fn get_u32(buf: &mut Bytes) -> Result<u32, CodecError> {
+    ensure(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+/// Reads a little-endian `f64`, checking availability.
+pub fn get_f64(buf: &mut Bytes) -> Result<f64, CodecError> {
+    ensure(buf, 8)?;
+    Ok(buf.get_f64_le())
+}
+
+fn ensure(buf: &Bytes, needed: usize) -> Result<(), CodecError> {
+    if buf.remaining() < needed {
+        Err(CodecError::UnexpectedEof { needed, remaining: buf.remaining() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Serialized size in bytes of a vector payload.
+pub fn vector_wire_len(v: &Vector) -> usize {
+    4 + 8 * v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_round_trip() {
+        let v = Vector::from(vec![1.5, -2.25, 0.0, f64::MAX]);
+        let mut buf = BytesMut::new();
+        put_vector(&mut buf, &v);
+        assert_eq!(buf.len(), vector_wire_len(&v));
+        let mut bytes = buf.freeze();
+        let back = get_vector(&mut bytes).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_vector_round_trip() {
+        let v = Vector::zeros(0);
+        let mut buf = BytesMut::new();
+        put_vector(&mut buf, &v);
+        let back = get_vector(&mut buf.freeze()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncated_vector_fails_cleanly() {
+        let v = Vector::from(vec![1.0, 2.0]);
+        let mut buf = BytesMut::new();
+        put_vector(&mut buf, &v);
+        let mut truncated = buf.freeze().slice(0..10);
+        let err = get_vector(&mut truncated).unwrap_err();
+        assert!(matches!(err, CodecError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        let err = get_vector(&mut buf.freeze()).unwrap_err();
+        assert!(matches!(err, CodecError::LengthOverflow(_)));
+    }
+
+    #[test]
+    fn scalar_readers_check_bounds() {
+        let mut empty = Bytes::new();
+        assert!(get_u8(&mut empty).is_err());
+        assert!(get_u32(&mut empty).is_err());
+        assert!(get_f64(&mut empty).is_err());
+    }
+
+    #[test]
+    fn special_floats_survive() {
+        let v = Vector::from(vec![f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE]);
+        let mut buf = BytesMut::new();
+        put_vector(&mut buf, &v);
+        let back = get_vector(&mut buf.freeze()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            CodecError::UnexpectedEof { needed: 8, remaining: 2 },
+            CodecError::UnknownTag(0xff),
+            CodecError::BadVersion(9),
+            CodecError::LengthOverflow(1 << 40),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Distributed-runtime substrate for the PLOS reproduction.
+//!
+//! The paper's Sec. VI-E runs distributed PLOS on a real testbed (Nexus 5
+//! phones + a 3.4 GHz server). This crate replaces the physical network with
+//! an in-process star topology that preserves everything the evaluation
+//! measures:
+//!
+//! * [`codec`] — a byte-exact, length-prefixed binary wire format for model
+//!   parameters, so message *sizes* are real (Fig. 13 reports KB/user);
+//! * [`message`] — the PLOS protocol messages: the server's per-round
+//!   broadcast of `(w0, u_t)` and the clients' `(w_t, v_t, ξ_t)` updates.
+//!   Raw sensory data has no message type at all — the type system enforces
+//!   the paper's privacy claim that only model parameters travel;
+//! * [`transport`] — crossbeam-channel duplex endpoints with per-endpoint
+//!   byte/message counters;
+//! * [`node`] — star-topology construction and a scoped-thread client
+//!   runner;
+//! * [`metrics`] — traffic snapshots and an energy model (J/byte + J/flop);
+//! * [`cost`] — device compute profiles (server vs smartphone) used to
+//!   rescale measured wall-clock into device-equivalent running time
+//!   (Fig. 12).
+
+pub mod codec;
+pub mod cost;
+pub mod message;
+pub mod metrics;
+pub mod node;
+pub mod sim;
+pub mod transport;
+
+pub use codec::CodecError;
+pub use cost::DeviceProfile;
+pub use message::Message;
+pub use metrics::{EnergyModel, TrafficStats};
+pub use node::{star, StarNetwork};
+pub use sim::LinkModel;
+pub use transport::Endpoint;

@@ -1,0 +1,243 @@
+//! The distributed-PLOS protocol messages.
+//!
+//! One round of Algorithm 2 exchanges exactly two message kinds between the
+//! server and each user: the server *scatters* the global hyperplane and the
+//! user's scaled dual (`w0`, `u_t`, Eq. 23), and the user *gathers back* its
+//! local solution (`w_t`, `v_t`, `ξ_t`, Eq. 22). The enum deliberately has
+//! **no variant that could carry raw samples** — the privacy property the
+//! paper claims is enforced by the protocol's type.
+
+use crate::codec::{self, CodecError, WIRE_VERSION};
+use bytes::{BufMut, Bytes, BytesMut};
+use plos_linalg::Vector;
+
+/// A wire message of the distributed-PLOS protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Server → user: start ADMM round `round` with the current global
+    /// hyperplane and this user's scaled dual.
+    Broadcast {
+        /// ADMM iteration counter.
+        round: u32,
+        /// Global hyperplane `w0`.
+        w0: Vector,
+        /// Scaled dual `u_t` for the receiving user.
+        u_t: Vector,
+    },
+    /// User → server: the local subproblem solution of Eq. (22).
+    ClientUpdate {
+        /// ADMM iteration this update answers.
+        round: u32,
+        /// Sender's user index `t`.
+        user: u32,
+        /// Personalized hyperplane `w_t`.
+        w_t: Vector,
+        /// Personal bias `v_t = w_t − w0` estimate.
+        v_t: Vector,
+        /// Slack value `ξ_t` (enters the objective, Eq. 23).
+        xi_t: f64,
+    },
+    /// Server → user: begin a new CCCP round — re-linearize `|w_t·x|` around
+    /// the current local hyperplane (Algorithm 2, step 7).
+    CccpAdvance {
+        /// CCCP outer-iteration counter.
+        cccp_round: u32,
+    },
+    /// Server → user: run one multi-start refinement pass against the final
+    /// global hyperplane and report the refined local model.
+    Refine {
+        /// Refinement round counter.
+        round: u32,
+        /// Current global hyperplane to anchor the refinement.
+        w0: Vector,
+    },
+    /// Server → user: training finished, terminate.
+    Shutdown,
+}
+
+const TAG_BROADCAST: u8 = 1;
+const TAG_CLIENT_UPDATE: u8 = 2;
+const TAG_CCCP_ADVANCE: u8 = 3;
+const TAG_SHUTDOWN: u8 = 4;
+const TAG_REFINE: u8 = 5;
+
+impl Message {
+    /// Encodes the message to its wire representation.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_u8(WIRE_VERSION);
+        match self {
+            Message::Broadcast { round, w0, u_t } => {
+                buf.put_u8(TAG_BROADCAST);
+                buf.put_u32_le(*round);
+                codec::put_vector(&mut buf, w0);
+                codec::put_vector(&mut buf, u_t);
+            }
+            Message::ClientUpdate { round, user, w_t, v_t, xi_t } => {
+                buf.put_u8(TAG_CLIENT_UPDATE);
+                buf.put_u32_le(*round);
+                buf.put_u32_le(*user);
+                codec::put_vector(&mut buf, w_t);
+                codec::put_vector(&mut buf, v_t);
+                buf.put_f64_le(*xi_t);
+            }
+            Message::CccpAdvance { cccp_round } => {
+                buf.put_u8(TAG_CCCP_ADVANCE);
+                buf.put_u32_le(*cccp_round);
+            }
+            Message::Refine { round, w0 } => {
+                buf.put_u8(TAG_REFINE);
+                buf.put_u32_le(*round);
+                codec::put_vector(&mut buf, w0);
+            }
+            Message::Shutdown => {
+                buf.put_u8(TAG_SHUTDOWN);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message from its wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on version mismatch, unknown tag, or
+    /// truncated payload.
+    pub fn decode(mut bytes: Bytes) -> Result<Message, CodecError> {
+        let version = codec::get_u8(&mut bytes)?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let tag = codec::get_u8(&mut bytes)?;
+        match tag {
+            TAG_BROADCAST => Ok(Message::Broadcast {
+                round: codec::get_u32(&mut bytes)?,
+                w0: codec::get_vector(&mut bytes)?,
+                u_t: codec::get_vector(&mut bytes)?,
+            }),
+            TAG_CLIENT_UPDATE => Ok(Message::ClientUpdate {
+                round: codec::get_u32(&mut bytes)?,
+                user: codec::get_u32(&mut bytes)?,
+                w_t: codec::get_vector(&mut bytes)?,
+                v_t: codec::get_vector(&mut bytes)?,
+                xi_t: codec::get_f64(&mut bytes)?,
+            }),
+            TAG_CCCP_ADVANCE => {
+                Ok(Message::CccpAdvance { cccp_round: codec::get_u32(&mut bytes)? })
+            }
+            TAG_REFINE => Ok(Message::Refine {
+                round: codec::get_u32(&mut bytes)?,
+                w0: codec::get_vector(&mut bytes)?,
+            }),
+            TAG_SHUTDOWN => Ok(Message::Shutdown),
+            other => Err(CodecError::UnknownTag(other)),
+        }
+    }
+
+    /// Exact encoded size in bytes.
+    pub fn wire_len(&self) -> usize {
+        2 + match self {
+            Message::Broadcast { w0, u_t, .. } => {
+                4 + codec::vector_wire_len(w0) + codec::vector_wire_len(u_t)
+            }
+            Message::ClientUpdate { w_t, v_t, .. } => {
+                4 + 4 + codec::vector_wire_len(w_t) + codec::vector_wire_len(v_t) + 8
+            }
+            Message::CccpAdvance { .. } => 4,
+            Message::Refine { w0, .. } => 4 + codec::vector_wire_len(w0),
+            Message::Shutdown => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Message) {
+        let encoded = m.encode();
+        assert_eq!(encoded.len(), m.wire_len(), "wire_len must match encoding");
+        let decoded = Message::decode(encoded).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn broadcast_round_trip() {
+        round_trip(Message::Broadcast {
+            round: 7,
+            w0: Vector::from(vec![1.0, -2.0, 3.5]),
+            u_t: Vector::from(vec![0.25, 0.0, -9.0]),
+        });
+    }
+
+    #[test]
+    fn client_update_round_trip() {
+        round_trip(Message::ClientUpdate {
+            round: 3,
+            user: 42,
+            w_t: Vector::from(vec![0.1, 0.2]),
+            v_t: Vector::from(vec![-0.1, 0.3]),
+            xi_t: 1.75,
+        });
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        round_trip(Message::CccpAdvance { cccp_round: 2 });
+        round_trip(Message::Shutdown);
+        round_trip(Message::Refine { round: 3, w0: Vector::from(vec![1.0, -0.5]) });
+    }
+
+    #[test]
+    fn empty_vectors_round_trip() {
+        round_trip(Message::Broadcast { round: 0, w0: Vector::zeros(0), u_t: Vector::zeros(0) });
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut raw = Message::Shutdown.encode().to_vec();
+        raw[0] = 99;
+        assert_eq!(
+            Message::decode(Bytes::from(raw)).unwrap_err(),
+            CodecError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let raw = vec![WIRE_VERSION, 0xAB];
+        assert_eq!(
+            Message::decode(Bytes::from(raw)).unwrap_err(),
+            CodecError::UnknownTag(0xAB)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let m = Message::Broadcast {
+            round: 1,
+            w0: Vector::from(vec![1.0, 2.0, 3.0]),
+            u_t: Vector::zeros(3),
+        };
+        let full = m.encode();
+        for cut in 1..full.len() {
+            let sliced = full.slice(0..cut);
+            assert!(
+                Message::decode(sliced).is_err(),
+                "decoding a {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn message_size_scales_with_dimension_only() {
+        // Fig. 13's claim: per-user message size is independent of the
+        // number of users — it depends only on the model dimension.
+        let size = |d: usize| {
+            Message::Broadcast { round: 0, w0: Vector::zeros(d), u_t: Vector::zeros(d) }
+                .wire_len()
+        };
+        assert_eq!(size(10), 2 + 4 + 2 * (4 + 80));
+        assert!(size(20) > size(10));
+    }
+}

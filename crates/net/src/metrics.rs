@@ -1,0 +1,133 @@
+//! Traffic snapshots and the energy model.
+//!
+//! The paper claims distributed PLOS "is efficient in terms of energy,
+//! computation, and communication costs". Communication is counted exactly
+//! by the transport layer; energy is modeled with standard per-byte radio
+//! costs plus per-FLOP compute cost, so experiments can report joules per
+//! user per training run.
+
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one endpoint's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Bytes written to the link.
+    pub bytes_sent: u64,
+    /// Bytes read from the link.
+    pub bytes_received: u64,
+    /// Messages written to the link.
+    pub messages_sent: u64,
+    /// Messages read from the link.
+    pub messages_received: u64,
+}
+
+impl TrafficStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Total messages moved in either direction.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_sent + self.messages_received
+    }
+
+    /// Total traffic in kilobytes (the unit of Fig. 13).
+    pub fn total_kb(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0
+    }
+
+    /// Component-wise sum of two snapshots.
+    pub fn merged(&self, other: &TrafficStats) -> TrafficStats {
+        TrafficStats {
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+            messages_sent: self.messages_sent + other.messages_sent,
+            messages_received: self.messages_received + other.messages_received,
+        }
+    }
+}
+
+/// Energy model for a mobile device: radio cost per byte plus compute cost
+/// per floating-point operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Joules per transmitted byte.
+    pub joules_per_byte_tx: f64,
+    /// Joules per received byte.
+    pub joules_per_byte_rx: f64,
+    /// Joules per floating-point operation.
+    pub joules_per_flop: f64,
+}
+
+impl EnergyModel {
+    /// Nominal smartphone WiFi + CPU figures (order-of-magnitude: WiFi
+    /// ≈ 5 µJ/byte, mobile CPU ≈ 1 nJ/FLOP).
+    pub fn smartphone_wifi() -> Self {
+        EnergyModel {
+            joules_per_byte_tx: 5.0e-6,
+            joules_per_byte_rx: 5.0e-6,
+            joules_per_flop: 1.0e-9,
+        }
+    }
+
+    /// Energy in joules for a traffic snapshot plus `flops` of computation.
+    pub fn energy_joules(&self, traffic: &TrafficStats, flops: f64) -> f64 {
+        traffic.bytes_sent as f64 * self.joules_per_byte_tx
+            + traffic.bytes_received as f64 * self.joules_per_byte_rx
+            + flops * self.joules_per_flop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_kb() {
+        let s = TrafficStats {
+            bytes_sent: 1024,
+            bytes_received: 2048,
+            messages_sent: 3,
+            messages_received: 4,
+        };
+        assert_eq!(s.total_bytes(), 3072);
+        assert_eq!(s.total_messages(), 7);
+        assert_eq!(s.total_kb(), 3.0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = TrafficStats { bytes_sent: 1, bytes_received: 2, messages_sent: 3, messages_received: 4 };
+        let b = TrafficStats { bytes_sent: 10, bytes_received: 20, messages_sent: 30, messages_received: 40 };
+        let m = a.merged(&b);
+        assert_eq!(m, TrafficStats { bytes_sent: 11, bytes_received: 22, messages_sent: 33, messages_received: 44 });
+    }
+
+    #[test]
+    fn energy_combines_radio_and_compute() {
+        let model = EnergyModel {
+            joules_per_byte_tx: 2.0,
+            joules_per_byte_rx: 1.0,
+            joules_per_flop: 0.5,
+        };
+        let traffic = TrafficStats { bytes_sent: 3, bytes_received: 4, ..Default::default() };
+        // 3*2 + 4*1 + 10*0.5 = 15
+        assert_eq!(model.energy_joules(&traffic, 10.0), 15.0);
+    }
+
+    #[test]
+    fn smartphone_model_is_positive() {
+        let m = EnergyModel::smartphone_wifi();
+        assert!(m.joules_per_byte_tx > 0.0);
+        assert!(m.joules_per_byte_rx > 0.0);
+        assert!(m.joules_per_flop > 0.0);
+    }
+
+    #[test]
+    fn default_stats_are_zero() {
+        let s = TrafficStats::default();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.total_kb(), 0.0);
+    }
+}

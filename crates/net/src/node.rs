@@ -1,0 +1,143 @@
+//! Star-topology construction and client-thread execution.
+//!
+//! Distributed PLOS has one server and `T` user devices that communicate
+//! only with the server (Fig. 1). [`star`] builds the `T` counted duplex
+//! links; [`StarNetwork::run_clients`] runs one closure per client on its
+//! own scoped thread while the caller plays the server on the current
+//! thread — mirroring the paper's deployment where phones compute in
+//! parallel.
+
+use crate::transport::Endpoint;
+
+/// The two sides of a star topology: `server[t]` is connected to
+/// `clients[t]`.
+#[derive(Debug)]
+pub struct StarNetwork {
+    /// Server-side endpoints, indexed by user.
+    pub server: Vec<Endpoint>,
+    /// Client-side endpoints, indexed by user.
+    pub clients: Vec<Endpoint>,
+}
+
+/// Builds a star with `num_clients` links.
+///
+/// # Panics
+///
+/// Panics if `num_clients == 0`.
+pub fn star(num_clients: usize) -> StarNetwork {
+    assert!(num_clients > 0, "a star needs at least one client");
+    let mut server = Vec::with_capacity(num_clients);
+    let mut clients = Vec::with_capacity(num_clients);
+    for _ in 0..num_clients {
+        let (s, c) = Endpoint::pair();
+        server.push(s);
+        clients.push(c);
+    }
+    StarNetwork { server, clients }
+}
+
+impl StarNetwork {
+    /// Number of client links.
+    pub fn num_clients(&self) -> usize {
+        self.server.len()
+    }
+
+    /// Runs `client_fn(t, endpoint)` for every client on its own scoped
+    /// thread while executing `server_fn(&server_endpoints)` on the calling
+    /// thread. Returns the server closure's output together with every
+    /// client's output (indexed by user).
+    ///
+    /// Consumes the network: endpoints move into the closures.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from the server or any client thread.
+    pub fn run_clients<S, C, SR, CR>(self, server_fn: S, client_fn: C) -> (SR, Vec<CR>)
+    where
+        S: FnOnce(&[Endpoint]) -> SR,
+        C: Fn(usize, Endpoint) -> CR + Sync,
+        CR: Send,
+    {
+        let StarNetwork { server, clients } = self;
+        let client_fn = &client_fn;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = clients
+                .into_iter()
+                .enumerate()
+                .map(|(t, endpoint)| scope.spawn(move |_| client_fn(t, endpoint)))
+                .collect();
+            let server_result = server_fn(&server);
+            // Drop the server endpoints so stray clients see Disconnected
+            // rather than hanging, then join.
+            drop(server);
+            let client_results =
+                handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect();
+            (server_result, client_results)
+        })
+        .expect("thread scope panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn star_has_matching_sides() {
+        let net = star(5);
+        assert_eq!(net.num_clients(), 5);
+        assert_eq!(net.server.len(), 5);
+        assert_eq!(net.clients.len(), 5);
+    }
+
+    #[test]
+    fn echo_round_over_all_links() {
+        let net = star(4);
+        let (server_out, client_out) = net.run_clients(
+            |server_ends| {
+                // Send each client its index; collect the echoes.
+                for (t, end) in server_ends.iter().enumerate() {
+                    end.send(&Message::CccpAdvance { cccp_round: t as u32 }).unwrap();
+                }
+                server_ends
+                    .iter()
+                    .map(|end| match end.recv().unwrap() {
+                        Message::CccpAdvance { cccp_round } => cccp_round,
+                        other => panic!("unexpected {other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |_t, endpoint| {
+                let msg = endpoint.recv().unwrap();
+                endpoint.send(&msg).unwrap();
+                endpoint.stats().bytes_sent
+            },
+        );
+        assert_eq!(server_out, vec![0, 1, 2, 3]);
+        assert!(client_out.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn client_results_are_indexed_by_user() {
+        let net = star(3);
+        let (_, results) = net.run_clients(
+            |server_ends| {
+                for end in server_ends {
+                    end.send(&Message::Shutdown).unwrap();
+                }
+            },
+            |t, endpoint| {
+                let _ = endpoint.recv().unwrap();
+                t * 10
+            },
+        );
+        assert_eq!(results, vec![0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_star_panics() {
+        let _ = star(0);
+    }
+}

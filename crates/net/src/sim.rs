@@ -1,0 +1,96 @@
+//! Link-time model: latency + bandwidth for communication-time estimates.
+//!
+//! The transport layer counts bytes exactly; this model converts those
+//! counts into wall-clock estimates for a given link class, letting the
+//! running-time experiments (Fig. 12) report end-to-end time including the
+//! radio, not only compute.
+
+use crate::metrics::TrafficStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A symmetric link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way latency per message.
+    pub latency: Duration,
+    /// Usable bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl LinkModel {
+    /// Nominal home/office WiFi figures (≈2 ms RTT/2, ≈2 MB/s usable).
+    pub fn wifi() -> Self {
+        LinkModel { latency: Duration::from_millis(2), bytes_per_sec: 2.0e6 }
+    }
+
+    /// Nominal LTE figures (≈40 ms one-way, ≈1 MB/s usable).
+    pub fn lte() -> Self {
+        LinkModel { latency: Duration::from_millis(40), bytes_per_sec: 1.0e6 }
+    }
+
+    /// Time to move one message of `bytes` over the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        assert!(self.bytes_per_sec > 0.0, "bandwidth must be positive");
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Total link time for a traffic snapshot: per-message latency plus
+    /// serialization time for every byte in both directions.
+    pub fn total_time(&self, traffic: &TrafficStats) -> Duration {
+        let latency_total = self
+            .latency
+            .checked_mul(traffic.total_messages() as u32)
+            .unwrap_or(Duration::MAX);
+        latency_total
+            + Duration::from_secs_f64(traffic.total_bytes() as f64 / self.bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_combines_latency_and_bandwidth() {
+        let link = LinkModel { latency: Duration::from_millis(10), bytes_per_sec: 1000.0 };
+        // 500 bytes at 1000 B/s = 0.5 s + 10 ms latency.
+        assert_eq!(link.transfer_time(500), Duration::from_millis(510));
+        assert_eq!(link.transfer_time(0), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn total_time_counts_every_message() {
+        let link = LinkModel { latency: Duration::from_millis(5), bytes_per_sec: 1.0e6 };
+        let traffic = TrafficStats {
+            bytes_sent: 500_000,
+            bytes_received: 500_000,
+            messages_sent: 3,
+            messages_received: 1,
+        };
+        let t = link.total_time(&traffic);
+        // 4 messages x 5 ms + 1 MB / 1 MB/s = 20 ms + 1 s.
+        assert_eq!(t, Duration::from_millis(1020));
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        assert!(LinkModel::lte().latency > LinkModel::wifi().latency);
+        assert!(LinkModel::wifi().bytes_per_sec > LinkModel::lte().bytes_per_sec);
+    }
+
+    #[test]
+    fn faster_link_moves_data_sooner() {
+        let traffic = TrafficStats {
+            bytes_sent: 10_000,
+            bytes_received: 10_000,
+            messages_sent: 10,
+            messages_received: 10,
+        };
+        assert!(LinkModel::wifi().total_time(&traffic) < LinkModel::lte().total_time(&traffic));
+    }
+}

@@ -1,0 +1,263 @@
+//! Generic consensus ADMM driver with the paper's stopping rule.
+//!
+//! Distributed PLOS (Sec. V) is consensus ADMM over the constraint
+//! `w_t = w0 + v_t`: each agent `t` locally solves Eq. (22) for
+//! `(w_t, v_t, ξ_t)` and reports the consensus variable `x_t := w_t − v_t`;
+//! the server computes the closed-form global update of `z := w0` and the
+//! scaled duals `u_t` (Eq. 23), and stops when the dual and primal residual
+//! norms fall below `√(2T)·ε_abs` and `√T·ε_abs` respectively (Eq. 24).
+//!
+//! The driver below is generic: `plos-core` supplies the PLOS local QP and
+//! the paper's server aggregation through the [`AdmmProblem`] trait; the same
+//! trait is exercised by simple quadratic test problems here.
+
+use crate::convergence::History;
+use plos_linalg::Vector;
+use serde::{Deserialize, Serialize};
+
+/// One consensus-ADMM problem instance.
+///
+/// The abstraction follows the x/z/u split of Boyd et al. (2011) §7:
+/// `x_t` are agent-local consensus variables, `z` the global variable and
+/// `u_t` the scaled duals for the constraints `x_t = z`.
+pub trait AdmmProblem {
+    /// Number of agents `T`.
+    fn num_agents(&self) -> usize;
+
+    /// Dimension of the consensus variable.
+    fn dim(&self) -> usize;
+
+    /// Solves the agent-`t` subproblem given the current global variable and
+    /// this agent's scaled dual, returning the new `x_t`.
+    fn local_step(&mut self, t: usize, z: &Vector, u_t: &Vector) -> Vector;
+
+    /// Computes the new global variable from all local variables and duals.
+    fn global_step(&self, xs: &[Vector], us: &[Vector]) -> Vector;
+
+    /// Evaluates the objective used for progress reporting.
+    fn objective(&self, xs: &[Vector], z: &Vector) -> f64;
+}
+
+/// Consensus-ADMM configuration (ρ and ε_abs as in Sec. VI-E: the paper uses
+/// `ρ = 1`, `ε_abs = 10⁻³`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsensusAdmm {
+    /// Augmented-Lagrangian penalty / step size ρ.
+    pub rho: f64,
+    /// Absolute residual tolerance ε_abs.
+    pub eps_abs: f64,
+    /// Maximum ADMM iterations.
+    pub max_iters: usize,
+}
+
+impl Default for ConsensusAdmm {
+    fn default() -> Self {
+        ConsensusAdmm { rho: 1.0, eps_abs: 1e-3, max_iters: 500 }
+    }
+}
+
+/// Result of an ADMM run.
+#[derive(Debug, Clone)]
+pub struct AdmmResult {
+    /// Final global variable `z` (for PLOS: the global hyperplane `w0`).
+    pub z: Vector,
+    /// Final local variables `x_t` (for PLOS: `w_t − v_t`).
+    pub xs: Vec<Vector>,
+    /// Final scaled duals `u_t`.
+    pub us: Vec<Vector>,
+    /// Objective after each iteration.
+    pub history: History,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether both residual tests passed before `max_iters`.
+    pub converged: bool,
+    /// Final dual residual norm `ρ·√(2T)·‖z⁺ − z‖` (Eq. 24).
+    pub dual_residual: f64,
+    /// Final primal residual norm `√(Σ‖u⁺ − u‖²)` (Eq. 24).
+    pub primal_residual: f64,
+}
+
+impl ConsensusAdmm {
+    /// Runs ADMM from the given initial global variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem reports zero agents or if `z0.len()` does not
+    /// match `problem.dim()`.
+    pub fn run<P: AdmmProblem>(&self, problem: &mut P, z0: Vector) -> AdmmResult {
+        let t_count = problem.num_agents();
+        let dim = problem.dim();
+        assert!(t_count > 0, "ADMM requires at least one agent");
+        assert_eq!(z0.len(), dim, "z0 dimension mismatch");
+
+        let mut z = z0;
+        let mut xs: Vec<Vector> = vec![Vector::zeros(dim); t_count];
+        let mut us: Vec<Vector> = vec![Vector::zeros(dim); t_count];
+        let mut history = History::new();
+
+        let sqrt_2t = (2.0 * t_count as f64).sqrt();
+        let sqrt_t = (t_count as f64).sqrt();
+
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut dual_residual = f64::INFINITY;
+        let mut primal_residual = f64::INFINITY;
+
+        while iterations < self.max_iters {
+            iterations += 1;
+
+            // x-step: every agent solves its local subproblem.
+            for (t, x_t) in xs.iter_mut().enumerate() {
+                *x_t = problem.local_step(t, &z, &us[t]);
+            }
+
+            // z-step: global aggregation (Eq. 23, first line, for PLOS).
+            let z_new = problem.global_step(&xs, &us);
+            assert_eq!(z_new.len(), dim, "global_step returned wrong dimension");
+
+            // u-step: u_t += x_t − z⁺ (Eq. 23, second line).
+            let mut u_change_sq = 0.0;
+            for (x_t, u_t) in xs.iter().zip(us.iter_mut()) {
+                let mut delta = x_t.clone();
+                delta -= &z_new;
+                u_change_sq += delta.norm_squared();
+                *u_t += &delta;
+            }
+
+            // Residuals per Eq. (24).
+            dual_residual = self.rho * sqrt_2t * z_new.distance(&z);
+            primal_residual = u_change_sq.sqrt();
+            z = z_new;
+
+            history.push(problem.objective(&xs, &z));
+
+            if dual_residual <= sqrt_2t * self.eps_abs
+                && primal_residual <= sqrt_t * self.eps_abs
+            {
+                converged = true;
+                break;
+            }
+        }
+
+        AdmmResult {
+            z,
+            xs,
+            us,
+            history,
+            iterations,
+            converged,
+            dual_residual,
+            primal_residual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Consensus averaging: each agent wants x_t near a private target a_t,
+    /// global variable must equal all x_t.
+    ///
+    ///   min Σ_t ½‖x_t − a_t‖²  s.t. x_t = z
+    ///
+    /// The optimum is z* = mean(a_t). Local step for scaled ADMM:
+    /// x_t = (a_t + ρ(z − u_t)) / (1 + ρ); global step: z = mean(x_t + u_t).
+    struct Averaging {
+        targets: Vec<Vector>,
+        rho: f64,
+    }
+
+    impl AdmmProblem for Averaging {
+        fn num_agents(&self) -> usize {
+            self.targets.len()
+        }
+        fn dim(&self) -> usize {
+            self.targets[0].len()
+        }
+        fn local_step(&mut self, t: usize, z: &Vector, u_t: &Vector) -> Vector {
+            let mut zu = z.clone();
+            zu -= u_t;
+            let mut x = self.targets[t].clone();
+            x.axpy(self.rho, &zu);
+            x.scale_mut(1.0 / (1.0 + self.rho));
+            x
+        }
+        fn global_step(&self, xs: &[Vector], us: &[Vector]) -> Vector {
+            let dim = self.dim();
+            let mut z = Vector::zeros(dim);
+            for (x, u) in xs.iter().zip(us) {
+                z += x;
+                z += u;
+            }
+            z.scale_mut(1.0 / xs.len() as f64);
+            z
+        }
+        fn objective(&self, xs: &[Vector], _z: &Vector) -> f64 {
+            xs.iter()
+                .zip(&self.targets)
+                .map(|(x, a)| 0.5 * x.distance_squared(a))
+                .sum()
+        }
+    }
+
+    #[test]
+    fn consensus_averaging_converges_to_mean() {
+        let targets = vec![
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![3.0, 2.0]),
+            Vector::from(vec![2.0, 4.0]),
+        ];
+        let rho = 1.0;
+        let mut problem = Averaging { targets, rho };
+        let admm = ConsensusAdmm { rho, eps_abs: 1e-8, max_iters: 2000 };
+        let result = admm.run(&mut problem, Vector::zeros(2));
+        assert!(result.converged, "iterations={}", result.iterations);
+        assert!((result.z[0] - 2.0).abs() < 1e-5);
+        assert!((result.z[1] - 2.0).abs() < 1e-5);
+        // Consensus actually reached.
+        for x in &result.xs {
+            assert!(x.distance(&result.z) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn residuals_shrink_below_thresholds() {
+        let targets = vec![Vector::from(vec![5.0]), Vector::from(vec![-5.0])];
+        let mut problem = Averaging { targets, rho: 1.0 };
+        let admm = ConsensusAdmm { rho: 1.0, eps_abs: 1e-6, max_iters: 5000 };
+        let result = admm.run(&mut problem, Vector::zeros(1));
+        assert!(result.converged);
+        assert!(result.dual_residual <= (4.0_f64).sqrt() * 1e-6);
+        assert!(result.primal_residual <= (2.0_f64).sqrt() * 1e-6);
+        assert!((result.z[0]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn single_agent_consensus_is_its_target() {
+        let mut problem = Averaging { targets: vec![Vector::from(vec![7.0])], rho: 2.0 };
+        let admm = ConsensusAdmm { rho: 2.0, eps_abs: 1e-9, max_iters: 5000 };
+        let result = admm.run(&mut problem, Vector::zeros(1));
+        assert!(result.converged);
+        assert!((result.z[0] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_iters_bounds_work() {
+        let targets = vec![Vector::from(vec![1.0]), Vector::from(vec![-1.0])];
+        let mut problem = Averaging { targets, rho: 1.0 };
+        let admm = ConsensusAdmm { rho: 1.0, eps_abs: 0.0, max_iters: 3 };
+        let result = admm.run(&mut problem, Vector::zeros(1));
+        assert!(!result.converged);
+        assert_eq!(result.iterations, 3);
+        assert_eq!(result.history.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "z0 dimension mismatch")]
+    fn z0_dimension_checked() {
+        let mut problem = Averaging { targets: vec![Vector::from(vec![1.0])], rho: 1.0 };
+        let admm = ConsensusAdmm::default();
+        let _ = admm.run(&mut problem, Vector::zeros(3));
+    }
+}

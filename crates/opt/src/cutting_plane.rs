@@ -1,0 +1,192 @@
+//! Generic cutting-plane (constraint-generation) driver.
+//!
+//! The PLOS primal (11) has `Σ_t 2^{m_t}` constraints — one per subset
+//! selector `c_t ∈ {0,1}^{m_t}` per user. The paper follows Kelley's
+//! cutting-plane method: keep a small working set `Ω_t` per user, solve the
+//! relaxed problem, then ask a *most-violated-constraint oracle* (Eq. 14)
+//! whether any user has a constraint violated by more than `ε`; if so, add it
+//! and re-solve (Algorithm 1, steps 4–6).
+//!
+//! This module implements the loop generically over:
+//!
+//! * a **solver** closure: given the per-group working sets, produce a
+//!   solution of the relaxed problem;
+//! * an **oracle** closure: given that solution and a group index, return the
+//!   most violated constraint and its violation margin (how far beyond
+//!   `ξ_t + ε` it sits), or `None` if the group is satisfied.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the cutting-plane loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CuttingPlane {
+    /// Constraint-violation tolerance `ε` (Algorithm 1, step 6).
+    pub eps: f64,
+    /// Safety cap on the number of solve/oracle rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for CuttingPlane {
+    fn default() -> Self {
+        CuttingPlane { eps: 1e-3, max_rounds: 200 }
+    }
+}
+
+/// Outcome of a cutting-plane run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CuttingPlaneReport {
+    /// Rounds of solve + oracle performed.
+    pub rounds: usize,
+    /// Total constraints accumulated over all groups.
+    pub total_constraints: usize,
+    /// Whether the loop exited because every group was `ε`-satisfied (as
+    /// opposed to hitting `max_rounds`).
+    pub satisfied: bool,
+}
+
+impl CuttingPlane {
+    /// Runs the constraint-generation loop.
+    ///
+    /// `solve(working_sets)` must return the optimum of the relaxed problem
+    /// restricted to the given working sets. `most_violated(&sol, g)` must
+    /// return `Some((constraint, violation))` when group `g` has a constraint
+    /// violated by more than zero, where `violation` is measured *after*
+    /// subtracting the slack (`ξ_g`); constraints with `violation <= eps`
+    /// are not added.
+    ///
+    /// Returns the final solution together with a [`CuttingPlaneReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_groups == 0`.
+    pub fn run<C, Sol>(
+        &self,
+        n_groups: usize,
+        mut solve: impl FnMut(&[Vec<C>]) -> Sol,
+        mut most_violated: impl FnMut(&Sol, usize) -> Option<(C, f64)>,
+    ) -> (Sol, Vec<Vec<C>>, CuttingPlaneReport) {
+        assert!(n_groups > 0, "cutting plane requires at least one group");
+        let mut working_sets: Vec<Vec<C>> = (0..n_groups).map(|_| Vec::new()).collect();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let sol = solve(&working_sets);
+            let mut any_added = false;
+            for g in 0..n_groups {
+                if let Some((constraint, violation)) = most_violated(&sol, g) {
+                    if violation > self.eps {
+                        working_sets[g].push(constraint);
+                        any_added = true;
+                    }
+                }
+            }
+            if !any_added || rounds >= self.max_rounds {
+                let total_constraints = working_sets.iter().map(Vec::len).sum();
+                let report = CuttingPlaneReport {
+                    rounds,
+                    total_constraints,
+                    satisfied: !any_added,
+                };
+                return (sol, working_sets, report);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy problem: minimize x² subject to x >= a_i for constraints a_i,
+    /// where the full constraint set is {x >= 0.9}. The solver only sees the
+    /// working set; the oracle reveals the constraint when violated.
+    #[test]
+    fn converges_on_toy_problem() {
+        let cp = CuttingPlane { eps: 1e-6, max_rounds: 50 };
+        let hidden_bound = 0.9_f64;
+        let (sol, sets, report) = cp.run(
+            1,
+            |ws: &[Vec<f64>]| {
+                // min x² s.t. x >= max(working set, 0)
+                ws[0].iter().copied().fold(0.0_f64, f64::max)
+            },
+            |&x, _g| {
+                let violation = hidden_bound - x;
+                if violation > 0.0 {
+                    Some((hidden_bound, violation))
+                } else {
+                    None
+                }
+            },
+        );
+        assert!(report.satisfied);
+        assert!((sol - hidden_bound).abs() < 1e-12);
+        assert_eq!(sets[0].len(), 1);
+        assert_eq!(report.total_constraints, 1);
+        assert_eq!(report.rounds, 2); // one to discover, one to confirm
+    }
+
+    #[test]
+    fn multiple_groups_accumulate_independently() {
+        let cp = CuttingPlane { eps: 1e-9, max_rounds: 50 };
+        let bounds = [0.5_f64, 2.0];
+        let (sol, sets, report) = cp.run(
+            2,
+            |ws: &[Vec<f64>]| {
+                let per_group: Vec<f64> = ws
+                    .iter()
+                    .map(|w| w.iter().copied().fold(0.0_f64, f64::max))
+                    .collect();
+                per_group
+            },
+            |xs: &Vec<f64>, g| {
+                let violation = bounds[g] - xs[g];
+                (violation > 0.0).then_some((bounds[g], violation))
+            },
+        );
+        assert!(report.satisfied);
+        assert_eq!(sol, vec![0.5, 2.0]);
+        assert_eq!(sets[0], vec![0.5]);
+        assert_eq!(sets[1], vec![2.0]);
+    }
+
+    #[test]
+    fn eps_filters_small_violations() {
+        let cp = CuttingPlane { eps: 0.5, max_rounds: 50 };
+        let (sol, sets, report) = cp.run(
+            1,
+            |ws: &[Vec<f64>]| ws[0].iter().copied().fold(0.0_f64, f64::max),
+            |&x, _| {
+                let violation = 0.3 - x; // below eps: never added
+                (violation > 0.0).then_some((0.3, violation))
+            },
+        );
+        assert!(report.satisfied);
+        assert_eq!(sol, 0.0);
+        assert!(sets[0].is_empty());
+        assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn max_rounds_caps_runaway_oracle() {
+        let cp = CuttingPlane { eps: 1e-9, max_rounds: 7 };
+        let mut counter = 0.0_f64;
+        let (_, _, report) = cp.run(
+            1,
+            |_ws: &[Vec<f64>]| 0.0,
+            |_, _| {
+                counter += 1.0;
+                Some((counter, 1.0)) // always claims a fresh violated constraint
+            },
+        );
+        assert!(!report.satisfied);
+        assert_eq!(report.rounds, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_panics() {
+        let cp = CuttingPlane::default();
+        let _ = cp.run(0, |_: &[Vec<f64>]| 0.0, |_, _| None::<(f64, f64)>);
+    }
+}

@@ -1,0 +1,229 @@
+//! Projected-gradient reference solver for [`GroupedQp`](crate::qp::GroupedQp).
+//!
+//! Slower but conceptually independent of the coordinate-descent solver; the
+//! test suite uses it as an oracle to validate coordinate descent, and it
+//! doubles as the projection toolbox (non-negative capped simplex) used
+//! elsewhere.
+
+use crate::qp::GroupedQp;
+use plos_linalg::Vector;
+
+/// Projects `x` (in place) onto `{x ≥ 0, Σ x_i ≤ cap}`.
+///
+/// If clamping at zero already satisfies the cap the clamp is the projection;
+/// otherwise the point is projected onto the simplex `{x ≥ 0, Σ x = cap}`
+/// with the classic sort-and-threshold algorithm.
+///
+/// # Panics
+///
+/// Panics if `cap` is negative or not finite.
+pub fn project_capped_simplex(x: &mut [f64], cap: f64) {
+    assert!(cap.is_finite() && cap >= 0.0, "cap must be finite and >= 0");
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    let sum: f64 = x.iter().sum();
+    if sum <= cap {
+        return;
+    }
+    // Project onto {x >= 0, sum == cap}: find threshold tau with
+    // sum(max(x_i - tau, 0)) == cap.
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    let mut cumulative = 0.0;
+    let mut tau = 0.0;
+    for (k, &v) in sorted.iter().enumerate() {
+        cumulative += v;
+        let candidate = (cumulative - cap) / (k as f64 + 1.0);
+        if k + 1 == sorted.len() || sorted[k + 1] <= candidate {
+            tau = candidate;
+            break;
+        }
+    }
+    for v in x.iter_mut() {
+        *v = (*v - tau).max(0.0);
+    }
+}
+
+/// Result of [`solve_projected_gradient`].
+#[derive(Debug, Clone)]
+pub struct PgSolution {
+    /// Final iterate.
+    pub gamma: Vector,
+    /// Objective value at the final iterate.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Solves a [`GroupedQp`] by projected gradient descent with a fixed step
+/// from a Lipschitz upper bound (`trace(Q)` majorizes the top eigenvalue).
+///
+/// Intended as a test oracle: robust, derivative-checked, slow.
+pub fn solve_projected_gradient(qp: &GroupedQp, max_iters: usize, tol: f64) -> PgSolution {
+    let n = qp.dim();
+    let mut gamma = Vector::zeros(n);
+    // Lipschitz constant of the gradient: λ_max(Q) <= trace(Q) for PSD Q.
+    let lipschitz: f64 = (0..n).map(|i| qp.q_entry(i, i)).sum::<f64>().max(1e-12);
+    let step = 1.0 / lipschitz;
+
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let grad = qp.gradient(&gamma);
+        let mut next = gamma.clone();
+        next.axpy(-step, &grad);
+        qp.project(&mut next);
+        let delta = next.distance(&gamma);
+        gamma = next;
+        if delta < tol {
+            break;
+        }
+    }
+    let objective = qp.objective(&gamma);
+    PgSolution { gamma, objective, iterations }
+}
+
+impl GroupedQp {
+    /// Gradient `Q·γ − b` of the QP objective.
+    pub fn gradient(&self, gamma: &Vector) -> Vector {
+        let mut g = self.q_matvec(gamma);
+        g -= self.b_ref();
+        g
+    }
+
+    /// Projects `gamma` (in place) onto the feasible set: coordinates clamped
+    /// to `≥ 0` and each group projected onto its capped simplex.
+    pub fn project(&self, gamma: &mut Vector) {
+        for v in gamma.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        for (members, cap) in self.groups_ref() {
+            let mut vals: Vec<f64> = members.iter().map(|&i| gamma[i]).collect();
+            project_capped_simplex(&mut vals, *cap);
+            for (&i, v) in members.iter().zip(vals) {
+                gamma[i] = v;
+            }
+        }
+    }
+}
+
+// Crate-internal accessors used by the reference solver; kept out of the main
+// public surface of `qp.rs`.
+impl GroupedQp {
+    pub(crate) fn q_entry(&self, i: usize, j: usize) -> f64 {
+        self.q_ref()[(i, j)]
+    }
+    pub(crate) fn q_matvec(&self, x: &Vector) -> Vector {
+        self.q_ref().matvec(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qp::QpSolverOptions;
+    use plos_linalg::Matrix;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn projection_clamps_when_cap_slack() {
+        let mut x = vec![-1.0, 0.5, 0.2];
+        project_capped_simplex(&mut x, 10.0);
+        assert_eq!(x, vec![0.0, 0.5, 0.2]);
+    }
+
+    #[test]
+    fn projection_onto_tight_simplex() {
+        let mut x = vec![2.0, 2.0];
+        project_capped_simplex(&mut x, 1.0);
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_zeroes_small_coordinates() {
+        let mut x = vec![3.0, 0.1];
+        project_capped_simplex(&mut x, 1.0);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert_eq!(x[1], 0.0);
+    }
+
+    #[test]
+    fn projection_zero_cap() {
+        let mut x = vec![1.0, 2.0];
+        project_capped_simplex(&mut x, 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..8);
+            let cap = rng.gen_range(0.0..3.0);
+            let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            project_capped_simplex(&mut x, cap);
+            let once = x.clone();
+            project_capped_simplex(&mut x, cap);
+            for (a, b) in once.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-12);
+            }
+            assert!(x.iter().sum::<f64>() <= cap + 1e-9);
+            assert!(x.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn pg_agrees_with_coordinate_descent_on_random_qps() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..7);
+            // Random PSD Q = AᵀA + small ridge.
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.gen_range(-1.0..1.0);
+                }
+            }
+            let mut q = a.transpose().matmul(&a).unwrap();
+            q.add_diagonal(0.1);
+            let b: Vector = (0..n).map(|_| rng.gen_range(-1.0..2.0)).collect();
+            // One group over all variables with a random cap.
+            let cap = rng.gen_range(0.1..2.0);
+            let qp = GroupedQp::new(q, b, vec![((0..n).collect(), cap)]).unwrap();
+
+            let cd = qp.solve(&QpSolverOptions::default());
+            let pg = solve_projected_gradient(&qp, 200_000, 1e-12);
+            assert!(
+                (cd.objective - pg.objective).abs() < 1e-5,
+                "trial {trial}: cd={} pg={}",
+                cd.objective,
+                pg.objective
+            );
+            assert!(qp.is_feasible(&cd.gamma, 1e-8));
+            assert!(qp.is_feasible(&pg.gamma, 1e-8));
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let q = Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]).unwrap();
+        let qp = GroupedQp::new(q, Vector::from(vec![1.0, -0.5]), vec![]).unwrap();
+        let x = Vector::from(vec![0.3, 0.7]);
+        let g = qp.gradient(&x);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (qp.objective(&xp) - qp.objective(&xm)) / (2.0 * h);
+            assert!((fd - g[i]).abs() < 1e-5, "coordinate {i}");
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Coordinate-ascent solver for the PLOS dual quadratic programs.
+//!
+//! Both duals in the paper share one shape. Eq. (16):
+//!
+//! ```text
+//! max_{γ ≥ 0}  −½‖Σ γ_kt z_kt‖² + Σ γ_kt c_kt
+//! s.t.          Σ_k γ_kt ≤ T/2λ           (one cap per user t)
+//! ```
+//!
+//! In minimization form this is `min ½ γᵀQγ − bᵀγ` with `Q_ij = ⟨z_i, z_j⟩`
+//! PSD, subject to `γ ≥ 0` and a *capped-sum* constraint per disjoint group
+//! of variables. The local device dual of Eq. (22) is the same problem with a
+//! single group. Because the constraints are separable per coordinate given
+//! the rest of its group, cyclic coordinate descent with per-coordinate
+//! clipping is exact and converges monotonically for PSD `Q` — the same
+//! family of solvers used by liblinear for SVM duals.
+
+use plos_linalg::{LinalgError, Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+/// A PSD quadratic program `min ½ γᵀQγ − bᵀγ` over `γ ≥ 0` with disjoint
+/// capped-sum groups `Σ_{i ∈ g} γ_i ≤ cap_g`.
+///
+/// Variables not covered by any group are only constrained to `γ_i ≥ 0`.
+///
+/// ```
+/// use plos_linalg::{Matrix, Vector};
+/// use plos_opt::{GroupedQp, QpSolverOptions};
+/// # fn main() -> Result<(), plos_linalg::LinalgError> {
+/// // min ½(γ₀² + γ₁²) − γ₀ − 2γ₁  s.t. γ ≥ 0, γ₀ + γ₁ ≤ 1
+/// let q = Matrix::identity(2);
+/// let b = Vector::from(vec![1.0, 2.0]);
+/// let qp = GroupedQp::new(q, b, vec![(vec![0, 1], 1.0)])?;
+/// let sol = qp.solve(&QpSolverOptions::default());
+/// assert!(sol.gamma[1] > sol.gamma[0]); // the larger linear gain wins the cap
+/// assert!(sol.gamma[0] + sol.gamma[1] <= 1.0 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupedQp {
+    q: Matrix,
+    b: Vector,
+    /// `(member indices, cap)` per group; groups are disjoint.
+    groups: Vec<(Vec<usize>, f64)>,
+    /// group id per variable (usize::MAX = ungrouped)
+    group_of: Vec<usize>,
+}
+
+/// Tuning knobs for [`GroupedQp::solve`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QpSolverOptions {
+    /// Stop when the largest coordinate update in a sweep falls below this.
+    pub tol: f64,
+    /// Maximum number of full sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for QpSolverOptions {
+    fn default() -> Self {
+        QpSolverOptions { tol: 1e-10, max_sweeps: 10_000 }
+    }
+}
+
+/// Solution of a [`GroupedQp`].
+#[derive(Debug, Clone)]
+pub struct QpSolution {
+    /// Optimal variables.
+    pub gamma: Vector,
+    /// Objective value `½ γᵀQγ − bᵀγ` at `gamma`.
+    pub objective: f64,
+    /// Sweeps actually performed.
+    pub sweeps: usize,
+    /// Whether the tolerance was reached within the sweep budget.
+    pub converged: bool,
+}
+
+impl GroupedQp {
+    /// Creates a grouped QP.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `q` is not square.
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != q.nrows()`, if a
+    ///   group references an out-of-range variable, or if groups overlap.
+    ///
+    /// Caps must be non-negative and finite (checked with an assertion).
+    pub fn new(
+        q: Matrix,
+        b: Vector,
+        groups: Vec<(Vec<usize>, f64)>,
+    ) -> Result<Self, LinalgError> {
+        if !q.is_square() {
+            return Err(LinalgError::NotSquare { rows: q.nrows(), cols: q.ncols() });
+        }
+        let n = q.nrows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "GroupedQp::new (b)",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut group_of = vec![usize::MAX; n];
+        for (gi, (members, cap)) in groups.iter().enumerate() {
+            assert!(cap.is_finite() && *cap >= 0.0, "group cap must be finite and >= 0");
+            for &m in members {
+                if m >= n {
+                    return Err(LinalgError::DimensionMismatch {
+                        op: "GroupedQp::new (group member)",
+                        expected: n,
+                        actual: m,
+                    });
+                }
+                if group_of[m] != usize::MAX {
+                    return Err(LinalgError::DimensionMismatch {
+                        op: "GroupedQp::new (overlapping groups)",
+                        expected: usize::MAX,
+                        actual: m,
+                    });
+                }
+                group_of[m] = gi;
+            }
+        }
+        Ok(GroupedQp { q, b, groups, group_of })
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Objective `½ γᵀQγ − bᵀγ`.
+    pub fn objective(&self, gamma: &Vector) -> f64 {
+        0.5 * self.q.quadratic_form(gamma) - self.b.dot(gamma)
+    }
+
+    /// Returns `true` if `gamma` satisfies all constraints within `tol`.
+    pub fn is_feasible(&self, gamma: &Vector, tol: f64) -> bool {
+        if gamma.len() != self.dim() {
+            return false;
+        }
+        if gamma.iter().any(|&g| g < -tol) {
+            return false;
+        }
+        self.groups.iter().all(|(members, cap)| {
+            members.iter().map(|&i| gamma[i]).sum::<f64>() <= cap + tol
+        })
+    }
+
+    /// Solves the QP by cyclic coordinate descent with exact per-coordinate
+    /// clipping, starting from `γ = 0` (always feasible).
+    pub fn solve(&self, opts: &QpSolverOptions) -> QpSolution {
+        self.solve_warm(Vector::zeros(self.dim()), opts)
+    }
+
+    /// Solves starting from a warm-start point.
+    ///
+    /// The warm start is first projected to feasibility (coordinates clamped
+    /// to `≥ 0`, then groups rescaled onto their caps if violated).
+    pub fn solve_warm(&self, warm: Vector, opts: &QpSolverOptions) -> QpSolution {
+        let n = self.dim();
+        assert_eq!(warm.len(), n, "warm start has wrong dimension");
+        let mut gamma = warm.map(|g| g.max(0.0));
+        // Rescale any over-cap group onto its cap.
+        let mut group_sum: Vec<f64> = self
+            .groups
+            .iter()
+            .map(|(members, _)| members.iter().map(|&i| gamma[i]).sum())
+            .collect();
+        for (gi, (members, cap)) in self.groups.iter().enumerate() {
+            if group_sum[gi] > *cap && group_sum[gi] > 0.0 {
+                let scale = cap / group_sum[gi];
+                for &i in members {
+                    gamma[i] *= scale;
+                }
+                group_sum[gi] = *cap;
+            }
+        }
+
+        // Maintain grad = Q·γ − b incrementally.
+        let mut grad = self.q.matvec(&gamma);
+        grad -= &self.b;
+
+        let mut sweeps = 0;
+        let mut converged = false;
+        while sweeps < opts.max_sweeps {
+            sweeps += 1;
+            let mut max_delta = 0.0_f64;
+
+            // Pass 1: single-coordinate updates with clipping against the
+            // non-negativity bound and the remaining group budget.
+            for i in 0..n {
+                let qii = self.q[(i, i)];
+                let gi = self.group_of[i];
+                let upper = if gi == usize::MAX {
+                    f64::INFINITY
+                } else {
+                    // Cap minus the rest of the group.
+                    self.groups[gi].1 - (group_sum[gi] - gamma[i])
+                };
+                let new_val = if qii > 0.0 {
+                    (gamma[i] - grad[i] / qii).clamp(0.0, upper.max(0.0))
+                } else {
+                    // Degenerate curvature: the objective is linear in γ_i;
+                    // move to whichever bound decreases it.
+                    if grad[i] > 0.0 {
+                        0.0
+                    } else if grad[i] < 0.0 && upper.is_finite() {
+                        upper.max(0.0)
+                    } else {
+                        gamma[i]
+                    }
+                };
+                let delta = new_val - gamma[i];
+                if delta != 0.0 {
+                    self.apply_update(i, delta, &mut gamma, &mut grad);
+                    if gi != usize::MAX {
+                        group_sum[gi] += delta;
+                    }
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+
+            // Pass 2: SMO-style pairwise updates inside each group. A move
+            // of δ along e_i − e_j keeps the group sum constant, which is
+            // the only way to redistribute mass once the cap is active
+            // (single-coordinate moves are blocked at that vertex).
+            for (members, _cap) in &self.groups {
+                for a in 0..members.len() {
+                    for b in (a + 1)..members.len() {
+                        let (i, j) = (members[a], members[b]);
+                        let curvature =
+                            self.q[(i, i)] + self.q[(j, j)] - 2.0 * self.q[(i, j)];
+                        let slope = grad[i] - grad[j];
+                        let lo = -gamma[i]; // keeps γ_i ≥ 0
+                        let hi = gamma[j]; // keeps γ_j ≥ 0
+                        let delta = if curvature > 0.0 {
+                            (-slope / curvature).clamp(lo, hi)
+                        } else if slope > 0.0 {
+                            lo
+                        } else if slope < 0.0 {
+                            hi
+                        } else {
+                            0.0
+                        };
+                        if delta != 0.0 {
+                            self.apply_update(i, delta, &mut gamma, &mut grad);
+                            self.apply_update(j, -delta, &mut gamma, &mut grad);
+                            max_delta = max_delta.max(delta.abs());
+                        }
+                    }
+                }
+            }
+
+            if max_delta < opts.tol {
+                converged = true;
+                break;
+            }
+        }
+        let objective = self.objective(&gamma);
+        QpSolution { gamma, objective, sweeps, converged }
+    }
+
+    /// Applies `gamma[i] += delta` and keeps `grad = Q·γ − b` consistent.
+    fn apply_update(&self, i: usize, delta: f64, gamma: &mut Vector, grad: &mut Vector) {
+        let row = self.q.row(i);
+        for (g, &qv) in grad.iter_mut().zip(row) {
+            *g += qv * delta;
+        }
+        gamma[i] += delta;
+    }
+
+    pub(crate) fn q_ref(&self) -> &Matrix {
+        &self.q
+    }
+
+    pub(crate) fn b_ref(&self) -> &Vector {
+        &self.b
+    }
+
+    pub(crate) fn groups_ref(&self) -> &[(Vec<usize>, f64)] {
+        &self.groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> QpSolverOptions {
+        QpSolverOptions::default()
+    }
+
+    #[test]
+    fn unconstrained_interior_optimum() {
+        // min ½γᵀIγ − bᵀγ with b ≥ 0 and loose cap: optimum γ = b.
+        let qp = GroupedQp::new(
+            Matrix::identity(3),
+            Vector::from(vec![0.5, 1.0, 0.25]),
+            vec![(vec![0, 1, 2], 100.0)],
+        )
+        .unwrap();
+        let sol = qp.solve(&opts());
+        assert!(sol.converged);
+        for (g, b) in sol.gamma.iter().zip([0.5, 1.0, 0.25]) {
+            assert!((g - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn nonneg_constraint_binds() {
+        // Negative linear gain => γ stays 0.
+        let qp = GroupedQp::new(Matrix::identity(2), Vector::from(vec![-1.0, -2.0]), vec![])
+            .unwrap();
+        let sol = qp.solve(&opts());
+        assert_eq!(sol.gamma.as_slice(), &[0.0, 0.0]);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn cap_binds_and_allocates_to_best_coordinate() {
+        // Equal curvature, one coordinate with larger gain, tight cap.
+        let qp = GroupedQp::new(
+            Matrix::identity(2),
+            Vector::from(vec![1.0, 2.0]),
+            vec![(vec![0, 1], 1.0)],
+        )
+        .unwrap();
+        let sol = qp.solve(&opts());
+        assert!(qp.is_feasible(&sol.gamma, 1e-9));
+        let total: f64 = sol.gamma.iter().sum();
+        assert!((total - 1.0).abs() < 1e-8, "cap should be active, total={total}");
+        // KKT: cap multiplier μ = 1 gives γ = (1−μ, 2−μ)₊ = (0, 1).
+        assert!(sol.gamma[0].abs() < 1e-6);
+        assert!((sol.gamma[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiple_independent_groups() {
+        let qp = GroupedQp::new(
+            Matrix::identity(4),
+            Vector::from(vec![5.0, 5.0, 0.1, 0.1]),
+            vec![(vec![0, 1], 1.0), (vec![2, 3], 10.0)],
+        )
+        .unwrap();
+        let sol = qp.solve(&opts());
+        assert!((sol.gamma[0] + sol.gamma[1] - 1.0).abs() < 1e-8, "group 0 cap active");
+        // Group 1 cap slack: interior optimum = b.
+        assert!((sol.gamma[2] - 0.1).abs() < 1e-8);
+        assert!((sol.gamma[3] - 0.1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_cap_pins_group_to_zero() {
+        let qp = GroupedQp::new(
+            Matrix::identity(2),
+            Vector::from(vec![3.0, 3.0]),
+            vec![(vec![0, 1], 0.0)],
+        )
+        .unwrap();
+        let sol = qp.solve(&opts());
+        assert_eq!(sol.gamma.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn correlated_q_matches_kkt() {
+        // Q = [[2,1],[1,2]], b = (1,1): unconstrained optimum Qγ = b => γ = (1/3,1/3).
+        let q = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let qp = GroupedQp::new(q, Vector::from(vec![1.0, 1.0]), vec![]).unwrap();
+        let sol = qp.solve(&opts());
+        assert!((sol.gamma[0] - 1.0 / 3.0).abs() < 1e-8);
+        assert!((sol.gamma[1] - 1.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_curvature_linear_coordinate() {
+        // Q has a zero row/col: variable 1 is linear with positive gain and a cap.
+        let q = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]).unwrap();
+        let qp = GroupedQp::new(q, Vector::from(vec![1.0, 1.0]), vec![(vec![1], 2.0)]).unwrap();
+        let sol = qp.solve(&opts());
+        assert!((sol.gamma[0] - 1.0).abs() < 1e-8);
+        assert!((sol.gamma[1] - 2.0).abs() < 1e-8, "linear coordinate rides to its cap");
+    }
+
+    #[test]
+    fn warm_start_infeasible_is_projected() {
+        let qp = GroupedQp::new(
+            Matrix::identity(2),
+            Vector::from(vec![1.0, 1.0]),
+            vec![(vec![0, 1], 1.0)],
+        )
+        .unwrap();
+        let sol = qp.solve_warm(Vector::from(vec![-5.0, 10.0]), &opts());
+        assert!(qp.is_feasible(&sol.gamma, 1e-9));
+        // Optimum splits the cap evenly by symmetry.
+        assert!((sol.gamma[0] - 0.5).abs() < 1e-6);
+        assert!((sol.gamma[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start() {
+        let q = Matrix::from_rows(&[vec![3.0, 0.5], vec![0.5, 2.0]]).unwrap();
+        let qp = GroupedQp::new(q, Vector::from(vec![1.0, 4.0]), vec![(vec![0, 1], 1.5)])
+            .unwrap();
+        let cold = qp.solve(&opts());
+        let warm = qp.solve_warm(Vector::from(vec![0.7, 0.7]), &opts());
+        assert!((cold.objective - warm.objective).abs() < 1e-8);
+    }
+
+    #[test]
+    fn constructor_validations() {
+        assert!(GroupedQp::new(Matrix::zeros(2, 3), Vector::zeros(2), vec![]).is_err());
+        assert!(GroupedQp::new(Matrix::identity(2), Vector::zeros(3), vec![]).is_err());
+        assert!(GroupedQp::new(
+            Matrix::identity(2),
+            Vector::zeros(2),
+            vec![(vec![5], 1.0)]
+        )
+        .is_err());
+        assert!(GroupedQp::new(
+            Matrix::identity(2),
+            Vector::zeros(2),
+            vec![(vec![0], 1.0), (vec![0], 1.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn objective_decreases_from_feasible_start() {
+        let q = Matrix::from_rows(&[vec![2.0, 0.3], vec![0.3, 1.0]]).unwrap();
+        let qp = GroupedQp::new(q, Vector::from(vec![1.0, -0.2]), vec![(vec![0, 1], 0.8)])
+            .unwrap();
+        let start = Vector::from(vec![0.4, 0.4]);
+        let before = qp.objective(&start);
+        let sol = qp.solve_warm(start, &opts());
+        assert!(sol.objective <= before + 1e-12);
+    }
+
+    #[test]
+    fn is_feasible_rejects_bad_points() {
+        let qp = GroupedQp::new(
+            Matrix::identity(2),
+            Vector::zeros(2),
+            vec![(vec![0, 1], 1.0)],
+        )
+        .unwrap();
+        assert!(qp.is_feasible(&Vector::from(vec![0.5, 0.5]), 1e-9));
+        assert!(!qp.is_feasible(&Vector::from(vec![-0.1, 0.5]), 1e-9));
+        assert!(!qp.is_feasible(&Vector::from(vec![0.8, 0.8]), 1e-9));
+        assert!(!qp.is_feasible(&Vector::zeros(3), 1e-9));
+    }
+}

@@ -1,0 +1,198 @@
+//! Statistical feature extraction (the paper's Sec. VI-B pipeline).
+//!
+//! Two families of features per windowed segment:
+//!
+//! * **per-signal** — mean, standard deviation, median absolute deviation,
+//!   maximum, minimum, energy, interquartile range (7 features per channel);
+//! * **cross-signal** — mean accelerometer magnitude, the angles between the
+//!   (mean) acceleration and the three axes, and the signal magnitude area
+//!   (the normalized integral of absolute value) of the accelerometer.
+//!
+//! A TelosB node contributes 5 channels × 7 + 5 = 40 features; three nodes
+//! concatenate to the paper's 120-dimensional vectors.
+
+use plos_linalg::stats;
+use plos_linalg::Vector;
+
+/// Number of per-signal statistics extracted by [`signal_features`].
+pub const PER_SIGNAL_FEATURES: usize = 7;
+
+/// Number of cross-signal accelerometer features extracted by
+/// [`accel_cross_features`].
+pub const CROSS_FEATURES: usize = 5;
+
+/// Features of one TelosB node window: 5 channels × 7 + 5.
+pub const NODE_FEATURES: usize = 5 * PER_SIGNAL_FEATURES + CROSS_FEATURES;
+
+/// The 7 per-signal statistics of one windowed channel, in the order mean,
+/// std, MAD, max, min, energy, IQR.
+///
+/// # Panics
+///
+/// Panics if the window is empty.
+pub fn signal_features(samples: &[f64]) -> [f64; PER_SIGNAL_FEATURES] {
+    assert!(!samples.is_empty(), "cannot featurize an empty window");
+    [
+        stats::mean(samples).expect("non-empty"),
+        stats::std_dev(samples).expect("non-empty"),
+        stats::median_absolute_deviation(samples).expect("non-empty"),
+        stats::max(samples).expect("non-empty"),
+        stats::min(samples).expect("non-empty"),
+        stats::energy(samples).expect("non-empty"),
+        stats::interquartile_range(samples).expect("non-empty"),
+    ]
+}
+
+/// The 5 cross-signal accelerometer features of one window: mean magnitude,
+/// angles between the mean acceleration and the x/y/z axes, and signal
+/// magnitude area.
+///
+/// # Panics
+///
+/// Panics if the three channels are empty or of differing lengths.
+pub fn accel_cross_features(ax: &[f64], ay: &[f64], az: &[f64]) -> [f64; CROSS_FEATURES] {
+    assert!(!ax.is_empty(), "cannot featurize an empty window");
+    assert!(
+        ax.len() == ay.len() && ay.len() == az.len(),
+        "accelerometer channels must have equal length"
+    );
+    let n = ax.len() as f64;
+
+    // Mean per-sample magnitude.
+    let mean_magnitude = ax
+        .iter()
+        .zip(ay)
+        .zip(az)
+        .map(|((&x, &y), &z)| (x * x + y * y + z * z).sqrt())
+        .sum::<f64>()
+        / n;
+
+    // Angles between the mean acceleration vector and each axis.
+    let mx = ax.iter().sum::<f64>() / n;
+    let my = ay.iter().sum::<f64>() / n;
+    let mz = az.iter().sum::<f64>() / n;
+    let norm = (mx * mx + my * my + mz * mz).sqrt();
+    let angle = |component: f64| {
+        if norm > 0.0 {
+            (component / norm).clamp(-1.0, 1.0).acos()
+        } else {
+            std::f64::consts::FRAC_PI_2
+        }
+    };
+
+    // Signal magnitude area: normalized integral of |x|+|y|+|z|.
+    let sma = ax
+        .iter()
+        .zip(ay)
+        .zip(az)
+        .map(|((&x, &y), &z)| x.abs() + y.abs() + z.abs())
+        .sum::<f64>()
+        / n;
+
+    [mean_magnitude, angle(mx), angle(my), angle(mz), sma]
+}
+
+/// Featurizes one TelosB node window (accel x/y/z + gyro u/v) into the
+/// 40-dimensional node feature vector.
+///
+/// # Panics
+///
+/// Panics if any channel is empty or channels have differing lengths.
+pub fn node_features(
+    ax: &[f64],
+    ay: &[f64],
+    az: &[f64],
+    gu: &[f64],
+    gv: &[f64],
+) -> Vector {
+    let len = ax.len();
+    assert!(
+        [ay.len(), az.len(), gu.len(), gv.len()].iter().all(|&l| l == len),
+        "all node channels must have equal length"
+    );
+    let mut out = Vec::with_capacity(NODE_FEATURES);
+    for channel in [ax, ay, az, gu, gv] {
+        out.extend_from_slice(&signal_features(channel));
+    }
+    out.extend_from_slice(&accel_cross_features(ax, ay, az));
+    Vector::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_signal_feature_values() {
+        let f = signal_features(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(f[0], 5.0); // mean
+        assert_eq!(f[1], 2.0); // std
+        assert_eq!(f[2], 0.5); // MAD
+        assert_eq!(f[3], 9.0); // max
+        assert_eq!(f[4], 2.0); // min
+        assert!(f[5] > 0.0); // energy
+        assert!(f[6] > 0.0); // IQR
+    }
+
+    #[test]
+    fn cross_features_pure_gravity_on_z() {
+        let n = 16;
+        let zero = vec![0.0; n];
+        let one = vec![1.0; n];
+        let f = accel_cross_features(&zero, &zero, &one);
+        assert!((f[0] - 1.0).abs() < 1e-12, "magnitude");
+        assert!((f[1] - std::f64::consts::FRAC_PI_2).abs() < 1e-12, "angle to x");
+        assert!((f[2] - std::f64::consts::FRAC_PI_2).abs() < 1e-12, "angle to y");
+        assert!(f[3].abs() < 1e-12, "angle to z is zero");
+        assert!((f[4] - 1.0).abs() < 1e-12, "sma");
+    }
+
+    #[test]
+    fn cross_features_zero_acceleration() {
+        let zero = vec![0.0; 4];
+        let f = accel_cross_features(&zero, &zero, &zero);
+        assert_eq!(f[0], 0.0);
+        // Degenerate direction: angles default to π/2.
+        assert_eq!(f[1], std::f64::consts::FRAC_PI_2);
+        assert_eq!(f[4], 0.0);
+    }
+
+    #[test]
+    fn angles_detect_orientation_difference() {
+        let n = 8;
+        let zero = vec![0.0; n];
+        let one = vec![1.0; n];
+        let on_x = accel_cross_features(&one, &zero, &zero);
+        let on_z = accel_cross_features(&zero, &zero, &one);
+        // Same magnitude, very different angle signature.
+        assert!((on_x[0] - on_z[0]).abs() < 1e-12);
+        assert!((on_x[1] - on_z[1]).abs() > 1.0);
+    }
+
+    #[test]
+    fn node_feature_vector_has_expected_dim() {
+        let n = 64;
+        let ch: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let f = node_features(&ch, &ch, &ch, &ch, &ch);
+        assert_eq!(f.len(), NODE_FEATURES);
+        assert_eq!(NODE_FEATURES, 40);
+        assert!(f.is_finite());
+    }
+
+    #[test]
+    fn three_nodes_give_the_papers_120_dims() {
+        assert_eq!(3 * NODE_FEATURES, 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        let _ = signal_features(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_channels_panic() {
+        let _ = node_features(&[1.0], &[1.0, 2.0], &[1.0], &[1.0], &[1.0]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Synthetic inertial-measurement-unit (IMU) trace generation.
+//!
+//! Stand-in for the paper's TelosB motion boards (triaxial accelerometer +
+//! biaxial gyroscope) and smartphone IMUs. Each activity is a harmonic
+//! motion model in the *body frame* — a constant gravity/posture component
+//! plus low-frequency postural sway plus wide-band tremor noise — and each
+//! user modulates it with personal traits: amplitude/frequency scaling,
+//! phase, extra noise, and, crucially, a random *device orientation* (the
+//! paper gave subjects no placement instructions, which is what makes the
+//! body-sensor data so personal).
+
+use crate::rng::randn;
+use crate::signal::Signal;
+use plos_linalg::{Matrix, Vector};
+use rand::Rng;
+
+/// Harmonic motion model of one activity as sensed at one body location.
+#[derive(Debug, Clone)]
+pub struct ActivityModel {
+    /// Human-readable activity name (e.g. `"rest-standing"`).
+    pub name: &'static str,
+    /// Constant body-frame acceleration (gravity projection + posture), in g.
+    pub accel_base: [f64; 3],
+    /// Postural-sway amplitude per accelerometer axis, in g.
+    pub sway_amp: [f64; 3],
+    /// Sway fundamental frequency in Hz.
+    pub sway_freq_hz: f64,
+    /// Angular-velocity oscillation amplitude per gyroscope axis (rad/s).
+    pub gyro_amp: [f64; 3],
+    /// Gyroscope oscillation frequency in Hz.
+    pub gyro_freq_hz: f64,
+    /// Standard deviation of the additive wide-band tremor noise.
+    pub noise_std: f64,
+    /// Stationary standard deviation of the slow postural-drift random walk
+    /// (an Ornstein–Uhlenbeck process added to the body-frame
+    /// acceleration). This is what makes different windows of the same
+    /// activity differ — people shift their posture over seconds.
+    pub drift_std: f64,
+    /// Time constant of the postural drift, seconds.
+    pub drift_tau_s: f64,
+}
+
+/// Per-user, per-node modulation of an [`ActivityModel`].
+#[derive(Debug, Clone)]
+pub struct UserTraits {
+    /// Multiplies all oscillation amplitudes.
+    pub amplitude_scale: f64,
+    /// Multiplies all oscillation frequencies.
+    pub frequency_scale: f64,
+    /// Phase offset of the oscillations, radians.
+    pub phase: f64,
+    /// Multiplies the model's noise standard deviation.
+    pub noise_scale: f64,
+    /// Device orientation: rotation from body frame to sensor frame.
+    pub orientation: Matrix,
+}
+
+impl UserTraits {
+    /// Samples traits with the given personal-variation strength.
+    ///
+    /// `variation` in `[0, 1]` controls how far amplitude/frequency scales
+    /// stray from 1 and how much the orientation deviates from identity;
+    /// `free_placement` additionally applies a fully random orientation
+    /// (the body-sensor setting) instead of a small perturbation (the
+    /// waist-mounted HAR setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variation` is outside `[0, 1]`.
+    pub fn sample(variation: f64, free_placement: bool, rng: &mut impl Rng) -> Self {
+        assert!((0.0..=1.0).contains(&variation), "variation must be in [0,1]");
+        let amplitude_scale = (1.0 + variation * rng.gen_range(-0.9..0.9)).max(0.15);
+        let frequency_scale = 1.0 + variation * rng.gen_range(-0.4..0.4);
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let noise_scale = 1.0 + variation * rng.gen_range(0.0..1.0);
+        let orientation = if free_placement && variation > 0.0 {
+            // Free placement: orientation spread scales with the variation
+            // knob; at 1.0 the device sits at a fully arbitrary attitude.
+            let yaw_r = std::f64::consts::PI * variation;
+            let pitch_r = std::f64::consts::FRAC_PI_2 * variation;
+            Matrix::rotation3d(
+                rng.gen_range(-yaw_r..yaw_r),
+                rng.gen_range(-pitch_r..pitch_r),
+                rng.gen_range(-yaw_r..yaw_r),
+            )
+        } else {
+            let a = variation * 0.3;
+            Matrix::rotation3d(
+                rng.gen_range(-a..a.max(1e-12)),
+                rng.gen_range(-a..a.max(1e-12)),
+                rng.gen_range(-a..a.max(1e-12)),
+            )
+        };
+        UserTraits { amplitude_scale, frequency_scale, phase, noise_scale, orientation }
+    }
+}
+
+/// One generated six-channel IMU recording.
+#[derive(Debug, Clone)]
+pub struct ImuTrace {
+    /// Accelerometer x/y/z channels.
+    pub accel: [Signal; 3],
+    /// Gyroscope x/y/z channels (TelosB consumers use only the first two,
+    /// matching its biaxial gyroscope).
+    pub gyro: [Signal; 3],
+}
+
+impl ImuTrace {
+    /// The paper's TelosB channel set: accel x, y, z and gyro u, v.
+    pub fn telosb_channels(&self) -> Vec<&Signal> {
+        vec![&self.accel[0], &self.accel[1], &self.accel[2], &self.gyro[0], &self.gyro[1]]
+    }
+}
+
+/// Generates `num_samples` at `sample_rate_hz` for one activity under one
+/// user's traits.
+///
+/// # Panics
+///
+/// Panics if `num_samples == 0` or the rate is not positive.
+pub fn generate_imu_trace(
+    model: &ActivityModel,
+    traits: &UserTraits,
+    num_samples: usize,
+    sample_rate_hz: f64,
+    rng: &mut impl Rng,
+) -> ImuTrace {
+    assert!(num_samples > 0, "num_samples must be positive");
+    assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+
+    let dt = 1.0 / sample_rate_hz;
+    let sway_w = std::f64::consts::TAU * model.sway_freq_hz * traits.frequency_scale;
+    let gyro_w = std::f64::consts::TAU * model.gyro_freq_hz * traits.frequency_scale;
+    let noise = model.noise_std * traits.noise_scale;
+    // Ornstein–Uhlenbeck postural drift: x' = a·x + sigma·sqrt(1−a²)·N(0,1)
+    // keeps the stationary std at drift_std for any sample rate.
+    let drift_alpha = if model.drift_tau_s > 0.0 {
+        (-dt / model.drift_tau_s).exp()
+    } else {
+        0.0
+    };
+    let drift_sigma = model.drift_std * (1.0 - drift_alpha * drift_alpha).sqrt();
+    let mut drift = [0.0f64; 3];
+    if model.drift_std > 0.0 {
+        // Start from the stationary distribution.
+        for d in &mut drift {
+            *d = model.drift_std * randn(rng);
+        }
+    }
+
+    let mut accel = [
+        Vec::with_capacity(num_samples),
+        Vec::with_capacity(num_samples),
+        Vec::with_capacity(num_samples),
+    ];
+    let mut gyro = [
+        Vec::with_capacity(num_samples),
+        Vec::with_capacity(num_samples),
+        Vec::with_capacity(num_samples),
+    ];
+
+    for k in 0..num_samples {
+        let t = k as f64 * dt;
+        // Advance the postural drift.
+        if model.drift_std > 0.0 {
+            for d in &mut drift {
+                *d = drift_alpha * *d + drift_sigma * randn(rng);
+            }
+        }
+        // Body-frame signals: base + drift + personal sway + second
+        // harmonic + noise.
+        let s1 = (sway_w * t + traits.phase).sin();
+        let s2 = (2.0 * sway_w * t + 1.7 * traits.phase).sin();
+        let body_accel: Vector = (0..3)
+            .map(|axis| {
+                model.accel_base[axis]
+                    + drift[axis]
+                    + traits.amplitude_scale
+                        * model.sway_amp[axis]
+                        * (s1 + 0.35 * s2)
+                    + noise * randn(rng)
+            })
+            .collect();
+        let g1 = (gyro_w * t + traits.phase * 0.5).cos();
+        let body_gyro: Vector = (0..3)
+            .map(|axis| {
+                traits.amplitude_scale * model.gyro_amp[axis] * g1 + noise * randn(rng)
+            })
+            .collect();
+
+        // Sensor frame = orientation · body frame.
+        let sensor_accel = traits.orientation.matvec(&body_accel);
+        let sensor_gyro = traits.orientation.matvec(&body_gyro);
+        for axis in 0..3 {
+            accel[axis].push(sensor_accel[axis]);
+            gyro[axis].push(sensor_gyro[axis]);
+        }
+    }
+
+    let to_signal = |v: Vec<f64>| Signal::new(sample_rate_hz, v);
+    ImuTrace {
+        accel: accel.map(to_signal),
+        gyro: gyro.map(to_signal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn standing() -> ActivityModel {
+        ActivityModel {
+            name: "rest-standing",
+            accel_base: [0.0, 0.0, 1.0],
+            sway_amp: [0.05, 0.04, 0.01],
+            sway_freq_hz: 0.6,
+            gyro_amp: [0.1, 0.08, 0.02],
+            gyro_freq_hz: 0.6,
+            noise_std: 0.01,
+            drift_std: 0.0,
+            drift_tau_s: 3.0,
+        }
+    }
+
+    fn identity_traits() -> UserTraits {
+        UserTraits {
+            amplitude_scale: 1.0,
+            frequency_scale: 1.0,
+            phase: 0.0,
+            noise_scale: 0.0,
+            orientation: Matrix::identity(3),
+        }
+    }
+
+    #[test]
+    fn trace_has_requested_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let trace = generate_imu_trace(&standing(), &identity_traits(), 128, 20.0, &mut rng);
+        for ch in trace.accel.iter().chain(trace.gyro.iter()) {
+            assert_eq!(ch.len(), 128);
+            assert_eq!(ch.sample_rate_hz(), 20.0);
+        }
+        assert_eq!(trace.telosb_channels().len(), 5);
+    }
+
+    #[test]
+    fn noiseless_identity_trace_matches_model_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = standing();
+        // Use a whole number of sway periods so the oscillation averages out.
+        let samples = 200; // 10 s at 20 Hz = 6 periods of 0.6 Hz
+        let trace = generate_imu_trace(&model, &identity_traits(), samples, 20.0, &mut rng);
+        let mean_z: f64 =
+            trace.accel[2].samples().iter().sum::<f64>() / trace.accel[2].len() as f64;
+        assert!((mean_z - 1.0).abs() < 0.02, "mean_z={mean_z}");
+    }
+
+    #[test]
+    fn orientation_rotates_gravity_between_axes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = standing();
+        // Rotate the sensor 90° so gravity lands on the x axis.
+        let traits = UserTraits {
+            orientation: Matrix::rotation3d(0.0, std::f64::consts::FRAC_PI_2, 0.0),
+            ..identity_traits()
+        };
+        let trace = generate_imu_trace(&model, &traits, 200, 20.0, &mut rng);
+        let mean_x: f64 =
+            trace.accel[0].samples().iter().sum::<f64>() / trace.accel[0].len() as f64;
+        assert!(mean_x.abs() > 0.9, "gravity should appear on x, mean_x={mean_x}");
+    }
+
+    #[test]
+    fn amplitude_scale_changes_oscillation_energy() {
+        let model = standing();
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(1);
+        let small = generate_imu_trace(
+            &model,
+            &UserTraits { amplitude_scale: 0.2, ..identity_traits() },
+            400,
+            20.0,
+            &mut rng1,
+        );
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(1);
+        let large = generate_imu_trace(
+            &model,
+            &UserTraits { amplitude_scale: 2.0, ..identity_traits() },
+            400,
+            20.0,
+            &mut rng2,
+        );
+        let var = |s: &Signal| {
+            let m = s.samples().iter().sum::<f64>() / s.len() as f64;
+            s.samples().iter().map(|x| (x - m) * (x - m)).sum::<f64>() / s.len() as f64
+        };
+        assert!(var(&large.accel[0]) > var(&small.accel[0]) * 10.0);
+    }
+
+    #[test]
+    fn traits_sampling_respects_variation_zero() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = UserTraits::sample(0.0, false, &mut rng);
+        assert!((t.amplitude_scale - 1.0).abs() < 1e-12);
+        assert!((t.frequency_scale - 1.0).abs() < 1e-12);
+        assert!((t.noise_scale - 1.0).abs() < 1e-12);
+        // Orientation is (numerically) the identity.
+        for i in 0..3 {
+            assert!((t.orientation[(i, i)] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn free_placement_orientations_differ_between_users() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = UserTraits::sample(0.5, true, &mut rng);
+        let b = UserTraits::sample(0.5, true, &mut rng);
+        let mut diff = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                diff += (a.orientation[(i, j)] - b.orientation[(i, j)]).abs();
+            }
+        }
+        assert!(diff > 0.1, "two sampled orientations should differ, diff={diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "num_samples must be positive")]
+    fn zero_samples_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = generate_imu_trace(&standing(), &identity_traits(), 0, 20.0, &mut rng);
+    }
+}

@@ -1,0 +1,375 @@
+//! Multi-class multi-user datasets and generators.
+//!
+//! The paper evaluates binary tasks (its Sec. VI-C HAR experiment picks the
+//! least separable *pair* out of six activities) and names extending PLOS
+//! "to other machine learning models" as future work (Sec. VII). These
+//! containers support that extension: class labels are `0..k`, and
+//! [`MultiClassDataset::one_vs_rest`] produces the binary views a
+//! one-vs-rest personalized classifier trains on.
+
+use crate::dataset::{LabelMask, MultiUserDataset, UserData};
+use crate::rng::{randn, randn_vector};
+use plos_linalg::Vector;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One user's multi-class data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassUserData {
+    /// Feature vectors.
+    pub features: Vec<Vector>,
+    /// Ground-truth class ids in `0..num_classes`.
+    pub truth: Vec<usize>,
+    /// Observed class ids; `None` = unlabeled.
+    pub observed: Vec<Option<usize>>,
+}
+
+impl MultiClassUserData {
+    /// Creates a fully unlabeled user.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/ragged features or length mismatches.
+    pub fn new(features: Vec<Vector>, truth: Vec<usize>) -> Self {
+        assert!(!features.is_empty(), "a user needs at least one sample");
+        assert_eq!(features.len(), truth.len(), "features/labels length mismatch");
+        let d = features[0].len();
+        assert!(features.iter().all(|f| f.len() == d), "ragged features");
+        let observed = vec![None; truth.len()];
+        MultiClassUserData { features, truth, observed }
+    }
+
+    /// Number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the user labels anything.
+    pub fn is_provider(&self) -> bool {
+        self.observed.iter().any(Option::is_some)
+    }
+}
+
+/// A cohort of users on a shared multi-class task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassDataset {
+    users: Vec<MultiClassUserData>,
+    num_classes: usize,
+}
+
+impl MultiClassDataset {
+    /// Creates a dataset and validates class ids and dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, dimensions differ, `num_classes < 2`, or any label
+    /// is out of range.
+    pub fn new(users: Vec<MultiClassUserData>, num_classes: usize) -> Self {
+        assert!(!users.is_empty(), "dataset needs at least one user");
+        assert!(num_classes >= 2, "need at least two classes");
+        let d = users[0].features[0].len();
+        for u in &users {
+            assert!(u.features.iter().all(|f| f.len() == d), "dimension mismatch");
+            assert!(u.truth.iter().all(|&y| y < num_classes), "class id out of range");
+        }
+        MultiClassDataset { users, num_classes }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of classes `k`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Shared feature dimension.
+    pub fn dim(&self) -> usize {
+        self.users[0].features[0].len()
+    }
+
+    /// Borrows the users.
+    pub fn users(&self) -> &[MultiClassUserData] {
+        &self.users
+    }
+
+    /// Borrows one user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn user(&self, t: usize) -> &MultiClassUserData {
+        &self.users[t]
+    }
+
+    /// Indices of users that provide labels.
+    pub fn providers(&self) -> Vec<usize> {
+        (0..self.users.len()).filter(|&t| self.users[t].is_provider()).collect()
+    }
+
+    /// Reveals labels: `num_providers` random users each label `rate` of
+    /// their samples, class-stratified (every class gets its share).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_providers` exceeds the user count or `rate` is outside
+    /// `(0, 1]`.
+    pub fn mask_labels(&self, mask: &LabelMask, seed: u64) -> MultiClassDataset {
+        assert!(mask.num_providers <= self.num_users(), "too many providers");
+        assert!(mask.rate > 0.0 && mask.rate <= 1.0, "rate must be in (0,1]");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..self.num_users()).collect();
+        order.shuffle(&mut rng);
+        let chosen: Vec<usize> = order[..mask.num_providers].to_vec();
+
+        let mut users = self.users.clone();
+        for u in &mut users {
+            u.observed.iter_mut().for_each(|l| *l = None);
+        }
+        for &t in &chosen {
+            let user = &mut users[t];
+            let m = user.num_samples();
+            let want = ((mask.rate * m as f64).round() as usize).clamp(1, m);
+            // Stratified: round-robin over classes.
+            let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
+            for (i, &y) in user.truth.iter().enumerate() {
+                per_class[y].push(i);
+            }
+            for idxs in &mut per_class {
+                idxs.shuffle(&mut rng);
+            }
+            let mut taken = 0usize;
+            let mut depth = 0usize;
+            while taken < want {
+                let mut progressed = false;
+                for idxs in &per_class {
+                    if taken >= want {
+                        break;
+                    }
+                    if let Some(&i) = idxs.get(depth) {
+                        users[t].observed[i] = Some(users[t].truth[i]);
+                        taken += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+                depth += 1;
+            }
+        }
+        MultiClassDataset { users, num_classes: self.num_classes }
+    }
+
+    /// The one-vs-rest binary view for `class`: samples of `class` become
+    /// `+1`, everything else `−1`, with observed labels mapped the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= num_classes`.
+    pub fn one_vs_rest(&self, class: usize) -> MultiUserDataset {
+        assert!(class < self.num_classes, "class id out of range");
+        let users = self
+            .users
+            .iter()
+            .map(|u| {
+                let truth: Vec<i8> =
+                    u.truth.iter().map(|&y| if y == class { 1 } else { -1 }).collect();
+                let mut binary = UserData::new(u.features.clone(), truth);
+                binary.observed = u
+                    .observed
+                    .iter()
+                    .map(|obs| obs.map(|y| if y == class { 1 } else { -1 }))
+                    .collect();
+                binary
+            })
+            .collect();
+        MultiUserDataset::new(users)
+    }
+}
+
+/// Parameters of the multi-class synthetic generator: `k` Gaussian classes
+/// sharing structure across users, with per-user rotations/offsets scaled by
+/// `personal_variation` — a multi-class analogue of the HAR generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiClassSpec {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of classes `k ≥ 2`.
+    pub num_classes: usize,
+    /// Samples per class per user.
+    pub samples_per_class: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Distance of each class mean from the origin.
+    pub class_radius: f64,
+    /// Isotropic within-class noise.
+    pub noise_std: f64,
+    /// Personal-trait strength in `[0, 1]`.
+    pub personal_variation: f64,
+}
+
+impl Default for MultiClassSpec {
+    fn default() -> Self {
+        MultiClassSpec {
+            num_users: 10,
+            num_classes: 4,
+            samples_per_class: 30,
+            dim: 16,
+            class_radius: 2.5,
+            noise_std: 1.0,
+            personal_variation: 0.3,
+        }
+    }
+}
+
+/// Generates a multi-class multi-user cohort. Deterministic given `seed`.
+///
+/// # Panics
+///
+/// Panics on degenerate spec fields.
+pub fn generate_multiclass(spec: &MultiClassSpec, seed: u64) -> MultiClassDataset {
+    assert!(spec.num_users > 0 && spec.num_classes >= 2, "bad cohort shape");
+    assert!(spec.samples_per_class > 0 && spec.dim >= 2, "bad sample shape");
+    assert!(
+        (0.0..=1.0).contains(&spec.personal_variation),
+        "personal_variation must be in [0,1]"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Shared class means: random directions at the given radius.
+    let means: Vec<Vector> = (0..spec.num_classes)
+        .map(|_| {
+            let mut m = randn_vector(spec.dim, &mut rng);
+            m.scale_mut(spec.class_radius / m.norm());
+            m
+        })
+        .collect();
+
+    let users = (0..spec.num_users)
+        .map(|_| {
+            // Per-user perturbation: offset + per-class mean jitter.
+            let mut offset = randn_vector(spec.dim, &mut rng);
+            offset.scale_mut(spec.personal_variation * 0.8);
+            let user_means: Vec<Vector> = means
+                .iter()
+                .map(|m| {
+                    let mut jitter = randn_vector(spec.dim, &mut rng);
+                    jitter.scale_mut(spec.personal_variation * spec.class_radius * 0.4);
+                    let mut um = m.clone();
+                    um += &jitter;
+                    um += &offset;
+                    um
+                })
+                .collect();
+
+            let mut features = Vec::new();
+            let mut truth = Vec::new();
+            for (class, mean) in user_means.iter().enumerate() {
+                for _ in 0..spec.samples_per_class {
+                    let mut x = mean.clone();
+                    for v in x.iter_mut() {
+                        *v += spec.noise_std * randn(&mut rng);
+                    }
+                    features.push(x);
+                    truth.push(class);
+                }
+            }
+            MultiClassUserData::new(features, truth)
+        })
+        .collect();
+    MultiClassDataset::new(users, spec.num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MultiClassSpec {
+        MultiClassSpec { num_users: 3, num_classes: 3, samples_per_class: 10, ..Default::default() }
+    }
+
+    #[test]
+    fn generator_shape() {
+        let d = generate_multiclass(&spec(), 0);
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.dim(), 16);
+        for u in d.users() {
+            assert_eq!(u.num_samples(), 30);
+            for c in 0..3 {
+                assert_eq!(u.truth.iter().filter(|&&y| y == c).count(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_multiclass(&spec(), 5), generate_multiclass(&spec(), 5));
+        assert_ne!(generate_multiclass(&spec(), 5), generate_multiclass(&spec(), 6));
+    }
+
+    #[test]
+    fn masking_is_stratified() {
+        let d = generate_multiclass(&spec(), 1);
+        let masked = d.mask_labels(&LabelMask::providers(2, 0.3), 3);
+        assert_eq!(masked.providers().len(), 2);
+        for t in masked.providers() {
+            let u = masked.user(t);
+            let labeled = u.observed.iter().flatten().count();
+            assert_eq!(labeled, 9);
+            // Stratification: every class appears among the labels.
+            for c in 0..3 {
+                assert!(
+                    u.observed.iter().flatten().any(|&y| y == c),
+                    "class {c} unlabeled for provider {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observed_labels_match_truth() {
+        let d = generate_multiclass(&spec(), 2).mask_labels(&LabelMask::providers(3, 0.5), 0);
+        for u in d.users() {
+            for (i, obs) in u.observed.iter().enumerate() {
+                if let Some(y) = obs {
+                    assert_eq!(*y, u.truth[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_vs_rest_maps_labels_and_masks() {
+        let d = generate_multiclass(&spec(), 3).mask_labels(&LabelMask::providers(2, 0.3), 1);
+        for class in 0..3 {
+            let binary = d.one_vs_rest(class);
+            assert_eq!(binary.num_users(), 3);
+            for (mu, bu) in d.users().iter().zip(binary.users()) {
+                for (i, (&mc, &bc)) in mu.truth.iter().zip(&bu.truth).enumerate() {
+                    assert_eq!(bc == 1, mc == class, "sample {i}");
+                }
+                for (mo, bo) in mu.observed.iter().zip(&bu.observed) {
+                    assert_eq!(mo.is_some(), bo.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "class id out of range")]
+    fn one_vs_rest_checks_class() {
+        let d = generate_multiclass(&spec(), 0);
+        let _ = d.one_vs_rest(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        let u = MultiClassUserData::new(vec![Vector::from(vec![1.0])], vec![0]);
+        let _ = MultiClassDataset::new(vec![u], 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! The paper's synthetic 2-D Gaussian dataset (Sec. VI-D).
+//!
+//! Two classes of 200 points each from `N(μ = (±10, ±10), Σ)` with
+//! `Σ = [[225, −180], [−180, 225]]`; 10 % of the ground-truth labels are
+//! randomly swapped ("as in the real world applications, the data are rarely
+//! separable"). Each simulated user is the *same* base dataset rotated
+//! around the origin; with a maximum rotation angle `θ_max`, the `T` users
+//! receive uniformly spaced angles in `[0, θ_max]`.
+
+use crate::dataset::{MultiUserDataset, UserData};
+use crate::rng::sample_mvn;
+use plos_linalg::{Matrix, Vector};
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic-data generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Number of simulated users `T` (paper: 10).
+    pub num_users: usize,
+    /// Points per class in the base dataset (paper: 200).
+    pub points_per_class: usize,
+    /// Maximum rotation angle; user `t` gets `θ_max · t/(T−1)` (paper sweeps
+    /// 0..π; fixed experiments use π/2).
+    pub max_rotation: f64,
+    /// Probability of swapping a ground-truth label (paper: 0.1).
+    pub flip_prob: f64,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec {
+            num_users: 10,
+            points_per_class: 200,
+            max_rotation: std::f64::consts::FRAC_PI_2,
+            flip_prob: 0.1,
+        }
+    }
+}
+
+/// The paper's class-+1 mean `(10, 10)`.
+pub const POSITIVE_MEAN: [f64; 2] = [10.0, 10.0];
+
+/// Lower Cholesky factor of the paper's covariance
+/// `Σ = [[225, −180], [−180, 225]]`, i.e. `L = [[15, 0], [−12, 9]]`.
+fn covariance_cholesky() -> Matrix {
+    Matrix::from_rows(&[vec![15.0, 0.0], vec![-12.0, 9.0]]).expect("fixed shape")
+}
+
+/// Generates the multi-user synthetic dataset.
+///
+/// Deterministic given `seed`. Ground-truth labels (including the flipped
+/// ones) are shared across users because every user is a rotation of the
+/// same base sample, exactly as in the paper.
+///
+/// # Panics
+///
+/// Panics if `num_users == 0`, `points_per_class == 0`, or `flip_prob` is
+/// outside `[0, 1]`.
+pub fn generate_synthetic(spec: &SyntheticSpec, seed: u64) -> MultiUserDataset {
+    assert!(spec.num_users > 0, "num_users must be positive");
+    assert!(spec.points_per_class > 0, "points_per_class must be positive");
+    assert!(
+        (0.0..=1.0).contains(&spec.flip_prob),
+        "flip_prob must be in [0,1], got {}",
+        spec.flip_prob
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let chol = covariance_cholesky();
+    let mean_pos = Vector::from(POSITIVE_MEAN.to_vec());
+    let mean_neg = -&mean_pos;
+
+    // Base sample: points_per_class per class.
+    let mut base: Vec<Vector> = Vec::with_capacity(2 * spec.points_per_class);
+    let mut labels: Vec<i8> = Vec::with_capacity(2 * spec.points_per_class);
+    for _ in 0..spec.points_per_class {
+        base.push(sample_mvn(&mean_pos, &chol, &mut rng));
+        labels.push(1);
+    }
+    for _ in 0..spec.points_per_class {
+        base.push(sample_mvn(&mean_neg, &chol, &mut rng));
+        labels.push(-1);
+    }
+    // Random label swaps.
+    for y in &mut labels {
+        if rng.gen::<f64>() < spec.flip_prob {
+            *y = -*y;
+        }
+    }
+
+    // One rotated copy per user.
+    let users = (0..spec.num_users)
+        .map(|t| {
+            let angle = if spec.num_users == 1 {
+                0.0
+            } else {
+                spec.max_rotation * t as f64 / (spec.num_users - 1) as f64
+            };
+            let rot = Matrix::rotation2d(angle);
+            let features: Vec<Vector> = base.iter().map(|x| rot.matvec(x)).collect();
+            UserData::new(features, labels.clone())
+        })
+        .collect();
+    MultiUserDataset::new(users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_spec() {
+        let spec = SyntheticSpec { num_users: 5, points_per_class: 50, ..Default::default() };
+        let d = generate_synthetic(&spec, 0);
+        assert_eq!(d.num_users(), 5);
+        assert_eq!(d.dim(), 2);
+        for u in d.users() {
+            assert_eq!(u.num_samples(), 100);
+        }
+    }
+
+    #[test]
+    fn flip_rate_is_near_nominal() {
+        let spec = SyntheticSpec { points_per_class: 2000, num_users: 1, ..Default::default() };
+        let d = generate_synthetic(&spec, 1);
+        let u = d.user(0);
+        // Count labels that disagree with the generating class (first half +1).
+        let flipped_pos =
+            u.truth[..2000].iter().filter(|&&y| y == -1).count() as f64 / 2000.0;
+        let flipped_neg =
+            u.truth[2000..].iter().filter(|&&y| y == 1).count() as f64 / 2000.0;
+        assert!((flipped_pos - 0.1).abs() < 0.03, "{flipped_pos}");
+        assert!((flipped_neg - 0.1).abs() < 0.03, "{flipped_neg}");
+    }
+
+    #[test]
+    fn users_are_rotations_of_the_base() {
+        let spec = SyntheticSpec {
+            num_users: 3,
+            points_per_class: 10,
+            max_rotation: std::f64::consts::PI,
+            flip_prob: 0.0,
+        };
+        let d = generate_synthetic(&spec, 2);
+        // User 0 has angle 0; user 2 has angle π (pure negation in 2-D).
+        let u0 = d.user(0);
+        let u2 = d.user(2);
+        for (a, b) in u0.features.iter().zip(&u2.features) {
+            assert!((a[0] + b[0]).abs() < 1e-9);
+            assert!((a[1] + b[1]).abs() < 1e-9);
+        }
+        // Labels are shared.
+        assert_eq!(u0.truth, u2.truth);
+    }
+
+    #[test]
+    fn rotation_preserves_norms() {
+        let spec = SyntheticSpec { num_users: 4, points_per_class: 20, ..Default::default() };
+        let d = generate_synthetic(&spec, 3);
+        for t in 1..4 {
+            for (a, b) in d.user(0).features.iter().zip(&d.user(t).features) {
+                assert!((a.norm() - b.norm()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_user_gets_zero_rotation() {
+        let spec = SyntheticSpec { num_users: 1, points_per_class: 5, ..Default::default() };
+        let d = generate_synthetic(&spec, 4);
+        assert_eq!(d.num_users(), 1);
+        // Class means should be near (±10, ±10) (no rotation applied).
+        let u = d.user(0);
+        let mean_x: f64 =
+            u.features[..5].iter().map(|f| f[0]).sum::<f64>() / 5.0;
+        assert!(mean_x > 0.0, "positive-class x mean should stay positive");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = SyntheticSpec::default();
+        assert_eq!(generate_synthetic(&spec, 9), generate_synthetic(&spec, 9));
+        assert_ne!(generate_synthetic(&spec, 9), generate_synthetic(&spec, 10));
+    }
+
+    #[test]
+    fn classes_are_roughly_separable_without_flips() {
+        let spec = SyntheticSpec {
+            num_users: 1,
+            points_per_class: 300,
+            max_rotation: 0.0,
+            flip_prob: 0.0,
+        };
+        let d = generate_synthetic(&spec, 5);
+        let u = d.user(0);
+        // The separator x + y = 0 should classify almost everything.
+        let correct = u
+            .features
+            .iter()
+            .zip(&u.truth)
+            .filter(|(f, &y)| ((f[0] + f[1] >= 0.0) as i32 * 2 - 1) as i8 == y)
+            .count();
+        assert!(correct as f64 / 600.0 > 0.9, "correct={correct}");
+    }
+
+    #[test]
+    #[should_panic(expected = "flip_prob")]
+    fn invalid_flip_prob_panics() {
+        let spec = SyntheticSpec { flip_prob: 1.5, ..Default::default() };
+        let _ = generate_synthetic(&spec, 0);
+    }
+}

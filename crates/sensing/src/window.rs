@@ -1,0 +1,119 @@
+//! Fixed-width sliding-window segmentation.
+//!
+//! The paper splits every signal "by a fixed-width sliding window of 3.2
+//! seconds with 50 % overlap" (Sec. VI-B). At 20 Hz that is a 64-sample
+//! window with a 32-sample hop.
+
+use std::ops::Range;
+
+/// Index ranges of fixed-width sliding windows over a signal of `n` samples.
+///
+/// `overlap` is the fraction of a window shared with its successor
+/// (`0.5` = the paper's 50 % overlap). Only complete windows are produced.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `overlap` is outside `[0, 1)`.
+///
+/// ```
+/// use plos_sensing::window::sliding_windows;
+/// let w = sliding_windows(10, 4, 0.5);
+/// assert_eq!(w, vec![0..4, 2..6, 4..8, 6..10]);
+/// ```
+pub fn sliding_windows(n: usize, window: usize, overlap: f64) -> Vec<Range<usize>> {
+    assert!(window > 0, "window must be positive");
+    assert!((0.0..1.0).contains(&overlap), "overlap must be in [0,1), got {overlap}");
+    let hop = ((window as f64) * (1.0 - overlap)).round().max(1.0) as usize;
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start + window <= n {
+        out.push(start..start + window);
+        start += hop;
+    }
+    out
+}
+
+/// Number of samples a signal needs so that [`sliding_windows`] yields
+/// exactly `count` windows.
+///
+/// The body-sensor generator uses this to size traces so each activity
+/// produces the paper's 70 segments.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`sliding_windows`], or if
+/// `count == 0`.
+pub fn samples_for_windows(count: usize, window: usize, overlap: f64) -> usize {
+    assert!(count > 0, "count must be positive");
+    assert!(window > 0, "window must be positive");
+    assert!((0.0..1.0).contains(&overlap), "overlap must be in [0,1)");
+    let hop = ((window as f64) * (1.0 - overlap)).round().max(1.0) as usize;
+    window + (count - 1) * hop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_overlap_windows() {
+        let w = sliding_windows(10, 4, 0.5);
+        assert_eq!(w, vec![0..4, 2..6, 4..8, 6..10]);
+    }
+
+    #[test]
+    fn no_overlap_windows() {
+        let w = sliding_windows(9, 3, 0.0);
+        assert_eq!(w, vec![0..3, 3..6, 6..9]);
+    }
+
+    #[test]
+    fn partial_final_window_is_dropped() {
+        let w = sliding_windows(11, 4, 0.5);
+        assert_eq!(w.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn signal_shorter_than_window_yields_nothing() {
+        assert!(sliding_windows(3, 4, 0.5).is_empty());
+    }
+
+    #[test]
+    fn paper_configuration_sixty_four_at_20hz() {
+        // 3.2 s @ 20 Hz = 64 samples, 50% overlap = 32 hop.
+        let n = samples_for_windows(70, 64, 0.5);
+        assert_eq!(n, 64 + 69 * 32);
+        let w = sliding_windows(n, 64, 0.5);
+        assert_eq!(w.len(), 70);
+        // One more hop-worth of samples adds exactly one window.
+        assert_eq!(sliding_windows(n + 32, 64, 0.5).len(), 71);
+    }
+
+    #[test]
+    fn samples_for_windows_round_trips() {
+        for (count, window, overlap) in [(1, 8, 0.5), (5, 10, 0.0), (12, 64, 0.5), (3, 7, 0.25)]
+        {
+            let n = samples_for_windows(count, window, overlap);
+            assert_eq!(sliding_windows(n, window, overlap).len(), count);
+        }
+    }
+
+    #[test]
+    fn extreme_overlap_hop_is_at_least_one() {
+        let w = sliding_windows(6, 4, 0.9);
+        // hop = round(0.4) = 0 -> clamped to 1
+        assert_eq!(w, vec![0..4, 1..5, 2..6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = sliding_windows(5, 0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be in")]
+    fn full_overlap_panics() {
+        let _ = sliding_windows(5, 2, 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Asynchronous distributed PLOS with stragglers.
+//!
+//! ```text
+//! cargo run --release --example asynchronous_training
+//! ```
+//!
+//! The paper leaves asynchronous training as future work (Sec. VII): "some
+//! users may delay their responses for arbitrarily long". This example runs
+//! the stale-update extension at several device-availability levels and
+//! shows that accuracy degrades gracefully while staleness grows.
+
+use plos::core::asynchronous::{AsyncDistributedPlos, AsyncSpec};
+use plos::core::eval::{plos_predictions, score_predictions};
+use plos::prelude::*;
+
+fn main() {
+    let spec = SyntheticSpec {
+        num_users: 10,
+        points_per_class: 50,
+        max_rotation: std::f64::consts::FRAC_PI_3,
+        flip_prob: 0.05,
+    };
+    let cohort = generate_synthetic(&spec, 33).mask_labels(&LabelMask::providers(5, 0.1), 2);
+    let config = PlosConfig { lambda: 40.0, ..PlosConfig::default() };
+
+    // Synchronous reference.
+    let (sync_model, _) = DistributedPlos::new(config.clone()).fit(&cohort);
+    let sync_acc = score_predictions(&cohort, &plos_predictions(&sync_model, &cohort));
+    println!(
+        "synchronous reference: labeled {:.1}%, unlabeled {:.1}%\n",
+        sync_acc.labeled_users.unwrap() * 100.0,
+        sync_acc.unlabeled_users.unwrap() * 100.0
+    );
+
+    println!(
+        "{:>13} {:>10} {:>14} {:>17}",
+        "availability", "stale %", "acc labeled %", "acc unlabeled %"
+    );
+    for availability in [1.0, 0.8, 0.6, 0.4, 0.2] {
+        let trainer = AsyncDistributedPlos::new(
+            config.clone(),
+            AsyncSpec { availability, seed: 7 },
+        );
+        let (model, report) = trainer.fit(&cohort);
+        let acc = score_predictions(&cohort, &plos_predictions(&model, &cohort));
+        println!(
+            "{:>13.1} {:>10.1} {:>14.1} {:>17.1}",
+            availability,
+            report.staleness() * 100.0,
+            acc.labeled_users.unwrap() * 100.0,
+            acc.unlabeled_users.unwrap() * 100.0
+        );
+    }
+}

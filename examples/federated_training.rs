@@ -1,0 +1,62 @@
+//! Distributed (privacy-preserving) PLOS training.
+//!
+//! ```text
+//! cargo run --release --example federated_training
+//! ```
+//!
+//! Runs Algorithm 2 over the simulated device network: one thread per
+//! phone, a server thread, and a byte-exact wire protocol that can only
+//! carry model parameters — never raw samples. Afterwards it compares the
+//! result against centralized training (the paper's Fig. 11 parity check)
+//! and prints the communication/energy bill per phone (Figs. 12–13).
+
+use plos::core::eval::{plos_predictions, score_predictions};
+use plos::net::{DeviceProfile, EnergyModel};
+use plos::prelude::*;
+
+fn main() {
+    let spec = SyntheticSpec {
+        num_users: 12,
+        points_per_class: 60,
+        max_rotation: std::f64::consts::FRAC_PI_2,
+        flip_prob: 0.1,
+    };
+    let cohort = generate_synthetic(&spec, 11).mask_labels(&LabelMask::providers(6, 0.05), 5);
+
+    let config = PlosConfig { lambda: 40.0, ..PlosConfig::default() };
+
+    // Centralized reference (requires uploading all data to a server).
+    let central = CentralizedPlos::new(config.clone()).fit(&cohort);
+    let central_acc = score_predictions(&cohort, &plos_predictions(&central, &cohort));
+
+    // Distributed run: raw data never leaves the device threads.
+    let (distributed, report) = DistributedPlos::new(config).fit(&cohort);
+    let dist_acc = score_predictions(&cohort, &plos_predictions(&distributed, &cohort));
+
+    println!("centralized accuracy (labeled users):   {:.1}%", central_acc.labeled_users.unwrap() * 100.0);
+    println!("distributed accuracy (labeled users):   {:.1}%", dist_acc.labeled_users.unwrap() * 100.0);
+    println!("centralized accuracy (unlabeled users): {:.1}%", central_acc.unlabeled_users.unwrap() * 100.0);
+    println!("distributed accuracy (unlabeled users): {:.1}%", dist_acc.unlabeled_users.unwrap() * 100.0);
+
+    println!("\nADMM iterations: {}, CCCP rounds: {}", report.admm_iterations, report.cccp_rounds);
+
+    // The communication bill, counted byte-exactly at the transport.
+    let energy = EnergyModel::smartphone_wifi();
+    println!("\n{:>6} {:>12} {:>10} {:>12}", "phone", "traffic KB", "messages", "radio mJ");
+    for (t, stats) in report.per_user_traffic.iter().enumerate() {
+        println!(
+            "{:>6} {:>12.2} {:>10} {:>12.3}",
+            t,
+            stats.total_kb(),
+            stats.total_messages(),
+            energy.energy_joules(stats, 0.0) * 1000.0
+        );
+    }
+
+    // Device-equivalent compute time: rescale host wall-clock to a Nexus 5.
+    let phone = DeviceProfile::nexus5();
+    let host = DeviceProfile::reference();
+    let slowest = phone.rescale_from(report.max_client_compute(), &host);
+    println!("\nslowest phone compute (Nexus 5 equivalent): {:.2?}", slowest);
+    println!("server aggregation compute:                 {:.2?}", report.server_compute);
+}

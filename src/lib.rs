@@ -1,0 +1,53 @@
+//! # PLOS — Personalized Learning in Mobile Sensing Systems
+//!
+//! Facade crate for the reproduction of *"Towards Personalized Learning in
+//! Mobile Sensing Systems"* (Jiang, Li, Su, Miao, Gu, Xu — ICDCS 2018). It
+//! re-exports the whole workspace under one roof so applications can depend
+//! on a single crate:
+//!
+//! * [`core`] — the PLOS algorithms: centralized (CCCP + cutting plane + dual
+//!   QP) and distributed (consensus ADMM) training, plus the paper's
+//!   *All*/*Single*/*Group* baselines and the evaluation harness.
+//! * [`sensing`] — synthetic mobile-sensing data: IMU trace generation, the
+//!   paper's windowing + feature-extraction pipeline, and the three
+//!   evaluation datasets (body-sensor, HAR-like, 2-D Gaussian synthetic).
+//! * [`net`] — the simulated distributed runtime: binary codec, message
+//!   schema, in-process transport with byte/energy accounting.
+//! * [`ml`] — classical-ML substrate: linear SVM, k-means, spectral
+//!   clustering, LSH, metrics.
+//! * [`opt`] — optimization substrate: grouped QP solver, cutting-plane,
+//!   CCCP, and consensus-ADMM drivers.
+//! * [`linalg`] — dense vectors/matrices, Cholesky, Jacobi eigensolver.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use plos::prelude::*;
+//!
+//! // Generate the paper's synthetic multi-user dataset (Sec. VI-D) ...
+//! let spec = SyntheticSpec { num_users: 4, ..SyntheticSpec::default() };
+//! let dataset = generate_synthetic(&spec, 42);
+//! // ... mask labels so only 2 users provide 10% labels ...
+//! let masked = dataset.mask_labels(&LabelMask::providers(2, 0.10), 7);
+//! // ... and train a personalized model per user.
+//! let model = CentralizedPlos::new(PlosConfig::default()).fit(&masked);
+//! assert_eq!(model.num_users(), 4);
+//! ```
+
+pub use plos_core as core;
+pub use plos_linalg as linalg;
+pub use plos_ml as ml;
+pub use plos_net as net;
+pub use plos_opt as opt;
+pub use plos_sensing as sensing;
+
+/// Commonly used items, re-exported for `use plos::prelude::*`.
+pub mod prelude {
+    pub use plos_core::baselines::{AllBaseline, GroupBaseline, SingleBaseline};
+    pub use plos_core::{
+        CentralizedPlos, DistributedPlos, DistributedReport, PersonalizedModel, PlosConfig,
+    };
+    pub use plos_linalg::{Matrix, Vector};
+    pub use plos_sensing::dataset::{LabelMask, MultiUserDataset, UserData};
+    pub use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration: the distributed trainer against the centralized
+//! one — the properties behind Figs. 11–13.
+
+use plos::core::eval::{plos_predictions, score_predictions};
+use plos::prelude::*;
+
+fn cohort(users: usize, seed: u64) -> MultiUserDataset {
+    let spec = SyntheticSpec {
+        num_users: users,
+        points_per_class: 30,
+        max_rotation: std::f64::consts::FRAC_PI_4,
+        flip_prob: 0.05,
+    };
+    generate_synthetic(&spec, seed).mask_labels(&LabelMask::providers(users / 2, 0.15), 3)
+}
+
+fn overall(model: &PersonalizedModel, data: &MultiUserDataset) -> f64 {
+    let acc = score_predictions(data, &plos_predictions(model, data));
+    let p = data.providers().len();
+    acc.overall(p, data.num_users() - p)
+}
+
+#[test]
+fn fig11_accuracy_parity() {
+    let data = cohort(6, 1);
+    let config = PlosConfig::fast();
+    let central = CentralizedPlos::new(config.clone()).fit(&data);
+    let (dist, _) = DistributedPlos::new(config).fit(&data);
+    let gap = (overall(&central, &data) - overall(&dist, &data)).abs();
+    assert!(gap < 0.08, "Fig 11 parity violated: gap = {gap}");
+}
+
+#[test]
+fn fig13_traffic_is_flat_in_user_count() {
+    let config = PlosConfig::fast();
+    let kb_at = |users: usize| {
+        let data = cohort(users, 2);
+        let (_, report) = DistributedPlos::new(config.clone()).fit(&data);
+        (report.mean_user_kb(), report.admm_iterations)
+    };
+    let (kb_small, iters_small) = kb_at(4);
+    let (kb_large, iters_large) = kb_at(10);
+    // Normalize by rounds: per-round-per-user traffic must be essentially
+    // identical regardless of cohort size (messages depend only on d).
+    let per_round_small = kb_small / iters_small.max(1) as f64;
+    let per_round_large = kb_large / iters_large.max(1) as f64;
+    let ratio = per_round_large / per_round_small;
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "per-round traffic should not scale with users: {per_round_small} vs {per_round_large}"
+    );
+}
+
+#[test]
+fn raw_data_never_crosses_the_wire() {
+    // The byte budget proves it: a user's raw samples are 60 vectors x 2
+    // dims x 8 bytes = 960 bytes minimum if shipped once. Every message in
+    // the protocol carries at most 2 model vectors (d+1 = 3 dims each), so
+    // per-message size stays ~2 orders below the data size.
+    let data = cohort(5, 3);
+    let (_, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+    for stats in &report.per_user_traffic {
+        let msgs = stats.total_messages();
+        let max_msg = stats.total_bytes() as f64 / msgs.max(1) as f64;
+        assert!(
+            max_msg < 200.0,
+            "average message size {max_msg} bytes is large enough to smuggle raw data"
+        );
+    }
+}
+
+#[test]
+fn distributed_report_accounts_every_user() {
+    let data = cohort(7, 4);
+    let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+    assert_eq!(model.num_users(), 7);
+    assert_eq!(report.per_user_traffic.len(), 7);
+    assert_eq!(report.per_user_compute.len(), 7);
+    assert!(report.admm_iterations > 0);
+    assert!(report.cccp_rounds > 0);
+    assert!(!report.history.is_empty());
+    // All phones exchanged traffic.
+    assert!(report.per_user_traffic.iter().all(|s| s.total_bytes() > 0));
+}
+
+#[test]
+fn seeds_make_distributed_runs_reproducible() {
+    let data = cohort(4, 5);
+    let config = PlosConfig::fast();
+    let (m1, _) = DistributedPlos::new(config.clone()).fit(&data);
+    let (m2, _) = DistributedPlos::new(config).fit(&data);
+    assert_eq!(m1, m2, "distributed training must be deterministic given seeds");
+}

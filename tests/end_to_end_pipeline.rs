@@ -1,0 +1,73 @@
+//! Cross-crate integration: raw IMU simulation → feature pipeline →
+//! multi-user dataset → PLOS training → evaluation.
+
+use plos::core::eval::{plos_predictions, score_predictions};
+use plos::prelude::*;
+use plos::sensing::body_sensor::{generate_body_sensor, BodySensorSpec};
+use plos::sensing::features::NODE_FEATURES;
+
+fn small_cohort(seed: u64) -> MultiUserDataset {
+    let spec = BodySensorSpec {
+        num_users: 6,
+        segments_per_activity: 20,
+        ..BodySensorSpec::default()
+    };
+    generate_body_sensor(&spec, seed)
+}
+
+#[test]
+fn body_sensor_features_have_paper_dimensions() {
+    let cohort = small_cohort(1);
+    assert_eq!(cohort.dim(), 3 * NODE_FEATURES);
+    assert_eq!(cohort.dim(), 120);
+    for user in cohort.users() {
+        assert_eq!(user.num_samples(), 40);
+        // Both activities present, balanced.
+        let standing = user.truth.iter().filter(|&&y| y == 1).count();
+        assert_eq!(standing, 20);
+    }
+}
+
+#[test]
+fn plos_trains_on_the_sensing_pipeline_output() {
+    let cohort = small_cohort(2).mask_labels(&LabelMask::providers(4, 0.25), 3);
+    let config = PlosConfig { lambda: 40.0, ..PlosConfig::fast() };
+    let model = CentralizedPlos::new(config).fit(&cohort);
+    let acc = score_predictions(&cohort, &plos_predictions(&model, &cohort));
+    // Labeled users must end well above chance on this feature pipeline.
+    assert!(
+        acc.labeled_users.unwrap() > 0.65,
+        "labeled accuracy too low: {:?}",
+        acc.labeled_users
+    );
+    // Predictions are produced for every user including label-free ones.
+    assert!(acc.unlabeled_users.is_some());
+}
+
+#[test]
+fn masking_is_reproducible_and_respects_provider_count() {
+    let cohort = small_cohort(3);
+    let a = cohort.mask_labels(&LabelMask::providers(3, 0.1), 9);
+    let b = cohort.mask_labels(&LabelMask::providers(3, 0.1), 9);
+    assert_eq!(a, b, "same seed must give the same mask");
+    assert_eq!(a.providers().len(), 3);
+    for t in a.providers() {
+        assert!(a.user(t).num_labeled() >= 1);
+    }
+}
+
+#[test]
+fn personalized_model_differs_across_users_on_personal_data() {
+    // High personal variation: optimal hyperplanes genuinely differ, so the
+    // trained biases should not all be identical.
+    let cohort = small_cohort(4).mask_labels(&LabelMask::providers(6, 0.4), 1);
+    let config = PlosConfig { lambda: 5.0, ..PlosConfig::fast() };
+    let model = CentralizedPlos::new(config).fit(&cohort);
+    let mut distinct = false;
+    for t in 1..model.num_users() {
+        if model.personal_bias(t).distance(model.personal_bias(0)) > 1e-6 {
+            distinct = true;
+        }
+    }
+    assert!(distinct, "all personal biases identical — personalization inert");
+}

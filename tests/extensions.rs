@@ -1,0 +1,90 @@
+//! Integration tests for the future-work extensions: one-vs-rest
+//! multi-class PLOS and asynchronous (stale-update) distributed training.
+
+use plos::core::asynchronous::{AsyncDistributedPlos, AsyncSpec};
+use plos::core::multiclass::{multiclass_accuracy, MulticlassPlos};
+use plos::core::eval::{plos_predictions, score_predictions};
+use plos::prelude::*;
+use plos::sensing::multiclass::{generate_multiclass, MultiClassSpec};
+
+#[test]
+fn multiclass_beats_chance_clearly() {
+    let spec = MultiClassSpec {
+        num_users: 5,
+        num_classes: 3,
+        samples_per_class: 20,
+        dim: 10,
+        class_radius: 3.0,
+        noise_std: 0.9,
+        personal_variation: 0.25,
+    };
+    let data = generate_multiclass(&spec, 8).mask_labels(&LabelMask::providers(3, 0.3), 1);
+    let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+    let (labeled, unlabeled) = multiclass_accuracy(&model, &data);
+    assert!(labeled.unwrap() > 0.6, "labeled {labeled:?} vs chance 0.33");
+    assert!(unlabeled.unwrap() > 0.4, "unlabeled {unlabeled:?} vs chance 0.33");
+}
+
+#[test]
+fn multiclass_binary_case_agrees_with_binary_plos() {
+    // With k = 2 the one-vs-rest construction must solve the same problem
+    // twice (mirrored); its predictions should agree with itself.
+    let spec = MultiClassSpec {
+        num_users: 3,
+        num_classes: 2,
+        samples_per_class: 15,
+        dim: 6,
+        class_radius: 3.0,
+        noise_std: 0.8,
+        personal_variation: 0.2,
+    };
+    let data = generate_multiclass(&spec, 2).mask_labels(&LabelMask::providers(2, 0.4), 3);
+    let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+    assert_eq!(model.num_classes(), 2);
+    let (labeled, _) = multiclass_accuracy(&model, &data);
+    assert!(labeled.unwrap() > 0.7, "binary-as-multiclass accuracy {labeled:?}");
+}
+
+#[test]
+fn async_with_full_availability_matches_synchronous_protocol() {
+    let spec = SyntheticSpec {
+        num_users: 4,
+        points_per_class: 20,
+        max_rotation: 0.4,
+        flip_prob: 0.05,
+    };
+    let data = generate_synthetic(&spec, 6).mask_labels(&LabelMask::providers(2, 0.2), 2);
+    let config = PlosConfig::fast();
+    let (_, report) = AsyncDistributedPlos::new(
+        config,
+        AsyncSpec { availability: 1.0, seed: 0 },
+    )
+    .fit(&data);
+    assert_eq!(report.staleness(), 0.0);
+    assert!(report.admm_iterations > 0);
+}
+
+#[test]
+fn async_stragglers_remain_accurate_and_accounted() {
+    let spec = SyntheticSpec {
+        num_users: 6,
+        points_per_class: 25,
+        max_rotation: std::f64::consts::FRAC_PI_4,
+        flip_prob: 0.05,
+    };
+    let data = generate_synthetic(&spec, 9).mask_labels(&LabelMask::providers(3, 0.2), 5);
+    let (model, report) = AsyncDistributedPlos::new(
+        PlosConfig::fast(),
+        AsyncSpec { availability: 0.5, seed: 4 },
+    )
+    .fit(&data);
+    let acc = score_predictions(&data, &plos_predictions(&model, &data));
+    assert!(acc.labeled_users.unwrap() > 0.7, "labeled {:?}", acc.labeled_users);
+    // Bookkeeping is complete and consistent.
+    assert_eq!(report.stale_replies.len(), 6);
+    assert_eq!(report.fresh_replies.len(), 6);
+    assert!(report.staleness() > 0.0 && report.staleness() < 1.0);
+    for (s, f) in report.stale_replies.iter().zip(&report.fresh_replies) {
+        assert!(s + f > 0, "every device must have replied at least once");
+    }
+}

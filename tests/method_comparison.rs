@@ -1,0 +1,104 @@
+//! Cross-crate integration: the four-method comparison harness reproduces
+//! the qualitative orderings the paper's figures rest on.
+
+use plos::core::eval::{compare_methods, EvalConfig};
+use plos::prelude::*;
+
+fn eval_config() -> EvalConfig {
+    EvalConfig { plos: PlosConfig { lambda: 40.0, ..PlosConfig::fast() }, ..Default::default() }
+}
+
+#[test]
+fn all_four_methods_produce_both_panels() {
+    let spec = SyntheticSpec {
+        num_users: 6,
+        points_per_class: 40,
+        max_rotation: std::f64::consts::FRAC_PI_4,
+        flip_prob: 0.05,
+    };
+    let data = generate_synthetic(&spec, 1).mask_labels(&LabelMask::providers(3, 0.1), 2);
+    let scores = compare_methods(&data, &eval_config());
+    for (name, acc) in [
+        ("plos", scores.plos),
+        ("all", scores.all),
+        ("group", scores.group),
+        ("single", scores.single),
+    ] {
+        let l = acc.labeled_users.unwrap_or_else(|| panic!("{name}: missing labeled panel"));
+        let u =
+            acc.unlabeled_users.unwrap_or_else(|| panic!("{name}: missing unlabeled panel"));
+        assert!((0.0..=1.0).contains(&l), "{name} labeled {l}");
+        assert!((0.0..=1.0).contains(&u), "{name} unlabeled {u}");
+    }
+}
+
+#[test]
+fn plos_beats_single_for_unlabeled_users() {
+    // The paper's headline mechanism: label-free users borrow knowledge.
+    // Single's k-means on the elongated Gaussians stays near chance while
+    // PLOS transfers the providers' labels.
+    let spec = SyntheticSpec {
+        num_users: 8,
+        points_per_class: 60,
+        max_rotation: std::f64::consts::FRAC_PI_4,
+        flip_prob: 0.05,
+    };
+    let data = generate_synthetic(&spec, 3).mask_labels(&LabelMask::providers(4, 0.1), 1);
+    let scores = compare_methods(&data, &eval_config());
+    let plos = scores.plos.unlabeled_users.unwrap();
+    let single = scores.single.unlabeled_users.unwrap();
+    assert!(
+        plos > single + 0.05,
+        "PLOS ({plos:.3}) should clearly beat Single ({single:.3}) on unlabeled users"
+    );
+}
+
+#[test]
+fn all_baseline_degrades_with_user_difference_but_plos_resists() {
+    // Fig. 8's mechanism at two rotation levels.
+    let run = |rotation: f64| {
+        let spec = SyntheticSpec {
+            num_users: 6,
+            points_per_class: 50,
+            max_rotation: rotation,
+            flip_prob: 0.05,
+        };
+        let data =
+            generate_synthetic(&spec, 7).mask_labels(&LabelMask::providers(6, 0.15), 2);
+        compare_methods(&data, &eval_config())
+    };
+    let mild = run(0.1);
+    let strong = run(std::f64::consts::PI * 0.75);
+    let all_drop = mild.all.labeled_users.unwrap() - strong.all.labeled_users.unwrap();
+    let plos_drop = mild.plos.labeled_users.unwrap() - strong.plos.labeled_users.unwrap();
+    assert!(all_drop > 0.05, "All should suffer from strong rotations: drop {all_drop}");
+    assert!(
+        plos_drop < all_drop,
+        "PLOS (drop {plos_drop}) should resist rotations better than All (drop {all_drop})"
+    );
+}
+
+#[test]
+fn group_baseline_sits_between_all_and_single_on_rotated_cohorts() {
+    // The paper repeatedly observes Group interpolating between the two
+    // extremes on strongly-differing users (labeled panel).
+    let spec = SyntheticSpec {
+        num_users: 9,
+        points_per_class: 50,
+        max_rotation: std::f64::consts::PI * 0.9,
+        flip_prob: 0.05,
+    };
+    let data = generate_synthetic(&spec, 11).mask_labels(&LabelMask::providers(9, 0.25), 4);
+    let scores = compare_methods(&data, &eval_config());
+    let all = scores.all.labeled_users.unwrap();
+    let single = scores.single.labeled_users.unwrap();
+    let group = scores.group.labeled_users.unwrap();
+    assert!(
+        group >= all - 0.05,
+        "with labels everywhere, Group ({group:.3}) should not trail All ({all:.3}) by much"
+    );
+    assert!(
+        single >= group - 0.1,
+        "Single ({single:.3}) should top Group ({group:.3}) when labels are plentiful"
+    );
+}

@@ -1,0 +1,132 @@
+//! Property-based tests over the invariants DESIGN.md calls out, spanning
+//! crates: wire-format round-trips, QP feasibility, projection laws, window
+//! coverage, and evaluation-metric bounds.
+
+use plos::linalg::{Matrix, Vector};
+use plos::ml::matching::{best_matching_accuracy, hungarian_min_assignment};
+use plos::net::Message;
+use plos::opt::pg::project_capped_simplex;
+use plos::opt::{GroupedQp, QpSolverOptions};
+use plos::sensing::window::{samples_for_windows, sliding_windows};
+use proptest::prelude::*;
+
+fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 0..20)
+}
+
+proptest! {
+    #[test]
+    fn message_round_trips_byte_exactly(
+        round in 0u32..1000,
+        user in 0u32..1000,
+        w in small_vec(),
+        v in small_vec(),
+        xi in -1e9..1e9f64,
+    ) {
+        let msg = Message::ClientUpdate {
+            round,
+            user,
+            w_t: Vector::from(w),
+            v_t: Vector::from(v),
+            xi_t: xi,
+        };
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), msg.wire_len());
+        prop_assert_eq!(Message::decode(encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn broadcast_round_trips(round in 0u32..1000, w in small_vec(), u in small_vec()) {
+        let msg = Message::Broadcast {
+            round,
+            w0: Vector::from(w),
+            u_t: Vector::from(u),
+        };
+        prop_assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn capped_simplex_projection_is_feasible_and_idempotent(
+        mut x in prop::collection::vec(-10.0..10.0f64, 1..12),
+        cap in 0.0..5.0f64,
+    ) {
+        project_capped_simplex(&mut x, cap);
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        prop_assert!(x.iter().sum::<f64>() <= cap + 1e-9);
+        let once = x.clone();
+        project_capped_simplex(&mut x, cap);
+        for (a, b) in once.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qp_solutions_are_feasible_and_no_worse_than_zero(
+        diag in prop::collection::vec(0.1..5.0f64, 1..8),
+        cap in 0.01..3.0f64,
+    ) {
+        let n = diag.len();
+        let q = Matrix::from_diagonal(&diag);
+        let b: Vector = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let qp = GroupedQp::new(q, b, vec![((0..n).collect(), cap)]).unwrap();
+        let sol = qp.solve(&QpSolverOptions::default());
+        prop_assert!(qp.is_feasible(&sol.gamma, 1e-8));
+        // γ = 0 is feasible with objective 0; the optimum can only improve.
+        prop_assert!(sol.objective <= 1e-12);
+    }
+
+    #[test]
+    fn sliding_windows_are_in_bounds_and_uniform(
+        n in 1usize..500,
+        window in 1usize..64,
+        overlap in 0.0..0.9f64,
+    ) {
+        let windows = sliding_windows(n, window, overlap);
+        for w in &windows {
+            prop_assert!(w.end <= n);
+            prop_assert_eq!(w.end - w.start, window);
+        }
+        // Count round-trips through samples_for_windows.
+        if !windows.is_empty() {
+            let needed = samples_for_windows(windows.len(), window, overlap);
+            prop_assert!(needed <= n);
+        }
+    }
+
+    #[test]
+    fn hungarian_output_is_always_a_permutation(
+        rows in prop::collection::vec(prop::collection::vec(0.0..100.0f64, 5), 5),
+    ) {
+        let perm = hungarian_min_assignment(&rows);
+        let mut seen = [false; 5];
+        for &j in &perm {
+            prop_assert!(j < 5);
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn matching_accuracy_is_within_bounds_and_label_invariant(
+        assignment in prop::collection::vec(0usize..2, 2..30),
+    ) {
+        let classes: Vec<usize> = assignment.iter().map(|&c| c ^ 1).collect();
+        let acc = best_matching_accuracy(&assignment, &classes);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        // A relabeled copy of itself always matches perfectly.
+        prop_assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_matrices_preserve_norms(
+        yaw in -3.2..3.2f64,
+        pitch in -1.5..1.5f64,
+        roll in -3.2..3.2f64,
+        x in prop::collection::vec(-10.0..10.0f64, 3),
+    ) {
+        let r = Matrix::rotation3d(yaw, pitch, roll);
+        let v = Vector::from(x);
+        let rotated = r.matvec(&v);
+        prop_assert!((rotated.norm() - v.norm()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests over the PLOS solver internals: strong duality of
+//! the structured dual, slack consistency, CCCP objective monotonicity, and
+//! balance-constraint enforcement on randomized instances.
+
+use plos::core::dual::DualSolver;
+use plos::core::problem::Constraint;
+use plos::core::{CentralizedPlos, PlosConfig};
+use plos::linalg::Vector;
+use plos::opt::QpSolverOptions;
+use plos::sensing::dataset::{LabelMask, MultiUserDataset, UserData};
+use plos::sensing::synthetic::{generate_synthetic, SyntheticSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Strong duality of the working-set dual: the recovered primal value
+    /// matches the dual optimum (Eq.-9 scale) on random instances.
+    #[test]
+    fn dual_solver_strong_duality(
+        seed in 0u64..1000,
+        t_count in 1usize..4,
+        dim in 1usize..4,
+        lambda in 0.5..5.0f64,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut solver = DualSolver::new(lambda, t_count, dim);
+        for t in 0..t_count {
+            for _ in 0..rng.gen_range(1..3) {
+                let s: Vector = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                solver.add_constraint(t, Constraint { s, c: rng.gen_range(0.0..1.0) });
+            }
+        }
+        let sol = solver.solve(&QpSolverOptions::default());
+        let primal_scaled =
+            solver.primal_objective(&sol) * t_count as f64 / (2.0 * lambda);
+        prop_assert!(
+            (primal_scaled - sol.dual_objective).abs() < 1e-3,
+            "primal {primal_scaled} vs dual {}",
+            sol.dual_objective
+        );
+        // Slacks are non-negative by construction.
+        for xi in &sol.xis {
+            prop_assert!(*xi >= 0.0);
+        }
+    }
+
+    /// The centralized trainer's CCCP history never increases (within
+    /// numerical tolerance) on random small cohorts.
+    #[test]
+    fn cccp_history_is_monotone(seed in 0u64..40) {
+        let spec = SyntheticSpec {
+            num_users: 3,
+            points_per_class: 12,
+            max_rotation: 0.6,
+            flip_prob: 0.05,
+        };
+        let data = generate_synthetic(&spec, seed)
+            .mask_labels(&LabelMask::providers(2, 0.25), seed ^ 77);
+        let config = PlosConfig::fast();
+        // CCCP's monotonicity guarantee assumes each convex subproblem is
+        // solved exactly; the cutting plane stops at per-user slack accuracy
+        // ε, so the objective may wobble by O(T·ε) between rounds.
+        let tolerance = 3.0 * config.eps * data.num_users() as f64;
+        let fit = CentralizedPlos::new(config).fit_detailed(&data);
+        prop_assert!(
+            fit.history.is_monotone_decreasing(tolerance),
+            "history {:?}",
+            fit.history.values()
+        );
+    }
+
+    /// The balance constraint holds at the trained solution: every user's
+    /// personalized hyperplane satisfies |w_t · x̄_t| ≤ ℓ (+ tolerance)
+    /// over that user's unlabeled samples.
+    #[test]
+    fn balance_constraint_enforced(seed in 0u64..20) {
+        let spec = SyntheticSpec {
+            num_users: 3,
+            points_per_class: 10,
+            max_rotation: 0.4,
+            flip_prob: 0.0,
+        };
+        let data = generate_synthetic(&spec, seed)
+            .mask_labels(&LabelMask::providers(1, 0.3), seed);
+        let balance = 0.5;
+        let config = PlosConfig { balance, ..PlosConfig::fast() };
+        let model = CentralizedPlos::new(config.clone()).fit(&data);
+        for (t, user) in data.users().iter().enumerate() {
+            let unlabeled: Vec<usize> = user
+                .observed
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            if unlabeled.is_empty() {
+                continue;
+            }
+            let mean_decision: f64 = unlabeled
+                .iter()
+                .map(|&i| model.decision(t, &user.features[i]))
+                .sum::<f64>()
+                / unlabeled.len() as f64;
+            prop_assert!(
+                mean_decision.abs() <= balance + 0.15,
+                "user {t}: |mean decision| = {} exceeds balance {balance}",
+                mean_decision.abs()
+            );
+        }
+    }
+}
+
+/// Deterministic sanity check outside proptest: a hand-built dataset where
+/// the answer is known exactly.
+#[test]
+fn hand_built_two_user_problem_solves_exactly() {
+    let mut u0 = UserData::new(
+        vec![
+            Vector::from(vec![2.0]),
+            Vector::from(vec![2.5]),
+            Vector::from(vec![-2.0]),
+            Vector::from(vec![-2.5]),
+        ],
+        vec![1, 1, -1, -1],
+    );
+    u0.observed = vec![Some(1), Some(1), Some(-1), Some(-1)];
+    let u1 = UserData::new(
+        vec![Vector::from(vec![1.8]), Vector::from(vec![-1.8])],
+        vec![1, -1],
+    );
+    let data = MultiUserDataset::new(vec![u0, u1]);
+    let config = PlosConfig { bias: None, ..PlosConfig::fast() };
+    let model = CentralizedPlos::new(config).fit(&data);
+    // Both users' classifiers point in the +x direction.
+    for t in 0..2 {
+        for (x, &y) in data.user(t).features.iter().zip(&data.user(t).truth) {
+            assert_eq!(model.predict(t, x), y, "user {t}, x = {x}");
+        }
+    }
+}
