@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full static-analysis + test gate, in the order cheapest-first so a
+# formatting slip fails in seconds, not after a full build.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p xtask -- lint"
+cargo run -p xtask -- lint
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --features strict-invariants"
+cargo test -q --features strict-invariants
+
+echo "ci: all gates passed"

@@ -1,6 +1,10 @@
 //! Microbenchmark: wire-format encode/decode of the distributed-PLOS
 //! messages (every ADMM round moves two of these per user).
 
+// Allowed: bench setup code; the bytes being decoded were just produced by
+// the encoder, so the expect cannot fail.
+#![allow(clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use plos_linalg::Vector;
 use plos_net::Message;

@@ -11,9 +11,7 @@ fn bench_node_features(c: &mut Criterion) {
     // One 3.2 s window at 20 Hz = 64 samples per channel.
     let channel: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
     c.bench_function("node_features_64_samples", |b| {
-        b.iter(|| {
-            black_box(node_features(&channel, &channel, &channel, &channel, &channel))
-        })
+        b.iter(|| black_box(node_features(&channel, &channel, &channel, &channel, &channel)))
     });
 }
 

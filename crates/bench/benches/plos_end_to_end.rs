@@ -23,22 +23,14 @@ fn bench_end_to_end(c: &mut Criterion) {
     for &users in &[4usize, 8] {
         let data = cohort(users);
         let config = PlosConfig::fast();
-        group.bench_with_input(
-            BenchmarkId::new("centralized", users),
-            &users,
-            |b, _| {
-                let trainer = CentralizedPlos::new(config.clone());
-                b.iter(|| black_box(trainer.fit(&data)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("distributed", users),
-            &users,
-            |b, _| {
-                let trainer = DistributedPlos::new(config.clone());
-                b.iter(|| black_box(trainer.fit(&data)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("centralized", users), &users, |b, _| {
+            let trainer = CentralizedPlos::new(config.clone());
+            b.iter(|| black_box(trainer.fit(&data)));
+        });
+        group.bench_with_input(BenchmarkId::new("distributed", users), &users, |b, _| {
+            let trainer = DistributedPlos::new(config.clone());
+            b.iter(|| black_box(trainer.fit(&data)));
+        });
     }
     group.finish();
 }

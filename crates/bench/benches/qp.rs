@@ -3,6 +3,10 @@
 //! The cutting-plane loops re-solve the dual after every constraint batch,
 //! so this solver dominates training time at scale.
 
+// Allowed: bench setup code; the generated problem is square and valid by
+// construction, so these expects cannot fail.
+#![allow(clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use plos_linalg::{Matrix, Vector};
 use plos_opt::{GroupedQp, QpSolverOptions};
@@ -21,9 +25,8 @@ fn random_qp(n: usize, groups: usize, seed: u64) -> GroupedQp {
     let mut q = a.transpose().matmul(&a).expect("square");
     q.add_diagonal(0.5);
     let b: Vector = (0..n).map(|_| rng.gen_range(-0.5..1.5)).collect();
-    let members: Vec<(Vec<usize>, f64)> = (0..groups)
-        .map(|g| ((g..n).step_by(groups).collect(), 1.0))
-        .collect();
+    let members: Vec<(Vec<usize>, f64)> =
+        (0..groups).map(|g| ((g..n).step_by(groups).collect(), 1.0)).collect();
     GroupedQp::new(q, b, members).expect("valid construction")
 }
 

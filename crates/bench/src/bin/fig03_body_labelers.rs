@@ -5,38 +5,34 @@
 //! activity); the number of providers sweeps 2 → 18.
 
 use plos_bench::{
-    eval_config_for, mask, print_accuracy_figure, averaged_comparison, AccuracyRow, RunOptions,
+    averaged_comparison, eval_config_for, mask, print_accuracy_figure, AccuracyRow, RunOptions,
 };
 use plos_sensing::body_sensor::{generate_body_sensor, BodySensorSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let spec = if opts.quick {
         BodySensorSpec { num_users: 8, segments_per_activity: 20, ..Default::default() }
     } else {
         BodySensorSpec::default()
     };
-    let sweep: Vec<usize> = if opts.quick {
-        vec![2, 4, 6]
-    } else {
-        vec![2, 4, 6, 8, 10, 12, 14, 16, 18]
-    };
+    let sweep: Vec<usize> =
+        if opts.quick { vec![2, 4, 6] } else { vec![2, 4, 6, 8, 10, 12, 14, 16, 18] };
     let config = eval_config_for(&opts);
 
-    let rows: Vec<AccuracyRow> = sweep
-        .iter()
-        .map(|&providers| {
-            let scores = averaged_comparison(opts.trials, &config, |trial| {
-                let base = generate_body_sensor(&spec, opts.seed.wrapping_add(trial as u64));
-                mask(&base, providers, 0.06, &opts, trial)
-            });
-            AccuracyRow { x: providers as f64, scores }
-        })
-        .collect();
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    for &providers in &sweep {
+        let scores = averaged_comparison(opts.trials, &config, |trial| {
+            let base = generate_body_sensor(&spec, opts.seed.wrapping_add(trial as u64));
+            mask(&base, providers, 0.06, &opts, trial)
+        })?;
+        rows.push(AccuracyRow { x: providers as f64, scores });
+    }
 
     print_accuracy_figure(
         "Figure 3: body-sensor accuracy vs. # of users who provide labels (6% labeled)",
         "# providers",
         &rows,
     );
+    Ok(())
 }

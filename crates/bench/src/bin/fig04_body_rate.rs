@@ -8,34 +8,30 @@ use plos_bench::{
 };
 use plos_sensing::body_sensor::{generate_body_sensor, BodySensorSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let (spec, providers) = if opts.quick {
         (BodySensorSpec { num_users: 8, segments_per_activity: 20, ..Default::default() }, 4)
     } else {
         (BodySensorSpec::default(), 9)
     };
-    let sweep: Vec<f64> = if opts.quick {
-        vec![0.08, 0.24, 0.48]
-    } else {
-        vec![0.04, 0.08, 0.16, 0.24, 0.36, 0.48]
-    };
+    let sweep: Vec<f64> =
+        if opts.quick { vec![0.08, 0.24, 0.48] } else { vec![0.04, 0.08, 0.16, 0.24, 0.36, 0.48] };
     let config = eval_config_for(&opts);
 
-    let rows: Vec<AccuracyRow> = sweep
-        .iter()
-        .map(|&rate| {
-            let scores = averaged_comparison(opts.trials, &config, |trial| {
-                let base = generate_body_sensor(&spec, opts.seed.wrapping_add(trial as u64));
-                mask(&base, providers, rate, &opts, trial)
-            });
-            AccuracyRow { x: rate * 100.0, scores }
-        })
-        .collect();
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    for &rate in &sweep {
+        let scores = averaged_comparison(opts.trials, &config, |trial| {
+            let base = generate_body_sensor(&spec, opts.seed.wrapping_add(trial as u64));
+            mask(&base, providers, rate, &opts, trial)
+        })?;
+        rows.push(AccuracyRow { x: rate * 100.0, scores });
+    }
 
     print_accuracy_figure(
         "Figure 4: body-sensor accuracy vs. training rate (%) with 9 providers",
         "rate (%)",
         &rows,
     );
+    Ok(())
 }

@@ -9,34 +9,30 @@ use plos_bench::{
 };
 use plos_sensing::har::{generate_har, HarSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let spec = if opts.quick {
         HarSpec { num_users: 8, samples_per_class: 20, dim: 60, ..Default::default() }
     } else {
         HarSpec::default()
     };
-    let sweep: Vec<usize> = if opts.quick {
-        vec![2, 4, 6]
-    } else {
-        vec![6, 9, 12, 15, 18, 21, 24, 27]
-    };
+    let sweep: Vec<usize> =
+        if opts.quick { vec![2, 4, 6] } else { vec![6, 9, 12, 15, 18, 21, 24, 27] };
     let config = eval_config_for(&opts);
 
-    let rows: Vec<AccuracyRow> = sweep
-        .iter()
-        .map(|&providers| {
-            let scores = averaged_comparison(opts.trials, &config, |trial| {
-                let base = generate_har(&spec, opts.seed.wrapping_add(trial as u64));
-                mask(&base, providers, 0.06, &opts, trial)
-            });
-            AccuracyRow { x: providers as f64, scores }
-        })
-        .collect();
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    for &providers in &sweep {
+        let scores = averaged_comparison(opts.trials, &config, |trial| {
+            let base = generate_har(&spec, opts.seed.wrapping_add(trial as u64));
+            mask(&base, providers, 0.06, &opts, trial)
+        })?;
+        rows.push(AccuracyRow { x: providers as f64, scores });
+    }
 
     print_accuracy_figure(
         "Figure 5: HAR accuracy vs. # of users who provide labels (6% labeled)",
         "# providers",
         &rows,
     );
+    Ok(())
 }

@@ -8,7 +8,7 @@ use plos_bench::{
 };
 use plos_sensing::har::{generate_har, HarSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let (spec, providers) = if opts.quick {
         (HarSpec { num_users: 8, samples_per_class: 20, dim: 60, ..Default::default() }, 4)
@@ -22,20 +22,19 @@ fn main() {
     };
     let config = eval_config_for(&opts);
 
-    let rows: Vec<AccuracyRow> = sweep
-        .iter()
-        .map(|&rate| {
-            let scores = averaged_comparison(opts.trials, &config, |trial| {
-                let base = generate_har(&spec, opts.seed.wrapping_add(trial as u64));
-                mask(&base, providers, rate, &opts, trial)
-            });
-            AccuracyRow { x: rate * 100.0, scores }
-        })
-        .collect();
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    for &rate in &sweep {
+        let scores = averaged_comparison(opts.trials, &config, |trial| {
+            let base = generate_har(&spec, opts.seed.wrapping_add(trial as u64));
+            mask(&base, providers, rate, &opts, trial)
+        })?;
+        rows.push(AccuracyRow { x: rate * 100.0, scores });
+    }
 
     print_accuracy_figure(
         "Figure 6: HAR accuracy vs. training rate (%) with 15 providers",
         "rate (%)",
         &rows,
     );
+    Ok(())
 }

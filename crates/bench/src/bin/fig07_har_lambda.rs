@@ -10,7 +10,7 @@ use plos_core::eval::{plos_predictions, score_predictions};
 use plos_core::CentralizedPlos;
 use plos_sensing::har::{generate_har, HarSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let (spec, providers) = if opts.quick {
         (HarSpec { num_users: 8, samples_per_class: 20, dim: 60, ..Default::default() }, 4)
@@ -18,11 +18,8 @@ fn main() {
         (HarSpec::default(), 15)
     };
     let config = eval_config_for(&opts);
-    let log_lambdas: Vec<f64> = if opts.quick {
-        vec![0.0, 2.0, 4.0]
-    } else {
-        (0..=8).map(|k| k as f64 * 0.5).collect()
-    };
+    let log_lambdas: Vec<f64> =
+        if opts.quick { vec![0.0, 2.0, 4.0] } else { (0..=8).map(|k| k as f64 * 0.5).collect() };
 
     println!("\n=== Figure 7: HAR PLOS accuracy vs log10(lambda) (15 providers x 6 labels) ===");
     println!("{:>10} {:>14} {:>17}", "log10(l)", "acc labeled %", "acc unlabeled %");
@@ -35,7 +32,7 @@ fn main() {
             // 6 labels out of ~100 samples ≈ 6 %.
             let data = mask(&base, providers, 0.06, &opts, trial);
             let plos_cfg = config.plos.clone().with_lambda(lambda);
-            let model = CentralizedPlos::new(plos_cfg).fit(&data);
+            let model = CentralizedPlos::new(plos_cfg).fit(&data)?;
             let acc = score_predictions(&data, &plos_predictions(&model, &data));
             lab += acc.labeled_users.unwrap_or(0.0);
             unlab += acc.unlabeled_users.unwrap_or(0.0);
@@ -43,4 +40,5 @@ fn main() {
         let n = opts.trials as f64;
         println!("{:>10.1} {:>14.1} {:>17.1}", ll, lab / n * 100.0, unlab / n * 100.0);
     }
+    Ok(())
 }

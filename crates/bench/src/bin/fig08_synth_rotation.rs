@@ -10,36 +10,32 @@ use plos_bench::{
 };
 use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let points = if opts.quick { 60 } else { 200 };
-    let fracs: Vec<f64> = if opts.quick {
-        vec![0.0, 0.5, 1.0]
-    } else {
-        (0..=6).map(|k| k as f64 / 6.0).collect()
-    };
+    let fracs: Vec<f64> =
+        if opts.quick { vec![0.0, 0.5, 1.0] } else { (0..=6).map(|k| k as f64 / 6.0).collect() };
     let config = eval_config_for(&opts);
 
-    let rows: Vec<AccuracyRow> = fracs
-        .iter()
-        .map(|&frac| {
-            let scores = averaged_comparison(opts.trials, &config, |trial| {
-                let spec = SyntheticSpec {
-                    num_users: 10,
-                    points_per_class: points,
-                    max_rotation: std::f64::consts::PI * frac,
-                    flip_prob: 0.1,
-                };
-                let base = generate_synthetic(&spec, opts.seed.wrapping_add(trial as u64));
-                mask(&base, 5, 0.02, &opts, trial)
-            });
-            AccuracyRow { x: frac, scores }
-        })
-        .collect();
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    for &frac in &fracs {
+        let scores = averaged_comparison(opts.trials, &config, |trial| {
+            let spec = SyntheticSpec {
+                num_users: 10,
+                points_per_class: points,
+                max_rotation: std::f64::consts::PI * frac,
+                flip_prob: 0.1,
+            };
+            let base = generate_synthetic(&spec, opts.seed.wrapping_add(trial as u64));
+            mask(&base, 5, 0.02, &opts, trial)
+        })?;
+        rows.push(AccuracyRow { x: frac, scores });
+    }
 
     print_accuracy_figure(
         "Figure 8: synthetic accuracy vs. max rotation angle (x = fraction of pi)",
         "rotation/pi",
         &rows,
     );
+    Ok(())
 }

@@ -9,11 +9,10 @@ use plos_bench::{
 };
 use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let points = if opts.quick { 60 } else { 200 };
-    let sweep: Vec<usize> =
-        if opts.quick { vec![2, 5, 9] } else { (1..=9).collect() };
+    let sweep: Vec<usize> = if opts.quick { vec![2, 5, 9] } else { (1..=9).collect() };
     let config = eval_config_for(&opts);
     let spec = SyntheticSpec {
         num_users: 10,
@@ -22,20 +21,19 @@ fn main() {
         flip_prob: 0.1,
     };
 
-    let rows: Vec<AccuracyRow> = sweep
-        .iter()
-        .map(|&providers| {
-            let scores = averaged_comparison(opts.trials, &config, |trial| {
-                let base = generate_synthetic(&spec, opts.seed.wrapping_add(trial as u64));
-                mask(&base, providers, 0.02, &opts, trial)
-            });
-            AccuracyRow { x: providers as f64, scores }
-        })
-        .collect();
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    for &providers in &sweep {
+        let scores = averaged_comparison(opts.trials, &config, |trial| {
+            let base = generate_synthetic(&spec, opts.seed.wrapping_add(trial as u64));
+            mask(&base, providers, 0.02, &opts, trial)
+        })?;
+        rows.push(AccuracyRow { x: providers as f64, scores });
+    }
 
     print_accuracy_figure(
         "Figure 9: synthetic accuracy vs. # of users who provide labels (2% labeled, rot pi/2)",
         "# providers",
         &rows,
     );
+    Ok(())
 }

@@ -8,7 +8,7 @@ use plos_bench::{
 };
 use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let points = if opts.quick { 60 } else { 200 };
     let sweep: Vec<f64> = if opts.quick {
@@ -24,20 +24,19 @@ fn main() {
         flip_prob: 0.1,
     };
 
-    let rows: Vec<AccuracyRow> = sweep
-        .iter()
-        .map(|&rate| {
-            let scores = averaged_comparison(opts.trials, &config, |trial| {
-                let base = generate_synthetic(&spec, opts.seed.wrapping_add(trial as u64));
-                mask(&base, 5, rate, &opts, trial)
-            });
-            AccuracyRow { x: rate * 100.0, scores }
-        })
-        .collect();
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    for &rate in &sweep {
+        let scores = averaged_comparison(opts.trials, &config, |trial| {
+            let base = generate_synthetic(&spec, opts.seed.wrapping_add(trial as u64));
+            mask(&base, 5, rate, &opts, trial)
+        })?;
+        rows.push(AccuracyRow { x: rate * 100.0, scores });
+    }
 
     print_accuracy_figure(
         "Figure 10: synthetic accuracy vs. training rate (%) (5 providers, rot pi/2)",
         "rate (%)",
         &rows,
     );
+    Ok(())
 }

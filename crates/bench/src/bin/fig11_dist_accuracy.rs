@@ -8,12 +8,12 @@
 
 use plos_bench::{run_scale_point, scale_sweep, RunOptions};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     println!("\n=== Figure 11: accuracy difference (centralized - distributed), percent ===");
     println!("{:>8} {:>14} {:>14} {:>12}", "# users", "central acc %", "dist acc %", "diff (pp)");
     for users in scale_sweep(&opts) {
-        let p = run_scale_point(users, &opts);
+        let p = run_scale_point(users, &opts)?;
         println!(
             "{:>8} {:>14.2} {:>14.2} {:>12.2}",
             p.users,
@@ -22,4 +22,5 @@ fn main() {
             (p.acc_centralized - p.acc_distributed) * 100.0
         );
     }
+    Ok(())
 }

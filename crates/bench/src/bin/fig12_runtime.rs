@@ -12,7 +12,7 @@
 
 use plos_bench::{run_scale_point, scale_sweep, RunOptions};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     println!("\n=== Figure 12: running time (s) vs # of users ===");
     println!(
@@ -20,10 +20,11 @@ fn main() {
         "# users", "centralized (s)", "distributed (s)", "ADMM iters"
     );
     for users in scale_sweep(&opts) {
-        let p = run_scale_point(users, &opts);
+        let p = run_scale_point(users, &opts)?;
         println!(
             "{:>8} {:>16.3} {:>18.3} {:>10}",
             p.users, p.time_centralized_s, p.time_distributed_s, p.admm_iterations
         );
     }
+    Ok(())
 }

@@ -7,12 +7,13 @@
 
 use plos_bench::{run_scale_point, scale_sweep, RunOptions};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     println!("\n=== Figure 13: message overhead per user (KB) vs # of users ===");
     println!("{:>8} {:>14} {:>10}", "# users", "KB per user", "ADMM iters");
     for users in scale_sweep(&opts) {
-        let p = run_scale_point(users, &opts);
+        let p = run_scale_point(users, &opts)?;
         println!("{:>8} {:>14.2} {:>10}", p.users, p.kb_per_user, p.admm_iterations);
     }
+    Ok(())
 }

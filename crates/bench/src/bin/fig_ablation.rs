@@ -5,13 +5,13 @@
 //! 2 %):
 //!
 //! * `vanilla`      — Algorithm 1 exactly as printed (no refinement, no
-//!                    restarts);
+//!   restarts);
 //! * `refine-only`  — block-coordinate refinement without random restarts;
 //! * `full`         — refinement + multi-start (the default);
 //! * `cu=0`         — drop the unlabeled margin term entirely;
 //! * `lambda→∞`     — collapse onto a single global hyperplane (≈ *All*);
 //! * `lambda→0`     — decouple the users (≈ independent semi-supervised
-//!                    SVMs);
+//!   SVMs);
 //! * `1 CCCP round` — a single convexification, no sign refreshes.
 
 use plos_bench::{figure_plos_config, mask, quick_plos_config, RunOptions};
@@ -19,7 +19,7 @@ use plos_core::eval::{plos_predictions, score_predictions};
 use plos_core::{CentralizedPlos, PlosConfig};
 use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
     let points = if opts.quick { 60 } else { 200 };
     let spec = SyntheticSpec {
@@ -59,7 +59,7 @@ fn main() {
                 &opts,
                 trial,
             );
-            let model = CentralizedPlos::new(cfg.clone()).fit(&data);
+            let model = CentralizedPlos::new(cfg.clone()).fit(&data)?;
             let acc = score_predictions(&data, &plos_predictions(&model, &data));
             lab += acc.labeled_users.unwrap_or(0.0);
             unlab += acc.unlabeled_users.unwrap_or(0.0);
@@ -67,4 +67,5 @@ fn main() {
         let n = opts.trials as f64;
         println!("{:<28} {:>14.1} {:>17.1}", name, lab / n * 100.0, unlab / n * 100.0);
     }
+    Ok(())
 }

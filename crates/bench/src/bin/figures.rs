@@ -25,6 +25,10 @@ const FIGURES: &[&str] = &[
     "fig_ablation",
 ];
 
+// Allowed: top-level figure runner; aborting with a message when the
+// environment is broken (no current-exe path, spawn failure) is the
+// intended behavior.
+#[allow(clippy::expect_used, clippy::panic)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let self_path = std::env::current_exe().expect("current executable path");

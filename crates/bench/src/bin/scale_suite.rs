@@ -5,12 +5,12 @@
 
 use plos_bench::{run_scale_point, scale_sweep, RunOptions};
 
-fn main() {
+fn main() -> Result<(), plos_core::CoreError> {
     let opts = RunOptions::from_args();
-    let points: Vec<_> = scale_sweep(&opts)
+    let points = scale_sweep(&opts)
         .into_iter()
         .map(|users| run_scale_point(users, &opts))
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
 
     println!("\n=== Figure 11: accuracy difference (centralized - distributed), percent ===");
     println!("{:>8} {:>14} {:>14} {:>12}", "# users", "central acc %", "dist acc %", "diff (pp)");
@@ -41,4 +41,5 @@ fn main() {
     for p in &points {
         println!("{:>8} {:>14.2} {:>10}", p.users, p.kb_per_user, p.admm_iterations);
     }
+    Ok(())
 }

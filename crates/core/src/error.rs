@@ -1,0 +1,83 @@
+//! Error type shared by the fallible trainers in this crate.
+
+use plos_ml::error::MlError;
+use plos_opt::error::OptError;
+use std::fmt;
+
+/// Error returned by the fallible PLOS trainers and baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A failure surfaced by the optimization layer (QP / ADMM machinery).
+    Opt(OptError),
+    /// A failure surfaced by the machine-learning layer (SVM, k-means,
+    /// spectral clustering).
+    Ml(MlError),
+    /// The dataset has no users, so there is nothing to train.
+    EmptyDataset,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Opt(e) => write!(f, "{e}"),
+            CoreError::Ml(e) => write!(f, "{e}"),
+            CoreError::EmptyDataset => write!(f, "dataset has no users"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Opt(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+            CoreError::EmptyDataset => None,
+        }
+    }
+}
+
+impl From<OptError> for CoreError {
+    fn from(e: OptError) -> Self {
+        CoreError::Opt(e)
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<plos_linalg::LinalgError> for CoreError {
+    fn from(e: plos_linalg::LinalgError) -> Self {
+        CoreError::Opt(OptError::Linalg(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plos_linalg::LinalgError;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<CoreError> = vec![
+            CoreError::Opt(OptError::NonFinite { what: "warm start" }),
+            CoreError::Ml(MlError::Empty { what: "samples" }),
+            CoreError::EmptyDataset,
+        ];
+        for c in cases {
+            assert!(!format!("{c}").is_empty());
+            assert!(!format!("{c:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn from_impls_preserve_sources() {
+        use std::error::Error;
+        let o = CoreError::from(OptError::Linalg(LinalgError::Singular));
+        assert!(o.source().is_some());
+        let m = CoreError::from(MlError::BadLabel { index: 3 });
+        assert!(m.source().is_some());
+    }
+}

@@ -9,13 +9,13 @@
 use crate::baselines::{AllBaseline, GroupBaseline, GroupConfig, SingleBaseline, UserPredictions};
 use crate::centralized::CentralizedPlos;
 use crate::config::PlosConfig;
+use crate::error::CoreError;
 use crate::model::PersonalizedModel;
 use plos_ml::svm::SvmParams;
 use plos_sensing::dataset::MultiUserDataset;
-use serde::{Deserialize, Serialize};
 
 /// Mean per-user accuracy, split by user type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Accuracies {
     /// Mean accuracy over users who provided labels (`None` when the cohort
     /// has no providers).
@@ -49,11 +49,7 @@ pub fn score_predictions(
     dataset: &MultiUserDataset,
     predictions: &[UserPredictions],
 ) -> Accuracies {
-    assert_eq!(
-        predictions.len(),
-        dataset.num_users(),
-        "one prediction set per user required"
-    );
+    assert_eq!(predictions.len(), dataset.num_users(), "one prediction set per user required");
     let mut labeled = Vec::new();
     let mut unlabeled = Vec::new();
     for (t, (user, preds)) in dataset.users().iter().zip(predictions).enumerate() {
@@ -88,7 +84,7 @@ pub fn plos_predictions(
 }
 
 /// One experiment's accuracy for the four methods the paper compares.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MethodScores {
     /// PLOS (centralized trainer).
     pub plos: Accuracies,
@@ -101,7 +97,7 @@ pub struct MethodScores {
 }
 
 /// Harness configuration bundling every method's hyperparameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct EvalConfig {
     /// PLOS hyperparameters.
     pub plos: PlosConfig,
@@ -113,33 +109,29 @@ pub struct EvalConfig {
     pub seed: u64,
 }
 
-impl Default for EvalConfig {
-    fn default() -> Self {
-        EvalConfig {
-            plos: PlosConfig::default(),
-            group: GroupConfig::default(),
-            svm: SvmParams::default(),
-            seed: 0,
-        }
-    }
-}
-
 /// Trains and scores all four methods on one masked dataset — one point of
 /// one paper figure.
-pub fn compare_methods(dataset: &MultiUserDataset, config: &EvalConfig) -> MethodScores {
-    let plos_model = CentralizedPlos::new(config.plos.clone()).fit(dataset);
+///
+/// # Errors
+///
+/// Propagates the first training failure of any of the four methods.
+pub fn compare_methods(
+    dataset: &MultiUserDataset,
+    config: &EvalConfig,
+) -> Result<MethodScores, CoreError> {
+    let plos_model = CentralizedPlos::new(config.plos.clone()).fit(dataset)?;
     let plos = score_predictions(dataset, &plos_predictions(&plos_model, dataset));
 
-    let all_model = AllBaseline::fit_with(dataset, &config.svm);
+    let all_model = AllBaseline::fit_with(dataset, &config.svm)?;
     let all = score_predictions(dataset, &all_model.predict_all(dataset));
 
-    let group_model = GroupBaseline::fit(dataset, &config.group);
+    let group_model = GroupBaseline::fit(dataset, &config.group)?;
     let group = score_predictions(dataset, &group_model.predict_all(dataset));
 
-    let single_model = SingleBaseline::fit_with(dataset, &config.svm, config.seed);
+    let single_model = SingleBaseline::fit_with(dataset, &config.svm, config.seed)?;
     let single = score_predictions(dataset, &single_model.predict_all(dataset));
 
-    MethodScores { plos, all, group, single }
+    Ok(MethodScores { plos, all, group, single })
 }
 
 /// Leave-one-provider-out cross-validation for `λ` (the paper selects
@@ -153,6 +145,10 @@ pub fn compare_methods(dataset: &MultiUserDataset, config: &EvalConfig) -> Metho
 /// earlier candidate. `max_folds` caps the number of held-out providers per
 /// candidate to bound cost.
 ///
+/// # Errors
+///
+/// Propagates the first training failure among the fold models.
+///
 /// # Panics
 ///
 /// Panics if `candidates` is empty or the dataset has no providers.
@@ -161,30 +157,47 @@ pub fn select_lambda(
     candidates: &[f64],
     base: &PlosConfig,
     max_folds: usize,
-) -> f64 {
+) -> Result<f64, CoreError> {
     assert!(!candidates.is_empty(), "need at least one lambda candidate");
     let providers = dataset.providers();
     assert!(!providers.is_empty(), "cross-validation needs at least one provider");
     let folds: Vec<usize> = providers.into_iter().take(max_folds.max(1)).collect();
 
+    // The grid-search closure cannot propagate errors; park the first
+    // failure here (scoring the candidate -inf so it is never selected) and
+    // surface it after the search.
+    let mut fit_err: Option<CoreError> = None;
     let (best, _) = plos_ml::crossval::grid_search(candidates, |&lambda| {
+        if fit_err.is_some() {
+            return f64::NEG_INFINITY;
+        }
         let config = base.clone().with_lambda(lambda);
         let mut total = 0.0;
         for &held_out in &folds {
             // Hide the held-out provider's labels.
             let mut users = dataset.users().to_vec();
-            users[held_out].observed.iter_mut().for_each(|l| *l = None);
+            if let Some(u) = users.get_mut(held_out) {
+                u.observed.iter_mut().for_each(|l| *l = None);
+            }
             let fold_data = MultiUserDataset::new(users);
-            let model = CentralizedPlos::new(config.clone()).fit(&fold_data);
+            let model = match CentralizedPlos::new(config.clone()).fit(&fold_data) {
+                Ok(m) => m,
+                Err(e) => {
+                    fit_err = Some(e);
+                    return f64::NEG_INFINITY;
+                }
+            };
             let user = fold_data.user(held_out);
             let preds = model.predict_batch(held_out, &user.features);
-            let correct =
-                preds.iter().zip(&user.truth).filter(|(p, y)| p == y).count();
+            let correct = preds.iter().zip(&user.truth).filter(|(p, y)| p == y).count();
             total += correct as f64 / user.num_samples() as f64;
         }
         total / folds.len() as f64
     });
-    best
+    match fit_err {
+        Some(e) => Err(e),
+        None => Ok(best),
+    }
 }
 
 #[cfg(test)]
@@ -196,19 +209,15 @@ mod tests {
 
     #[test]
     fn scoring_splits_user_types() {
-        let mut u0 = UserData::new(
-            vec![Vector::from(vec![1.0]), Vector::from(vec![-1.0])],
-            vec![1, -1],
-        );
+        let mut u0 =
+            UserData::new(vec![Vector::from(vec![1.0]), Vector::from(vec![-1.0])], vec![1, -1]);
         u0.observed[0] = Some(1);
-        let u1 = UserData::new(
-            vec![Vector::from(vec![1.0]), Vector::from(vec![-1.0])],
-            vec![1, -1],
-        );
+        let u1 =
+            UserData::new(vec![Vector::from(vec![1.0]), Vector::from(vec![-1.0])], vec![1, -1]);
         let d = MultiUserDataset::new(vec![u0, u1]);
         let preds = vec![
-            UserPredictions::Labels(vec![1, -1]),  // provider: 100%
-            UserPredictions::Labels(vec![1, 1]),   // non-provider: 50%
+            UserPredictions::Labels(vec![1, -1]), // provider: 100%
+            UserPredictions::Labels(vec![1, 1]),  // non-provider: 50%
         ];
         let acc = score_predictions(&d, &preds);
         assert_eq!(acc.labeled_users, Some(1.0));
@@ -220,11 +229,8 @@ mod tests {
     fn all_providers_yields_no_unlabeled_score() {
         let spec = SyntheticSpec { num_users: 2, points_per_class: 10, ..Default::default() };
         let d = generate_synthetic(&spec, 0).mask_labels(&LabelMask::providers(2, 0.5), 0);
-        let preds: Vec<UserPredictions> = d
-            .users()
-            .iter()
-            .map(|u| UserPredictions::Labels(u.truth.clone()))
-            .collect();
+        let preds: Vec<UserPredictions> =
+            d.users().iter().map(|u| UserPredictions::Labels(u.truth.clone())).collect();
         let acc = score_predictions(&d, &preds);
         assert_eq!(acc.labeled_users, Some(1.0));
         assert_eq!(acc.unlabeled_users, None);
@@ -240,7 +246,7 @@ mod tests {
         };
         let d = generate_synthetic(&spec, 3).mask_labels(&LabelMask::providers(2, 0.2), 1);
         let config = EvalConfig { plos: PlosConfig::fast(), ..Default::default() };
-        let scores = compare_methods(&d, &config);
+        let scores = compare_methods(&d, &config).unwrap();
         for acc in [scores.plos, scores.all, scores.group, scores.single] {
             let l = acc.labeled_users.expect("providers exist");
             let u = acc.unlabeled_users.expect("non-providers exist");
@@ -255,17 +261,13 @@ mod tests {
 
     #[test]
     fn lambda_selection_returns_a_candidate_deterministically() {
-        let spec = SyntheticSpec {
-            num_users: 3,
-            points_per_class: 15,
-            max_rotation: 0.3,
-            flip_prob: 0.0,
-        };
+        let spec =
+            SyntheticSpec { num_users: 3, points_per_class: 15, max_rotation: 0.3, flip_prob: 0.0 };
         let d = generate_synthetic(&spec, 4).mask_labels(&LabelMask::providers(2, 0.3), 0);
         let candidates = [1.0, 50.0];
         let cfg = PlosConfig::fast();
-        let a = select_lambda(&d, &candidates, &cfg, 2);
-        let b = select_lambda(&d, &candidates, &cfg, 2);
+        let a = select_lambda(&d, &candidates, &cfg, 2).unwrap();
+        let b = select_lambda(&d, &candidates, &cfg, 2).unwrap();
         assert_eq!(a, b, "CV must be deterministic");
         assert!(candidates.contains(&a));
     }

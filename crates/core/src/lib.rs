@@ -1,3 +1,9 @@
+// Unit tests assert by panicking; the panic-free gate applies to library
+// code only (see [workspace.lints] in the root Cargo.toml).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
 //! # PLOS — Personalized Learning in mObile Sensing
 //!
 //! Reproduction of the learning framework from *"Towards Personalized
@@ -34,10 +40,11 @@
 //!
 //! let spec = SyntheticSpec { num_users: 4, points_per_class: 40, ..Default::default() };
 //! let dataset = generate_synthetic(&spec, 1).mask_labels(&LabelMask::providers(2, 0.1), 2);
-//! let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset);
+//! let model = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset)?;
 //! let first_sample = &dataset.user(0).features[0];
 //! let label = model.predict(0, first_sample);
 //! assert!(label == 1 || label == -1);
+//! # Ok::<(), plos_core::CoreError>(())
 //! ```
 
 pub mod asynchronous;
@@ -46,6 +53,7 @@ pub mod centralized;
 pub mod config;
 pub mod distributed;
 pub mod dual;
+pub mod error;
 pub mod eval;
 pub mod local;
 pub mod model;
@@ -57,5 +65,6 @@ pub use asynchronous::{AsyncDistributedPlos, AsyncSpec};
 pub use centralized::CentralizedPlos;
 pub use config::PlosConfig;
 pub use distributed::{DistributedPlos, DistributedReport};
+pub use error::CoreError;
 pub use model::PersonalizedModel;
 pub use multiclass::{MulticlassModel, MulticlassPlos};

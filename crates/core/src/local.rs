@@ -24,6 +24,7 @@
 //! CCCP, because the sign pattern changes.
 
 use crate::config::PlosConfig;
+use crate::error::CoreError;
 use crate::problem::{self, Constraint, PreparedUser};
 use crate::prox;
 use plos_linalg::Vector;
@@ -64,7 +65,7 @@ impl LocalSolver {
     pub fn new(user: PreparedUser, config: PlosConfig, t_count: usize) -> Self {
         config.validate();
         assert!(t_count > 0, "t_count must be positive");
-        let dim = user.features[0].len();
+        let dim = user.features.first().map_or(0, Vector::len);
         let balance = problem::balance_constraints(&user, config.balance);
         LocalSolver {
             user,
@@ -100,64 +101,84 @@ impl LocalSolver {
     /// hyperplane to the server, which averages them into `w0⁽⁰⁾` — only
     /// model parameters travel, never data.
     ///
-    /// Returns `None` when the user lacks labels of both classes.
+    /// Returns `None` when the user lacks labels of both classes or the
+    /// local SVM fails to train.
     pub fn initial_hyperplane(&self) -> Option<Vector> {
         let has_pos = self.user.labeled.iter().any(|&(_, y)| y > 0.0);
         let has_neg = self.user.labeled.iter().any(|&(_, y)| y < 0.0);
         if !has_pos || !has_neg {
             return None;
         }
-        let xs: Vec<Vector> =
-            self.user.labeled.iter().map(|&(i, _)| self.user.features[i].clone()).collect();
-        let ys: Vec<i8> = self.user.labeled.iter().map(|&(_, y)| y as i8).collect();
+        let (xs, ys): (Vec<Vector>, Vec<i8>) = self
+            .user
+            .labeled
+            .iter()
+            .filter_map(|&(i, y)| self.user.features.get(i).map(|x| (x.clone(), y as i8)))
+            .unzip();
         // Features were bias-augmented during prepare(); keep the SVM raw.
-        let params = plos_ml::svm::SvmParams {
-            c: 1.0,
-            bias: None,
-            ..plos_ml::svm::SvmParams::default()
-        };
-        Some(plos_ml::svm::LinearSvm::new(params).fit(&xs, &ys).weights().clone())
+        let params =
+            plos_ml::svm::SvmParams { c: 1.0, bias: None, ..plos_ml::svm::SvmParams::default() };
+        let model = plos_ml::svm::LinearSvm::new(params).fit(&xs, &ys).ok()?;
+        Some(model.weights().clone())
     }
 
     /// Solves Eq. (22) given the server's current `w0` and scaled dual
     /// `u_t`.
     ///
+    /// # Errors
+    ///
+    /// Propagates QP failures from the cutting-plane solves.
+    ///
     /// # Panics
     ///
     /// Panics if `w0`/`u_t` dimensions don't match the data.
-    pub fn solve(&mut self, w0: &Vector, u_t: &Vector) -> LocalUpdate {
-        let dim = self.user.features[0].len();
+    pub fn solve(&mut self, w0: &Vector, u_t: &Vector) -> Result<LocalUpdate, CoreError> {
+        let dim = self.user.features.first().map_or(0, Vector::len);
         assert_eq!(w0.len(), dim, "w0 dimension mismatch");
         assert_eq!(u_t.len(), dim, "u_t dimension mismatch");
 
         // Lazily (re-)derive the sign pattern: on the very first solve the
         // linearization point is the incoming global hyperplane, afterwards
         // the device's own last w_t.
-        if self.signs.is_none() {
-            let anchor = if self.w_t.norm() == 0.0 { w0 } else { &self.w_t };
-            self.signs = Some(problem::compute_signs(&self.user, anchor));
-        }
+        let signs = match self.signs.take() {
+            Some(signs) => signs,
+            None => {
+                let anchor = if self.w_t.norm() == 0.0 { w0 } else { &self.w_t };
+                problem::compute_signs(&self.user, anchor)
+            }
+        };
 
         let kappa = self.config.lambda / self.t_count as f64;
         let rho = self.config.rho;
         let mu = 2.0 * kappa * rho / (2.0 * kappa + rho);
         let a = w0 - u_t;
 
-        let signs = self.signs.as_ref().expect("signs derived above");
         let w = prox::cutting_plane(
             &self.user,
-            signs,
+            &signs,
             &a,
             mu,
             &mut self.working_set,
             &self.balance,
             &self.config,
-        );
+        )?;
+        self.signs = Some(signs);
 
         let xi_t = problem::slack_for(&self.working_set, &w);
         let v_t = (&w - &a).scaled(rho / (2.0 * kappa + rho));
         self.w_t = w.clone();
-        LocalUpdate { w_t: w, v_t, xi_t }
+        // Crate-boundary contract with the opt layer: the update the device
+        // ships to the server must keep the problem dimension and stay
+        // finite, or the ADMM aggregate silently corrupts every peer.
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(
+            w.len() == dim
+                && v_t.len() == dim
+                && xi_t.is_finite()
+                && w.iter().all(|c| c.is_finite()),
+            "local update violates the dimension/finiteness contract"
+        );
+        Ok(LocalUpdate { w_t: w, v_t, xi_t })
     }
 
     /// Deterministic per-device seed for refinement round `round` (the
@@ -170,12 +191,15 @@ impl LocalSolver {
     /// `(λ/T)‖w − w0‖² + loss(w)` with multi-start CCCP and adopts the best
     /// local optimum. Returns the refined update; `xi_t` carries the true
     /// local loss so the server can track the objective.
-    pub fn refine(&mut self, w0: &Vector, seed: u64) -> LocalUpdate {
+    ///
+    /// # Errors
+    ///
+    /// Propagates QP failures from the multi-start CCCP runs.
+    pub fn refine(&mut self, w0: &Vector, seed: u64) -> Result<LocalUpdate, CoreError> {
         let mu = 2.0 * self.config.lambda / self.t_count as f64;
         let anchor_for_signs = if self.w_t.norm() == 0.0 { w0 } else { &self.w_t };
         let base_signs = problem::compute_signs(&self.user, anchor_for_signs);
-        let sol =
-            prox::prox_cccp_multistart(&self.user, w0, mu, base_signs, seed, &self.config);
+        let sol = prox::prox_cccp_multistart(&self.user, w0, mu, base_signs, seed, &self.config)?;
         let incumbent = prox::prox_objective(&self.user, w0, mu, &self.w_t, &self.config);
         let sol = if sol.objective < incumbent && self.w_t.norm() > 0.0 {
             sol
@@ -189,7 +213,7 @@ impl LocalSolver {
         self.working_set.clear();
         let v_t = &sol.w - w0;
         let xi_t = problem::true_user_loss(&self.user, &sol.w, &self.config);
-        LocalUpdate { w_t: sol.w, v_t, xi_t }
+        Ok(LocalUpdate { w_t: sol.w, v_t, xi_t })
     }
 }
 
@@ -221,7 +245,7 @@ mod tests {
     fn solve_fits_local_labels() {
         let mut solver = LocalSolver::new(labeled_user(), config(), 4);
         // Neutral server state: w0 = u = 0.
-        let update = solver.solve(&Vector::zeros(2), &Vector::zeros(2));
+        let update = solver.solve(&Vector::zeros(2), &Vector::zeros(2)).unwrap();
         assert!(update.w_t[0] > 0.0, "separator should point at the positive class");
         assert!(solver.working_set_len() > 0);
         // Consensus decomposition w_t = (w0 + u adjustments) + v_t holds by
@@ -236,7 +260,7 @@ mod tests {
         let cfg = PlosConfig { rho: 1e6, lambda: 1e6, ..config() };
         let mut solver = LocalSolver::new(labeled_user(), cfg, 1);
         let w0 = Vector::from(vec![3.0, -1.0]);
-        let update = solver.solve(&w0, &Vector::zeros(2));
+        let update = solver.solve(&w0, &Vector::zeros(2)).unwrap();
         assert!(update.w_t.distance(&w0) < 0.1, "w_t strayed: {:?}", update.w_t);
     }
 
@@ -245,14 +269,14 @@ mod tests {
         // Anchor far in the separating direction: all margins > 1 already.
         let mut solver = LocalSolver::new(labeled_user(), config(), 2);
         let w0 = Vector::from(vec![50.0, 0.0]);
-        let update = solver.solve(&w0, &Vector::zeros(2));
+        let update = solver.solve(&w0, &Vector::zeros(2)).unwrap();
         assert!(update.xi_t < 1e-6, "xi = {}", update.xi_t);
     }
 
     #[test]
     fn advance_cccp_clears_state() {
         let mut solver = LocalSolver::new(labeled_user(), config(), 2);
-        let _ = solver.solve(&Vector::zeros(2), &Vector::zeros(2));
+        let _ = solver.solve(&Vector::zeros(2), &Vector::zeros(2)).unwrap();
         assert!(solver.working_set_len() > 0);
         solver.advance_cccp();
         assert_eq!(solver.working_set_len(), 0);
@@ -263,8 +287,8 @@ mod tests {
         let mut solver = LocalSolver::new(labeled_user(), config(), 2);
         let w0 = Vector::from(vec![0.5, 0.0]);
         let u = Vector::zeros(2);
-        let first = solver.solve(&w0, &u);
-        let second = solver.solve(&w0, &u);
+        let first = solver.solve(&w0, &u).unwrap();
+        let second = solver.solve(&w0, &u).unwrap();
         assert!(
             first.w_t.distance(&second.w_t) < 1e-4,
             "repeat solve moved: {} ",
@@ -276,7 +300,7 @@ mod tests {
     fn local_loss_reflects_fit_quality() {
         let mut solver = LocalSolver::new(labeled_user(), config(), 2);
         let before = solver.local_loss(); // w_t = 0 → full hinge loss
-        let _ = solver.solve(&Vector::zeros(2), &Vector::zeros(2));
+        let _ = solver.solve(&Vector::zeros(2), &Vector::zeros(2)).unwrap();
         let after = solver.local_loss();
         assert!(after < before, "loss did not improve: {before} -> {after}");
     }
@@ -285,6 +309,6 @@ mod tests {
     #[should_panic(expected = "w0 dimension mismatch")]
     fn dimension_mismatch_panics() {
         let mut solver = LocalSolver::new(labeled_user(), config(), 2);
-        let _ = solver.solve(&Vector::zeros(3), &Vector::zeros(3));
+        let _ = solver.solve(&Vector::zeros(3), &Vector::zeros(3)).unwrap();
     }
 }

@@ -1,7 +1,6 @@
 //! The trained PLOS model: a global hyperplane plus per-user biases.
 
 use plos_linalg::Vector;
-use serde::{Deserialize, Serialize};
 
 /// A trained PLOS model.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// bias `v_t`; user `t`'s personalized hyperplane is `w_t = w0 + v_t`
 /// (Sec. IV-A). When the trainer used bias augmentation, incoming feature
 /// vectors are extended with the same constant before the dot product.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PersonalizedModel {
     w0: Vector,
     biases: Vec<Vector>,
@@ -52,6 +51,9 @@ impl PersonalizedModel {
     /// # Panics
     ///
     /// Panics if `t` is out of range.
+    // Allowed: documented panicking accessor; out-of-range `t` is a caller
+    // bug, as in slice indexing.
+    #[allow(clippy::indexing_slicing)]
     pub fn personal_bias(&self, t: usize) -> &Vector {
         &self.biases[t]
     }
@@ -61,6 +63,9 @@ impl PersonalizedModel {
     /// # Panics
     ///
     /// Panics if `t` is out of range.
+    // Allowed: documented panicking accessor; out-of-range `t` is a caller
+    // bug, as in slice indexing.
+    #[allow(clippy::indexing_slicing)]
     pub fn personalized_hyperplane(&self, t: usize) -> Vector {
         &self.w0 + &self.biases[t]
     }
@@ -70,6 +75,9 @@ impl PersonalizedModel {
     /// # Panics
     ///
     /// Panics if `t` is out of range or `x` has the wrong dimension.
+    // Allowed: documented panicking accessor; out-of-range `t` is a caller
+    // bug, as in slice indexing.
+    #[allow(clippy::indexing_slicing)]
     pub fn decision(&self, t: usize, x: &Vector) -> f64 {
         let x_aug;
         let x_ref = match self.bias_aug {
@@ -98,6 +106,13 @@ impl PersonalizedModel {
 
     /// How far user `t` deviates from the crowd: `‖v_t‖ / ‖w0‖` (0 when the
     /// global hyperplane is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    // Allowed: documented panicking accessor; out-of-range `t` is a caller
+    // bug, as in slice indexing.
+    #[allow(clippy::indexing_slicing)]
     pub fn personalization_ratio(&self, t: usize) -> f64 {
         let g = self.w0.norm();
         if g == 0.0 {

@@ -9,13 +9,13 @@
 
 use crate::centralized::CentralizedPlos;
 use crate::config::PlosConfig;
+use crate::error::CoreError;
 use crate::model::PersonalizedModel;
 use plos_linalg::Vector;
 use plos_sensing::multiclass::MultiClassDataset;
-use serde::{Deserialize, Serialize};
 
 /// A trained one-vs-rest PLOS classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MulticlassModel {
     per_class: Vec<PersonalizedModel>,
 }
@@ -28,7 +28,7 @@ impl MulticlassModel {
 
     /// Number of users.
     pub fn num_users(&self) -> usize {
-        self.per_class[0].num_users()
+        self.per_class.first().map_or(0, PersonalizedModel::num_users)
     }
 
     /// The binary PLOS model of one class.
@@ -36,6 +36,9 @@ impl MulticlassModel {
     /// # Panics
     ///
     /// Panics if `class` is out of range.
+    // Allowed: documented panicking accessor; out-of-range `class` is a
+    // caller bug, as in slice indexing.
+    #[allow(clippy::indexing_slicing)]
     pub fn class_model(&self, class: usize) -> &PersonalizedModel {
         &self.per_class[class]
     }
@@ -50,9 +53,11 @@ impl MulticlassModel {
     pub fn predict(&self, t: usize, x: &Vector) -> usize {
         let scores = self.decision_values(t, x);
         let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
         for (c, &s) in scores.iter().enumerate() {
-            if s > scores[best] {
+            if s > best_score {
                 best = c;
+                best_score = s;
             }
         }
         best
@@ -82,7 +87,11 @@ impl MulticlassPlos {
     }
 
     /// Trains `k` binary PLOS models, one per class.
-    pub fn fit(&self, dataset: &MultiClassDataset) -> MulticlassModel {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure of any per-class binary trainer.
+    pub fn fit(&self, dataset: &MultiClassDataset) -> Result<MulticlassModel, CoreError> {
         let per_class = (0..dataset.num_classes())
             .map(|class| {
                 let binary = dataset.one_vs_rest(class);
@@ -91,8 +100,8 @@ impl MulticlassPlos {
                 config.seed = config.seed.wrapping_add(class as u64 * 7919);
                 CentralizedPlos::new(config).fit(&binary)
             })
-            .collect();
-        MulticlassModel { per_class }
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(MulticlassModel { per_class })
     }
 }
 
@@ -145,7 +154,7 @@ mod tests {
 
     #[test]
     fn shape_of_trained_model() {
-        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&cohort());
+        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&cohort()).unwrap();
         assert_eq!(model.num_classes(), 3);
         assert_eq!(model.num_users(), 4);
         for c in 0..3 {
@@ -156,7 +165,7 @@ mod tests {
     #[test]
     fn learns_separated_classes() {
         let data = cohort();
-        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         let (labeled, unlabeled) = multiclass_accuracy(&model, &data);
         // Chance is 1/3; providers must be far above it.
         assert!(labeled.unwrap() > 0.7, "labeled accuracy {labeled:?}");
@@ -166,7 +175,7 @@ mod tests {
     #[test]
     fn decision_values_have_one_entry_per_class() {
         let data = cohort();
-        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         let scores = model.decision_values(0, &data.user(0).features[0]);
         assert_eq!(scores.len(), 3);
         let pred = model.predict(0, &data.user(0).features[0]);
@@ -176,7 +185,7 @@ mod tests {
     #[test]
     fn predictions_cover_all_classes_on_balanced_data() {
         let data = cohort();
-        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+        let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data).unwrap();
         let preds = model.predict_batch(0, &data.user(0).features);
         let mut seen = [false; 3];
         for p in preds {

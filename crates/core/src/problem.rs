@@ -75,12 +75,16 @@ pub fn prepare(dataset: &MultiUserDataset, bias: Option<f64>) -> Prepared {
             PreparedUser { features, labeled, unlabeled }
         })
         .collect::<Vec<_>>();
-    let dim = users[0].features[0].len();
+    let dim = users.first().and_then(|u| u.features.first()).map_or(0, Vector::len);
     Prepared { users, dim }
 }
 
 /// CCCP sign pattern for one user: `sign(w_t · x_i)` for each unlabeled
 /// sample, aligned with `user.unlabeled`. `sign(0)` is taken as `+1`.
+// Allowed: `user.labeled` and `user.unlabeled` are built in [`prepare`] by
+// enumerating the same `features` vector, so every stored sample index is in
+// bounds by construction.
+#[allow(clippy::indexing_slicing)]
 pub fn compute_signs(user: &PreparedUser, w_t: &Vector) -> Vec<f64> {
     user.unlabeled
         .iter()
@@ -99,6 +103,10 @@ pub fn compute_signs(user: &PreparedUser, w_t: &Vector) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `signs.len() != user.unlabeled.len()`.
+// Allowed: `user.labeled` and `user.unlabeled` are built in [`prepare`] by
+// enumerating the same `features` vector, so every stored sample index is in
+// bounds by construction.
+#[allow(clippy::indexing_slicing)]
 pub fn most_violated_constraint(
     user: &PreparedUser,
     signs: &[f64],
@@ -136,33 +144,35 @@ pub fn most_violated_constraint(
 /// These are *hard* constraints — no slack variable — so the duals treat
 /// their multipliers as unbounded (still `≥ 0`). Returns an empty vector
 /// when the user has no unlabeled samples or the bound is infinite.
+// Allowed: `user.labeled` and `user.unlabeled` are built in [`prepare`] by
+// enumerating the same `features` vector, so every stored sample index is in
+// bounds by construction.
+#[allow(clippy::indexing_slicing)]
 pub fn balance_constraints(user: &PreparedUser, bound: f64) -> Vec<Constraint> {
     if user.unlabeled.is_empty() || !bound.is_finite() {
         return Vec::new();
     }
-    let dim = user.features[0].len();
+    let dim = user.features.first().map_or(0, Vector::len);
     let mut mean = Vector::zeros(dim);
     for &i in &user.unlabeled {
         mean += &user.features[i];
     }
     mean.scale_mut(1.0 / user.unlabeled.len() as f64);
-    vec![
-        Constraint { s: -&mean, c: -bound },
-        Constraint { s: mean, c: -bound },
-    ]
+    vec![Constraint { s: -&mean, c: -bound }, Constraint { s: mean, c: -bound }]
 }
 
 /// The slack `ξ_t` implied by a working set: `max(0, max_k (c_k − s_k·w_t))`.
 pub fn slack_for(constraints: &[Constraint], w_t: &Vector) -> f64 {
-    constraints
-        .iter()
-        .map(|k| k.c - k.s.dot(w_t))
-        .fold(0.0_f64, f64::max)
+    constraints.iter().map(|k| k.c - k.s.dot(w_t)).fold(0.0_f64, f64::max)
 }
 
 /// The *true* per-user loss of problem (3) — hinge on labeled samples and
 /// `max(0, 1 − |w_t·x|)` on unlabeled ones — which CCCP decreases
 /// monotonically.
+// Allowed: `user.labeled` and `user.unlabeled` are built in [`prepare`] by
+// enumerating the same `features` vector, so every stored sample index is in
+// bounds by construction.
+#[allow(clippy::indexing_slicing)]
 pub fn true_user_loss(user: &PreparedUser, w_t: &Vector, config: &PlosConfig) -> f64 {
     let m = user.num_samples() as f64;
     let mut loss = 0.0;
@@ -177,21 +187,12 @@ pub fn true_user_loss(user: &PreparedUser, w_t: &Vector, config: &PlosConfig) ->
 
 /// The full PLOS objective in the scale of problems (3)/(4):
 /// `‖w0‖² + (λ/T) Σ‖v_t‖² + Σ_t loss_t`.
-pub fn objective(
-    prepared: &Prepared,
-    w0: &Vector,
-    vs: &[Vector],
-    config: &PlosConfig,
-) -> f64 {
+pub fn objective(prepared: &Prepared, w0: &Vector, vs: &[Vector], config: &PlosConfig) -> f64 {
     let t_count = prepared.users.len() as f64;
     let reg: f64 = w0.norm_squared()
         + config.lambda / t_count * vs.iter().map(Vector::norm_squared).sum::<f64>();
-    let loss: f64 = prepared
-        .users
-        .iter()
-        .zip(vs)
-        .map(|(u, v)| true_user_loss(u, &(w0 + v), config))
-        .sum();
+    let loss: f64 =
+        prepared.users.iter().zip(vs).map(|(u, v)| true_user_loss(u, &(w0 + v), config)).sum();
     reg + loss
 }
 
@@ -300,7 +301,7 @@ mod tests {
         // c - s·w = -0.5 and 1.2.
         assert!((slack_for(&ks, &w) - 1.2).abs() < 1e-12);
         let w2 = Vector::from(vec![5.0]);
-        assert_eq!(slack_for(&ks, &w2), 5.2_f64.max(0.0).min(5.2)); // -4.5 vs 5.2
+        assert_eq!(slack_for(&ks, &w2), 5.2); // -4.5 vs 5.2
         assert_eq!(slack_for(&[], &w), 0.0);
     }
 

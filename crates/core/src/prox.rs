@@ -21,6 +21,7 @@
 //! true objective (the `restarts` knob in [`PlosConfig`]).
 
 use crate::config::PlosConfig;
+use crate::error::CoreError;
 use crate::problem::{self, Constraint, PreparedUser};
 use plos_linalg::{Matrix, Vector};
 use plos_opt::GroupedQp;
@@ -31,21 +32,29 @@ use plos_opt::GroupedQp;
 ///
 /// With no constraints at all the minimizer is the anchor itself.
 ///
+/// # Errors
+///
+/// Propagates QP construction and solver failures as [`CoreError::Opt`].
+///
 /// # Panics
 ///
 /// Panics if `mu <= 0`.
+// Allowed: the `all` accessor below splits `0..n` into the two concatenated
+// constraint slices with `i` already range-checked against `n_soft`, so the
+// indexing cannot go out of bounds.
+#[allow(clippy::indexing_slicing)]
 pub fn solve_working_set(
     working_set: &[Constraint],
     hard: &[Constraint],
     anchor: &Vector,
     mu: f64,
     config: &PlosConfig,
-) -> Vector {
+) -> Result<Vector, CoreError> {
     assert!(mu > 0.0, "prox curvature must be positive");
     let n_soft = working_set.len();
     let n = n_soft + hard.len();
     if n == 0 {
-        return anchor.clone();
+        return Ok(anchor.clone());
     }
     let all = |i: usize| -> &Constraint {
         if i < n_soft {
@@ -66,20 +75,23 @@ pub fn solve_working_set(
     // Soft multipliers share the slack budget (Σα ≤ 1); hard multipliers
     // are only constrained to be non-negative.
     let groups = if n_soft > 0 { vec![((0..n_soft).collect(), 1.0)] } else { Vec::new() };
-    let qp = GroupedQp::new(q, b, groups)
-        .expect("prox dual construction is internally consistent");
-    let sol = qp.solve(&config.qp);
+    let qp = GroupedQp::new(q, b, groups)?;
+    let sol = qp.solve(&config.qp)?;
     let mut w = anchor.clone();
     for (i, alpha) in sol.gamma.iter().enumerate() {
         if *alpha != 0.0 {
             w.axpy(alpha / mu, &all(i).s);
         }
     }
-    w
+    Ok(w)
 }
 
 /// Cutting-plane loop for the prox subproblem under a *fixed* sign pattern.
 /// Grows `working_set` in place and returns the minimizer.
+///
+/// # Errors
+///
+/// Propagates QP failures from [`solve_working_set`].
 pub fn cutting_plane(
     user: &PreparedUser,
     signs: &[f64],
@@ -88,8 +100,8 @@ pub fn cutting_plane(
     working_set: &mut Vec<Constraint>,
     hard: &[Constraint],
     config: &PlosConfig,
-) -> Vector {
-    let mut w = solve_working_set(working_set, hard, anchor, mu, config);
+) -> Result<Vector, CoreError> {
+    let mut w = solve_working_set(working_set, hard, anchor, mu, config)?;
     for _ in 0..config.max_cutting_rounds {
         let xi = problem::slack_for(working_set, &w);
         let (constraint, violation) =
@@ -98,9 +110,9 @@ pub fn cutting_plane(
             break;
         }
         working_set.push(constraint);
-        w = solve_working_set(working_set, hard, anchor, mu, config);
+        w = solve_working_set(working_set, hard, anchor, mu, config)?;
     }
-    w
+    Ok(w)
 }
 
 /// Result of a full per-user prox CCCP run.
@@ -126,24 +138,30 @@ pub fn prox_objective(
 /// Full per-user CCCP from a given initial sign pattern: alternate
 /// cutting-plane solves and sign refreshes until the true local objective
 /// stabilizes.
+///
+/// # Errors
+///
+/// Propagates QP failures from the cutting-plane solves.
 pub fn prox_cccp(
     user: &PreparedUser,
     anchor: &Vector,
     mu: f64,
     init_signs: Vec<f64>,
     config: &PlosConfig,
-) -> ProxSolution {
+) -> Result<ProxSolution, CoreError> {
     let objective_at = |w: &Vector| prox_objective(user, anchor, mu, w, config);
     let hard = problem::balance_constraints(user, config.balance);
     let mut signs = init_signs;
     // The incumbent is always a *constrained* iterate (never the raw
     // anchor): every cutting-plane output satisfies the hard balance
-    // constraints, so the returned solution does too.
+    // constraints, so the returned solution does too. (Config validation
+    // guarantees max_cccp_rounds >= 1, so the anchor fallback below is
+    // unreachable in practice.)
     let mut best: Option<ProxSolution> = None;
     let mut prev_objective = f64::INFINITY;
     for _ in 0..config.max_cccp_rounds {
         let mut working_set = Vec::new();
-        let w = cutting_plane(user, &signs, anchor, mu, &mut working_set, &hard, config);
+        let w = cutting_plane(user, &signs, anchor, mu, &mut working_set, &hard, config)?;
         let objective = objective_at(&w);
         if best.as_ref().is_none_or(|b| objective < b.objective) {
             best = Some(ProxSolution { w: w.clone(), objective });
@@ -158,12 +176,16 @@ pub fn prox_cccp(
         }
         signs = new_signs;
     }
-    best.expect("max_cccp_rounds >= 1 guarantees one iterate")
+    Ok(best.unwrap_or_else(|| ProxSolution { w: anchor.clone(), objective: objective_at(anchor) }))
 }
 
 /// Multi-start prox CCCP: tries the supplied sign initialization plus
 /// `config.restarts` random-hyperplane initializations, returning the lowest
 /// true objective. Deterministic given `seed`.
+///
+/// # Errors
+///
+/// Propagates QP failures from the underlying CCCP runs.
 pub fn prox_cccp_multistart(
     user: &PreparedUser,
     anchor: &Vector,
@@ -171,26 +193,27 @@ pub fn prox_cccp_multistart(
     base_signs: Vec<f64>,
     seed: u64,
     config: &PlosConfig,
-) -> ProxSolution {
+) -> Result<ProxSolution, CoreError> {
     use rand::{Rng, SeedableRng};
-    let mut best = prox_cccp(user, anchor, mu, base_signs, config);
+    let mut best = prox_cccp(user, anchor, mu, base_signs, config)?;
     if user.unlabeled.is_empty() {
         // Without unlabeled samples the problem is convex: restarts are
         // pointless.
-        return best;
+        return Ok(best);
     }
     for r in 0..config.restarts {
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r as u64 + 1)));
-        let dim = user.features[0].len();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r as u64 + 1)),
+        );
+        let dim = user.features.first().map_or(0, Vector::len);
         let w_init: Vector = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let signs = problem::compute_signs(user, &w_init);
-        let candidate = prox_cccp(user, anchor, mu, signs, config);
+        let candidate = prox_cccp(user, anchor, mu, signs, config)?;
         if candidate.objective < best.objective {
             best = candidate;
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -204,10 +227,8 @@ mod tests {
 
     /// Two clean 1-D clusters around ±2, unlabeled.
     fn unlabeled_user() -> PreparedUser {
-        let xs: Vec<Vector> = [-2.2, -2.0, -1.8, 1.8, 2.0, 2.2]
-            .iter()
-            .map(|&v| Vector::from(vec![v]))
-            .collect();
+        let xs: Vec<Vector> =
+            [-2.2, -2.0, -1.8, 1.8, 2.0, 2.2].iter().map(|&v| Vector::from(vec![v])).collect();
         let truth = vec![-1, -1, -1, 1, 1, 1];
         let d = MultiUserDataset::new(vec![UserData::new(xs, truth)]);
         problem::prepare(&d, None).users.remove(0)
@@ -216,7 +237,7 @@ mod tests {
     #[test]
     fn empty_working_set_returns_anchor() {
         let a = Vector::from(vec![1.5]);
-        let w = solve_working_set(&[], &[], &a, 1.0, &config());
+        let w = solve_working_set(&[], &[], &a, 1.0, &config()).unwrap();
         assert_eq!(w, a);
     }
 
@@ -227,7 +248,7 @@ mod tests {
         let a = Vector::from(vec![0.01]); // weak anchor, margins violated
         let signs = problem::compute_signs(&user, &a);
         let mut ws = Vec::new();
-        let w = cutting_plane(&user, &signs, &a, 0.1, &mut ws, &[], &cfg);
+        let w = cutting_plane(&user, &signs, &a, 0.1, &mut ws, &[], &cfg).unwrap();
         assert!(!ws.is_empty());
         // The margin constraints push |w| up so that |w·x| >= 1 at x = ±1.8.
         assert!(w[0].abs() > 0.4, "w = {w:?}");
@@ -239,7 +260,7 @@ mod tests {
         let cfg = config();
         let a = Vector::zeros(1);
         let signs = problem::compute_signs(&user, &Vector::from(vec![1.0]));
-        let sol = prox_cccp(&user, &a, 0.05, signs, &cfg);
+        let sol = prox_cccp(&user, &a, 0.05, signs, &cfg).unwrap();
         // All samples should sit outside the margin: |w·x| >= ~1 at |x|=1.8.
         assert!(sol.w[0].abs() >= 0.5, "w = {:?}", sol.w);
         assert!(sol.objective < 0.5, "objective {}", sol.objective);
@@ -251,21 +272,20 @@ mod tests {
         let cfg = config();
         let a = Vector::zeros(1);
         let bad_signs = vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0]; // hopeless pattern
-        let single = prox_cccp(&user, &a, 0.05, bad_signs.clone(), &cfg);
-        let multi = prox_cccp_multistart(&user, &a, 0.05, bad_signs, 7, &cfg);
+        let single = prox_cccp(&user, &a, 0.05, bad_signs.clone(), &cfg).unwrap();
+        let multi = prox_cccp_multistart(&user, &a, 0.05, bad_signs, 7, &cfg).unwrap();
         assert!(multi.objective <= single.objective + 1e-12);
     }
 
     #[test]
     fn labeled_only_user_skips_restarts() {
-        let xs: Vec<Vector> =
-            [-1.0, 1.0].iter().map(|&v| Vector::from(vec![v])).collect();
+        let xs: Vec<Vector> = [-1.0, 1.0].iter().map(|&v| Vector::from(vec![v])).collect();
         let mut u = UserData::new(xs, vec![-1, 1]);
         u.observed = vec![Some(-1), Some(1)];
         let d = MultiUserDataset::new(vec![u]);
         let user = problem::prepare(&d, None).users.remove(0);
         let cfg = config();
-        let sol = prox_cccp_multistart(&user, &Vector::zeros(1), 0.1, vec![], 0, &cfg);
+        let sol = prox_cccp_multistart(&user, &Vector::zeros(1), 0.1, vec![], 0, &cfg).unwrap();
         assert!(sol.w[0] > 0.0);
     }
 
@@ -275,7 +295,7 @@ mod tests {
         let cfg = config();
         let a = Vector::from(vec![5.0]);
         let signs = problem::compute_signs(&user, &a);
-        let sol = prox_cccp(&user, &a, 1e6, signs, &cfg);
+        let sol = prox_cccp(&user, &a, 1e6, signs, &cfg).unwrap();
         assert!(sol.w.distance(&a) < 0.01, "w strayed from anchor: {:?}", sol.w);
     }
 

@@ -117,12 +117,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.2],
-            vec![0.5, 0.2, 2.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.2], vec![0.5, 0.2, 2.0]]).unwrap()
     }
 
     #[test]

@@ -132,8 +132,10 @@ impl SymmetricEigen {
         let n = m.nrows();
         let mut idx: Vec<usize> = (0..n).collect();
         let raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        idx.sort_by(|&a, &b| raw[a].partial_cmp(&raw[b]).expect("finite eigenvalues"));
-        let eigenvalues: Vec<f64> = idx.iter().map(|&i| raw[i]).collect();
+        idx.sort_by(|&a, &b| {
+            f64::total_cmp(raw.get(a).unwrap_or(&f64::NAN), raw.get(b).unwrap_or(&f64::NAN))
+        });
+        let eigenvalues: Vec<f64> = idx.iter().filter_map(|&i| raw.get(i).copied()).collect();
         let mut eigenvectors = Matrix::zeros(n, n);
         for (new_col, &old_col) in idx.iter().enumerate() {
             for r in 0..n {
@@ -218,12 +220,9 @@ mod tests {
 
     #[test]
     fn eigenvalue_sum_equals_trace() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.5, 0.2],
-            vec![0.5, 2.0, -0.3],
-            vec![0.2, -0.3, 3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![1.0, 0.5, 0.2], vec![0.5, 2.0, -0.3], vec![0.2, -0.3, 3.0]])
+                .unwrap();
         let eig = SymmetricEigen::decompose(&a).unwrap();
         let sum: f64 = eig.eigenvalues().iter().sum();
         assert!((sum - a.trace()).abs() < 1e-10);

@@ -38,6 +38,13 @@ pub enum LinalgError {
         /// Operation that required non-empty input.
         op: &'static str,
     },
+    /// A scalar argument was outside its documented domain.
+    OutOfRange {
+        /// Operation that rejected the argument.
+        op: &'static str,
+        /// The offending value.
+        value: f64,
+    },
     /// Ragged input: rows of differing lengths where a rectangle is required.
     Ragged {
         /// Length of the first row.
@@ -66,6 +73,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "no convergence after {iterations} iterations")
             }
             LinalgError::Empty { op } => write!(f, "empty input to {op}"),
+            LinalgError::OutOfRange { op, value } => {
+                write!(f, "argument {value} out of range for {op}")
+            }
             LinalgError::Ragged { first, offending, row } => {
                 write!(f, "ragged rows: row 0 has {first} entries but row {row} has {offending}")
             }
@@ -88,6 +98,7 @@ mod tests {
             LinalgError::Singular,
             LinalgError::NoConvergence { iterations: 100 },
             LinalgError::Empty { op: "mean" },
+            LinalgError::OutOfRange { op: "percentile", value: 101.0 },
             LinalgError::Ragged { first: 3, offending: 2, row: 1 },
         ];
         for c in cases {

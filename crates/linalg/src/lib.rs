@@ -1,3 +1,9 @@
+// Unit tests assert by panicking; the panic-free gate applies to library
+// code only (see [workspace.lints] in the root Cargo.toml).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
 //! Dense linear-algebra substrate for the PLOS reproduction.
 //!
 //! The PLOS paper (ICDCS 2018) relies on a handful of dense linear-algebra

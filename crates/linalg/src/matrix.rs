@@ -5,7 +5,6 @@
 
 use crate::error::LinalgError;
 use crate::vector::Vector;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -17,7 +16,7 @@ use std::ops::{Index, IndexMut};
 /// assert_eq!(m[(0, 0)], 1.0);
 /// assert_eq!(m[(0, 1)], 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -49,7 +48,7 @@ impl Matrix {
         if rows.is_empty() {
             return Err(LinalgError::Empty { op: "from_rows" });
         }
-        let cols = rows[0].len();
+        let cols = rows.first().map_or(0, Vec::len);
         for (i, r) in rows.iter().enumerate() {
             if r.len() != cols {
                 return Err(LinalgError::Ragged { first: cols, offending: r.len(), row: i });
@@ -110,6 +109,9 @@ impl Matrix {
     /// Panics if `r >= nrows()`.
     pub fn row(&self, r: usize) -> &[f64] {
         assert!(r < self.rows, "row index {r} out of range");
+        // Allowed: the assert above plus the row-major storage invariant
+        // (data.len() == rows * cols) keep this range in bounds.
+        #[allow(clippy::indexing_slicing)]
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -120,6 +122,9 @@ impl Matrix {
     /// Panics if `r >= nrows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         assert!(r < self.rows, "row index {r} out of range");
+        // Allowed: the assert above plus the row-major storage invariant
+        // (data.len() == rows * cols) keep this range in bounds.
+        #[allow(clippy::indexing_slicing)]
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -140,9 +145,7 @@ impl Matrix {
     /// Panics if `x.len() != ncols()`.
     pub fn matvec(&self, x: &Vector) -> Vector {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(x.iter()).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).iter().zip(x.iter()).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Matrix–matrix product `self · rhs`.
@@ -247,7 +250,7 @@ impl Matrix {
     /// user is a rotation of a base Gaussian dataset (Sec. VI-D).
     pub fn rotation2d(theta: f64) -> Matrix {
         let (s, c) = theta.sin_cos();
-        Matrix::from_rows(&[vec![c, -s], vec![s, c]]).expect("fixed shape")
+        Matrix { rows: 2, cols: 2, data: vec![c, -s, s, c] }
     }
 
     /// 3-D rotation matrix from intrinsic Z-Y-X Euler angles (radians).
@@ -257,12 +260,21 @@ impl Matrix {
         let (sy, cy) = yaw.sin_cos();
         let (sp, cp) = pitch.sin_cos();
         let (sr, cr) = roll.sin_cos();
-        Matrix::from_rows(&[
-            vec![cy * cp, cy * sp * sr - sy * cr, cy * sp * cr + sy * sr],
-            vec![sy * cp, sy * sp * sr + cy * cr, sy * sp * cr - cy * sr],
-            vec![-sp, cp * sr, cp * cr],
-        ])
-        .expect("fixed shape")
+        Matrix {
+            rows: 3,
+            cols: 3,
+            data: vec![
+                cy * cp,
+                cy * sp * sr - sy * cr,
+                cy * sp * cr + sy * sr,
+                sy * cp,
+                sy * sp * sr + cy * cr,
+                sy * sp * cr - cy * sr,
+                -sp,
+                cp * sr,
+                cp * cr,
+            ],
+        }
     }
 }
 
@@ -270,6 +282,9 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
         assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        // Allowed: the assert above plus the row-major storage invariant
+        // (data.len() == rows * cols) keep this offset in bounds.
+        #[allow(clippy::indexing_slicing)]
         &self.data[r * self.cols + c]
     }
 }
@@ -277,6 +292,9 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
         assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        // Allowed: the assert above plus the row-major storage invariant
+        // (data.len() == rows * cols) keep this offset in bounds.
+        #[allow(clippy::indexing_slicing)]
         &mut self.data[r * self.cols + c]
     }
 }

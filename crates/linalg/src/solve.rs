@@ -135,10 +135,7 @@ mod tests {
     #[test]
     fn detects_singular() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
-        assert_eq!(
-            solve_linear_system(&a, &Vector::zeros(2)).unwrap_err(),
-            LinalgError::Singular
-        );
+        assert_eq!(solve_linear_system(&a, &Vector::zeros(2)).unwrap_err(), LinalgError::Singular);
     }
 
     #[test]
@@ -169,13 +166,9 @@ mod tests {
     #[test]
     fn least_squares_recovers_line() {
         // Fit y = 2x + 1 from exact points using design matrix [x, 1].
-        let a = Matrix::from_rows(&[
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-            vec![2.0, 1.0],
-            vec![3.0, 1.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0], vec![3.0, 1.0]])
+                .unwrap();
         let b = Vector::from(vec![1.0, 3.0, 5.0, 7.0]);
         let x = least_squares(&a, &b, 1e-12).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-6);

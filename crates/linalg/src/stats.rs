@@ -41,12 +41,14 @@ pub fn median(xs: &[f64]) -> Result<f64, LinalgError> {
         return Err(LinalgError::Empty { op: "median" });
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
+    let upper = sorted.get(n / 2).copied().ok_or(LinalgError::Empty { op: "median" })?;
     if n % 2 == 1 {
-        Ok(sorted[n / 2])
+        Ok(upper)
     } else {
-        Ok(0.5 * (sorted[n / 2 - 1] + sorted[n / 2]))
+        let lower = sorted.get(n / 2 - 1).copied().ok_or(LinalgError::Empty { op: "median" })?;
+        Ok(0.5 * (lower + upper))
     }
 }
 
@@ -101,27 +103,25 @@ pub fn energy(xs: &[f64]) -> Result<f64, LinalgError> {
 ///
 /// # Errors
 ///
-/// Returns [`LinalgError::Empty`] for an empty slice.
-///
-/// # Panics
-///
-/// Panics if `p` is outside `[0, 100]` or not finite.
+/// * [`LinalgError::Empty`] for an empty slice.
+/// * [`LinalgError::OutOfRange`] if `p` is outside `[0, 100]` or not finite.
 pub fn percentile(xs: &[f64], p: f64) -> Result<f64, LinalgError> {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100], got {p}");
+    if !(0.0..=100.0).contains(&p) {
+        return Err(LinalgError::OutOfRange { op: "percentile", value: p });
+    }
     if xs.is_empty() {
         return Err(LinalgError::Empty { op: "percentile" });
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
-    if n == 1 {
-        return Ok(sorted[0]);
-    }
     let rank = p / 100.0 * (n - 1) as f64;
     let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    let hi = (lo + 1).min(n - 1);
     let frac = rank - lo as f64;
-    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    let xlo = sorted.get(lo).copied().ok_or(LinalgError::Empty { op: "percentile" })?;
+    let xhi = sorted.get(hi).copied().ok_or(LinalgError::Empty { op: "percentile" })?;
+    Ok(xlo * (1.0 - frac) + xhi * frac)
 }
 
 /// Interquartile range: `percentile(75) − percentile(25)`.
@@ -213,9 +213,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile must be in")]
     fn percentile_rejects_out_of_range() {
-        let _ = percentile(&[1.0], 101.0);
+        assert!(matches!(
+            percentile(&[1.0], 101.0),
+            Err(LinalgError::OutOfRange { op: "percentile", .. })
+        ));
+        assert!(percentile(&[1.0], -0.5).is_err());
+        assert!(percentile(&[1.0], f64::NAN).is_err());
     }
 
     #[test]
@@ -245,10 +249,7 @@ mod tests {
             median_absolute_deviation(&shifted).unwrap(),
             median_absolute_deviation(XS).unwrap()
         );
-        assert_eq!(
-            interquartile_range(&shifted).unwrap(),
-            interquartile_range(XS).unwrap()
-        );
+        assert_eq!(interquartile_range(&shifted).unwrap(), interquartile_range(XS).unwrap());
         assert_eq!(mean(&shifted).unwrap(), mean(XS).unwrap() + 10.0);
     }
 }

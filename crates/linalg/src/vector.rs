@@ -5,7 +5,6 @@
 //! `Vec<f64>` with explicit, dimension-checked arithmetic.
 
 use crate::error::LinalgError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
@@ -17,7 +16,7 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// assert_eq!(v.len(), 3);
 /// assert_eq!(v.norm(), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Vector(Vec<f64>);
 
 impl Vector {
@@ -254,12 +253,18 @@ impl AsRef<[f64]> for Vector {
 impl Index<usize> for Vector {
     type Output = f64;
     fn index(&self, i: usize) -> &f64 {
+        // Allowed: `Vector`'s indexing contract is to panic on an
+        // out-of-range index, delegating to the slice bounds check.
+        #[allow(clippy::indexing_slicing)]
         &self.0[i]
     }
 }
 
 impl IndexMut<usize> for Vector {
     fn index_mut(&mut self, i: usize) -> &mut f64 {
+        // Allowed: `Vector`'s indexing contract is to panic on an
+        // out-of-range index, delegating to the slice bounds check.
+        #[allow(clippy::indexing_slicing)]
         &mut self.0[i]
     }
 }
@@ -355,10 +360,7 @@ mod tests {
     #[test]
     fn try_dot_mismatch() {
         let err = v(&[1.0]).try_dot(&v(&[1.0, 2.0])).unwrap_err();
-        assert_eq!(
-            err,
-            LinalgError::DimensionMismatch { op: "dot", expected: 1, actual: 2 }
-        );
+        assert_eq!(err, LinalgError::DimensionMismatch { op: "dot", expected: 1, actual: 2 });
     }
 
     #[test]

@@ -33,18 +33,21 @@ pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<Split> {
     order.shuffle(&mut rng);
     let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
     for (pos, idx) in order.into_iter().enumerate() {
-        folds[pos % k].push(idx);
+        if let Some(fold) = folds.get_mut(pos % k) {
+            fold.push(idx);
+        }
     }
-    (0..k)
-        .map(|f| {
-            let validation = folds[f].clone();
+    folds
+        .iter()
+        .enumerate()
+        .map(|(f, validation_fold)| {
             let train = folds
                 .iter()
                 .enumerate()
                 .filter(|(g, _)| *g != f)
                 .flat_map(|(_, fold)| fold.iter().copied())
                 .collect();
-            Split { train, validation }
+            Split { train, validation: validation_fold.clone() }
         })
         .collect()
 }
@@ -58,10 +61,7 @@ pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<Split> {
 pub fn leave_one_out(n: usize) -> Vec<Split> {
     assert!(n > 0, "n must be positive");
     (0..n)
-        .map(|i| Split {
-            train: (0..n).filter(|&j| j != i).collect(),
-            validation: vec![i],
-        })
+        .map(|i| Split { train: (0..n).filter(|&j| j != i).collect(), validation: vec![i] })
         .collect()
 }
 
@@ -82,6 +82,9 @@ pub fn grid_search<P: Clone>(candidates: &[P], mut score: impl FnMut(&P) -> f64)
             best = Some((c.clone(), s));
         }
     }
+    // Allowed: the non-empty assert above guarantees the loop ran at least
+    // once, so `best` is always `Some` here.
+    #[allow(clippy::expect_used)]
     best.expect("non-empty candidates")
 }
 

@@ -4,6 +4,7 @@
 //! (Sec. VI-A), and spectral clustering finishes with k-means on the
 //! embedded rows. Runs are deterministic given a seed.
 
+use crate::error::MlError;
 use plos_linalg::Vector;
 use rand::{Rng, SeedableRng};
 
@@ -44,21 +45,25 @@ impl KMeans {
     /// Clusters `xs`, restarting `n_init` times and keeping the lowest
     /// inertia.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `xs` is empty, `k == 0`, or `k > xs.len()`.
-    pub fn fit(&self, xs: &[Vector], seed: u64) -> KMeansResult {
-        assert!(!xs.is_empty(), "k-means requires at least one sample");
-        assert!(self.k > 0, "k must be positive");
-        assert!(self.k <= xs.len(), "k={} exceeds number of samples {}", self.k, xs.len());
-        let mut best: Option<KMeansResult> = None;
-        for restart in 0..self.n_init.max(1) {
+    /// * [`MlError::Empty`] if `xs` is empty.
+    /// * [`MlError::BadClusterCount`] if `k == 0` or `k > xs.len()`.
+    pub fn fit(&self, xs: &[Vector], seed: u64) -> Result<KMeansResult, MlError> {
+        if xs.is_empty() {
+            return Err(MlError::Empty { what: "k-means samples" });
+        }
+        if self.k == 0 || self.k > xs.len() {
+            return Err(MlError::BadClusterCount { k: self.k, n: xs.len() });
+        }
+        let mut best = self.fit_once(xs, seed);
+        for restart in 1..self.n_init.max(1) {
             let result = self.fit_once(xs, seed.wrapping_add(restart as u64));
-            if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
-                best = Some(result);
+            if result.inertia < best.inertia {
+                best = result;
             }
         }
-        best.expect("at least one restart")
+        Ok(best)
     }
 
     fn fit_once(&self, xs: &[Vector], seed: u64) -> KMeansResult {
@@ -70,36 +75,34 @@ impl KMeans {
         for _ in 0..self.max_iters {
             // Assignment step.
             let mut changed = false;
-            for (i, x) in xs.iter().enumerate() {
+            for (slot, x) in assignments.iter_mut().zip(xs) {
                 let nearest = Self::nearest(&centroids, x).0;
-                if assignments[i] != nearest {
-                    assignments[i] = nearest;
+                if *slot != nearest {
+                    *slot = nearest;
                     changed = true;
                 }
             }
             // Update step.
-            let dim = xs[0].len();
+            let dim = xs.first().map_or(0, Vector::len);
             let mut sums = vec![Vector::zeros(dim); self.k];
             let mut counts = vec![0usize; self.k];
-            for (i, x) in xs.iter().enumerate() {
-                sums[assignments[i]] += x;
-                counts[assignments[i]] += 1;
+            for (x, &a) in xs.iter().zip(&assignments) {
+                if let (Some(sum), Some(count)) = (sums.get_mut(a), counts.get_mut(a)) {
+                    *sum += x;
+                    *count += 1;
+                }
             }
             let mut new_centroids = centroids.clone();
             for (c, (sum, count)) in new_centroids.iter_mut().zip(sums.iter().zip(&counts)) {
                 if *count > 0 {
                     *c = sum.scaled(1.0 / *count as f64);
-                } else {
+                } else if let Some(far) = xs.iter().max_by(|a, b| {
                     // Re-seed an empty cluster at the point farthest from its
                     // current nearest centroid to avoid dead clusters.
-                    let far = xs
-                        .iter()
-                        .max_by(|a, b| {
-                            let da = Self::nearest(&centroids, a).1;
-                            let db = Self::nearest(&centroids, b).1;
-                            da.partial_cmp(&db).expect("finite distances")
-                        })
-                        .expect("non-empty input");
+                    let da = Self::nearest(&centroids, a).1;
+                    let db = Self::nearest(&centroids, b).1;
+                    f64::total_cmp(&da, &db)
+                }) {
                     *c = far.clone();
                 }
             }
@@ -112,11 +115,15 @@ impl KMeans {
         let inertia = xs
             .iter()
             .zip(&assignments)
-            .map(|(x, &a)| x.distance_squared(&centroids[a]))
+            .map(|(x, &a)| centroids.get(a).map_or(0.0, |c| x.distance_squared(c)))
             .sum();
         KMeansResult { assignments, centroids, inertia }
     }
 
+    // Allowed: `fit` guarantees non-empty `xs`, so `gen_range(0..xs.len())`
+    // and the weighted index `chosen` (initialized to `len - 1`) are in
+    // bounds by construction.
+    #[allow(clippy::indexing_slicing)]
     fn init_plus_plus(&self, xs: &[Vector], rng: &mut impl Rng) -> Vec<Vector> {
         let mut centroids = Vec::with_capacity(self.k);
         centroids.push(xs[rng.gen_range(0..xs.len())].clone());
@@ -175,7 +182,7 @@ mod tests {
         for _ in 0..30 {
             xs.push(v(&[-10.0 + rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]));
         }
-        let result = KMeans::new(2).fit(&xs, 9);
+        let result = KMeans::new(2).fit(&xs, 9).unwrap();
         // All of the first 30 share one cluster, all of the last 30 the other.
         let first = result.assignments[0];
         assert!(result.assignments[..30].iter().all(|&a| a == first));
@@ -186,7 +193,7 @@ mod tests {
     #[test]
     fn k_equals_n_gives_zero_inertia() {
         let xs = vec![v(&[0.0]), v(&[5.0]), v(&[10.0])];
-        let result = KMeans::new(3).fit(&xs, 3);
+        let result = KMeans::new(3).fit(&xs, 3).unwrap();
         assert!(result.inertia < 1e-12);
         let mut sorted = result.assignments.clone();
         sorted.sort_unstable();
@@ -196,7 +203,7 @@ mod tests {
     #[test]
     fn single_cluster_centroid_is_mean() {
         let xs = vec![v(&[1.0]), v(&[3.0])];
-        let result = KMeans::new(1).fit(&xs, 0);
+        let result = KMeans::new(1).fit(&xs, 0).unwrap();
         assert!((result.centroids[0][0] - 2.0).abs() < 1e-12);
         assert_eq!(result.assignments, vec![0, 0]);
     }
@@ -204,8 +211,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let xs: Vec<Vector> = (0..20).map(|i| v(&[(i % 5) as f64, (i / 5) as f64])).collect();
-        let a = KMeans::new(3).fit(&xs, 77);
-        let b = KMeans::new(3).fit(&xs, 77);
+        let a = KMeans::new(3).fit(&xs, 77).unwrap();
+        let b = KMeans::new(3).fit(&xs, 77).unwrap();
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.inertia, b.inertia);
     }
@@ -213,19 +220,20 @@ mod tests {
     #[test]
     fn identical_points_do_not_crash() {
         let xs = vec![v(&[1.0, 1.0]); 5];
-        let result = KMeans::new(2).fit(&xs, 4);
+        let result = KMeans::new(2).fit(&xs, 4).unwrap();
         assert!(result.inertia < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds number of samples")]
-    fn k_larger_than_n_panics() {
-        let _ = KMeans::new(3).fit(&[v(&[1.0])], 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one sample")]
-    fn empty_input_panics() {
-        let _ = KMeans::new(1).fit(&[], 0);
+    fn rejects_bad_inputs_with_err() {
+        assert!(matches!(
+            KMeans::new(3).fit(&[v(&[1.0])], 0),
+            Err(MlError::BadClusterCount { k: 3, n: 1 })
+        ));
+        assert!(matches!(KMeans::new(1).fit(&[], 0), Err(MlError::Empty { .. })));
+        assert!(matches!(
+            KMeans::new(0).fit(&[v(&[1.0])], 0),
+            Err(MlError::BadClusterCount { k: 0, n: 1 })
+        ));
     }
 }

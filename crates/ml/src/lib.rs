@@ -1,3 +1,9 @@
+// Unit tests assert by panicking; the panic-free gate applies to library
+// code only (see [workspace.lints] in the root Cargo.toml).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
 //! Classical machine-learning substrate for the PLOS reproduction.
 //!
 //! Everything the paper's *baselines* and evaluation pipeline need, built on
@@ -19,6 +25,7 @@
 //!   the paper's parameter selection.
 
 pub mod crossval;
+pub mod error;
 pub mod kmeans;
 pub mod lsh;
 pub mod matching;
@@ -28,6 +35,7 @@ pub mod similarity;
 pub mod spectral;
 pub mod svm;
 
+pub use error::MlError;
 pub use kmeans::{KMeans, KMeansResult};
 pub use lsh::RandomHyperplaneHasher;
 pub use matching::best_matching_accuracy;

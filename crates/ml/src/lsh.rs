@@ -9,8 +9,8 @@
 //! the Jaccard similarity.
 
 use plos_linalg::Vector;
-use rand::{Rng, SeedableRng};
 use rand::distributions::Distribution;
+use rand::{Rng, SeedableRng};
 
 /// A fixed set of random hyperplanes hashing vectors to `2^bits` buckets.
 #[derive(Debug, Clone)]
@@ -30,9 +30,8 @@ impl RandomHyperplaneHasher {
         assert!(dim > 0, "dim must be positive");
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let normal = StandardNormal;
-        let hyperplanes = (0..bits)
-            .map(|_| (0..dim).map(|_| normal.sample(&mut rng)).collect())
-            .collect();
+        let hyperplanes =
+            (0..bits).map(|_| (0..dim).map(|_| normal.sample(&mut rng)).collect()).collect();
         RandomHyperplaneHasher { hyperplanes }
     }
 
@@ -67,7 +66,9 @@ impl RandomHyperplaneHasher {
     pub fn histogram(&self, xs: &[Vector]) -> Vec<f64> {
         let mut hist = vec![0.0; self.num_buckets()];
         for x in xs {
-            hist[self.bucket(x)] += 1.0;
+            if let Some(slot) = hist.get_mut(self.bucket(x)) {
+                *slot += 1.0;
+            }
         }
         hist
     }
@@ -134,9 +135,8 @@ mod tests {
     #[test]
     fn histogram_sums_to_sample_count() {
         let h = RandomHyperplaneHasher::new(2, 4, 3);
-        let xs: Vec<Vector> = (0..50)
-            .map(|i| v(&[(i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()]))
-            .collect();
+        let xs: Vec<Vector> =
+            (0..50).map(|i| v(&[(i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()])).collect();
         let hist = h.histogram(&xs);
         assert_eq!(hist.len(), 16);
         assert_eq!(hist.iter().sum::<f64>(), 50.0);

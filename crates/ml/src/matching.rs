@@ -13,6 +13,10 @@
 /// # Panics
 ///
 /// Panics if `cost` is empty or ragged.
+// Allowed: the algorithm's 1-indexed potential/matching arrays are all sized
+// `n + 1` and every index stays in `0..=n` by construction; the squareness
+// assert above the loops guarantees `cost[i0 - 1][j - 1]` is in bounds.
+#[allow(clippy::indexing_slicing)]
 pub fn hungarian_min_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
     let n = cost.len();
     assert!(n > 0, "cost matrix must be non-empty");
@@ -90,16 +94,14 @@ pub fn hungarian_min_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics if the slices are empty or of different lengths.
+// Allowed: `counts` is sized `k × k` where `k` exceeds every id seen, and
+// `hungarian_min_assignment` returns a permutation of `0..k`, so all the
+// contingency-table indices below are in bounds by construction.
+#[allow(clippy::indexing_slicing)]
 pub fn best_matching_accuracy(clusters: &[usize], classes: &[usize]) -> f64 {
     assert!(!clusters.is_empty(), "empty inputs");
     assert_eq!(clusters.len(), classes.len(), "length mismatch");
-    let k = clusters
-        .iter()
-        .chain(classes.iter())
-        .copied()
-        .max()
-        .expect("non-empty")
-        + 1;
+    let k = clusters.iter().chain(classes.iter()).copied().max().map_or(0, |m| m + 1);
     // Contingency counts.
     let mut counts = vec![vec![0.0_f64; k]; k];
     for (&c, &y) in clusters.iter().zip(classes) {
@@ -118,32 +120,20 @@ mod tests {
 
     #[test]
     fn identity_assignment_on_diagonal_costs() {
-        let cost = vec![
-            vec![0.0, 9.0, 9.0],
-            vec![9.0, 0.0, 9.0],
-            vec![9.0, 9.0, 0.0],
-        ];
+        let cost = vec![vec![0.0, 9.0, 9.0], vec![9.0, 0.0, 9.0], vec![9.0, 9.0, 0.0]];
         assert_eq!(hungarian_min_assignment(&cost), vec![0, 1, 2]);
     }
 
     #[test]
     fn permuted_optimum() {
-        let cost = vec![
-            vec![9.0, 0.0, 9.0],
-            vec![9.0, 9.0, 0.0],
-            vec![0.0, 9.0, 9.0],
-        ];
+        let cost = vec![vec![9.0, 0.0, 9.0], vec![9.0, 9.0, 0.0], vec![0.0, 9.0, 9.0]];
         assert_eq!(hungarian_min_assignment(&cost), vec![1, 2, 0]);
     }
 
     #[test]
     fn classic_example_total_cost() {
         // Known optimal assignment cost = 5 (1-indexed classic example).
-        let cost = vec![
-            vec![4.0, 1.0, 3.0],
-            vec![2.0, 0.0, 5.0],
-            vec![3.0, 2.0, 2.0],
-        ];
+        let cost = vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]];
         let perm = hungarian_min_assignment(&cost);
         let total: f64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
         assert_eq!(total, 5.0);

@@ -4,13 +4,13 @@
 //! experiments standardize feature matrices so the margin-based objectives
 //! are comparable across users.
 
+use crate::error::MlError;
 use plos_linalg::Vector;
-use serde::{Deserialize, Serialize};
 
 /// Per-dimension standardizer: `x' = (x − mean) / std`.
 ///
 /// Dimensions with zero variance are shifted to zero but not rescaled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StandardScaler {
     means: Vector,
     stds: Vector,
@@ -19,13 +19,22 @@ pub struct StandardScaler {
 impl StandardScaler {
     /// Fits means and standard deviations on a sample of vectors.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `xs` is empty or ragged.
-    pub fn fit(xs: &[Vector]) -> Self {
-        assert!(!xs.is_empty(), "cannot fit a scaler on no data");
-        let d = xs[0].len();
-        assert!(xs.iter().all(|x| x.len() == d), "ragged feature vectors");
+    /// * [`MlError::Empty`] if `xs` is empty.
+    /// * [`MlError::LengthMismatch`] if the feature vectors are ragged.
+    pub fn fit(xs: &[Vector]) -> Result<Self, MlError> {
+        if xs.is_empty() {
+            return Err(MlError::Empty { what: "scaler samples" });
+        }
+        let d = xs.first().map_or(0, Vector::len);
+        if let Some(bad) = xs.iter().find(|x| x.len() != d) {
+            return Err(MlError::LengthMismatch {
+                what: "feature dimensions",
+                expected: d,
+                actual: bad.len(),
+            });
+        }
         let n = xs.len() as f64;
         let mut means = Vector::zeros(d);
         for x in xs {
@@ -40,7 +49,7 @@ impl StandardScaler {
             }
         }
         let stds: Vector = vars.iter().map(|&v| (v / n).sqrt()).collect();
-        StandardScaler { means, stds }
+        Ok(StandardScaler { means, stds })
     }
 
     /// Dimension the scaler was fitted on.
@@ -74,10 +83,14 @@ impl StandardScaler {
 
     /// Convenience: fit on `xs` and return the transformed batch plus the
     /// fitted scaler.
-    pub fn fit_transform(xs: &[Vector]) -> (Vec<Vector>, Self) {
-        let scaler = Self::fit(xs);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`StandardScaler::fit`].
+    pub fn fit_transform(xs: &[Vector]) -> Result<(Vec<Vector>, Self), MlError> {
+        let scaler = Self::fit(xs)?;
         let out = scaler.transform_batch(xs);
-        (out, scaler)
+        Ok((out, scaler))
     }
 }
 
@@ -92,7 +105,7 @@ mod tests {
     #[test]
     fn transformed_data_has_zero_mean_unit_std() {
         let xs = vec![v(&[1.0, 10.0]), v(&[2.0, 20.0]), v(&[3.0, 30.0])];
-        let (out, scaler) = StandardScaler::fit_transform(&xs);
+        let (out, scaler) = StandardScaler::fit_transform(&xs).unwrap();
         assert_eq!(scaler.dim(), 2);
         for j in 0..2 {
             let col: Vec<f64> = out.iter().map(|x| x[j]).collect();
@@ -106,7 +119,7 @@ mod tests {
     #[test]
     fn constant_dimension_is_centered_not_scaled() {
         let xs = vec![v(&[5.0, 1.0]), v(&[5.0, 3.0])];
-        let (out, _) = StandardScaler::fit_transform(&xs);
+        let (out, _) = StandardScaler::fit_transform(&xs).unwrap();
         assert_eq!(out[0][0], 0.0);
         assert_eq!(out[1][0], 0.0);
         assert!(out[0][1] != 0.0);
@@ -115,21 +128,24 @@ mod tests {
     #[test]
     fn transform_applies_train_statistics_to_new_data() {
         let xs = vec![v(&[0.0]), v(&[2.0])];
-        let scaler = StandardScaler::fit(&xs);
+        let scaler = StandardScaler::fit(&xs).unwrap();
         // mean=1, std=1 -> x=3 maps to 2.
         assert!((scaler.transform(&v(&[3.0]))[0] - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "no data")]
-    fn empty_fit_panics() {
-        let _ = StandardScaler::fit(&[]);
+    fn rejects_bad_inputs_with_err() {
+        assert!(matches!(StandardScaler::fit(&[]), Err(MlError::Empty { .. })));
+        assert!(matches!(
+            StandardScaler::fit(&[v(&[1.0]), v(&[1.0, 2.0])]),
+            Err(MlError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn wrong_dim_transform_panics() {
-        let scaler = StandardScaler::fit(&[v(&[1.0])]);
+        let scaler = StandardScaler::fit(&[v(&[1.0])]).unwrap();
         let _ = scaler.transform(&v(&[1.0, 2.0]));
     }
 }

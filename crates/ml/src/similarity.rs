@@ -48,10 +48,10 @@ pub fn histogram_jaccard(u: &[f64], v: &[f64]) -> f64 {
 pub fn similarity_matrix(histograms: &[Vec<f64>]) -> plos_linalg::Matrix {
     let n = histograms.len();
     let mut m = plos_linalg::Matrix::zeros(n, n);
-    for i in 0..n {
+    for (i, hi) in histograms.iter().enumerate() {
         m[(i, i)] = 1.0;
-        for j in (i + 1)..n {
-            let s = histogram_jaccard(&histograms[i], &histograms[j]);
+        for (j, hj) in histograms.iter().enumerate().skip(i + 1) {
+            let s = histogram_jaccard(hi, hj);
             m[(i, j)] = s;
             m[(j, i)] = s;
         }

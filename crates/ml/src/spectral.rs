@@ -6,6 +6,7 @@
 //! `L = I − D^{−1/2} W D^{−1/2}`, bottom-`k` eigenvectors via the Jacobi
 //! eigensolver, row-normalization, k-means on the embedded rows.
 
+use crate::error::MlError;
 use crate::kmeans::KMeans;
 use plos_linalg::{LinalgError, Matrix, SymmetricEigen, Vector};
 
@@ -18,25 +19,25 @@ use plos_linalg::{LinalgError, Matrix, SymmetricEigen, Vector};
 ///
 /// # Errors
 ///
-/// * [`LinalgError::NotSquare`] for a non-square affinity.
-/// * [`LinalgError::DimensionMismatch`] if `k` is 0 or exceeds the number of
-///   nodes.
-/// * Propagates eigensolver failures.
-pub fn spectral_clustering(
-    affinity: &Matrix,
-    k: usize,
-    seed: u64,
-) -> Result<Vec<usize>, LinalgError> {
+/// * [`LinalgError::NotSquare`] (wrapped in [`MlError::Linalg`]) for a
+///   non-square affinity.
+/// * [`LinalgError::DimensionMismatch`] (wrapped) if `k` is 0 or exceeds the
+///   number of nodes.
+/// * Propagates eigensolver and k-means failures.
+pub fn spectral_clustering(affinity: &Matrix, k: usize, seed: u64) -> Result<Vec<usize>, MlError> {
     if !affinity.is_square() {
-        return Err(LinalgError::NotSquare { rows: affinity.nrows(), cols: affinity.ncols() });
+        return Err(MlError::Linalg(LinalgError::NotSquare {
+            rows: affinity.nrows(),
+            cols: affinity.ncols(),
+        }));
     }
     let n = affinity.nrows();
     if k == 0 || k > n {
-        return Err(LinalgError::DimensionMismatch {
+        return Err(MlError::Linalg(LinalgError::DimensionMismatch {
             op: "spectral_clustering (k)",
             expected: n,
             actual: k,
-        });
+        }));
     }
     if k == n {
         return Ok((0..n).collect());
@@ -51,10 +52,10 @@ pub fn spectral_clustering(
 
     // L_sym = I − D^{−1/2} W D^{−1/2}; isolated nodes keep L_ii = 1.
     let mut lap = Matrix::identity(n);
-    for i in 0..n {
-        for j in 0..n {
-            if i != j && degrees[i] > 0.0 && degrees[j] > 0.0 {
-                lap[(i, j)] = -w[(i, j)] / (degrees[i] * degrees[j]).sqrt();
+    for (i, &di) in degrees.iter().enumerate() {
+        for (j, &dj) in degrees.iter().enumerate() {
+            if i != j && di > 0.0 && dj > 0.0 {
+                lap[(i, j)] = -w[(i, j)] / (di * dj).sqrt();
             }
         }
     }
@@ -71,7 +72,7 @@ pub fn spectral_clustering(
         rows.push(row);
     }
 
-    let result = KMeans::new(k).fit(&rows, seed);
+    let result = KMeans::new(k).fit(&rows, seed)?;
     Ok(result.assignments)
 }
 
@@ -85,7 +86,7 @@ mod tests {
         let n: usize = sizes.iter().sum();
         let mut block_of = Vec::with_capacity(n);
         for (b, &s) in sizes.iter().enumerate() {
-            block_of.extend(std::iter::repeat(b).take(s));
+            block_of.extend(std::iter::repeat_n(b, s));
         }
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {

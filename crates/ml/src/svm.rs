@@ -15,11 +15,11 @@
 //! obtained by augmenting features with a constant `1` (footnote 1), which
 //! [`SvmParams::bias`] automates.
 
+use crate::error::MlError;
 use plos_linalg::Vector;
-use serde::{Deserialize, Serialize};
 
 /// Training hyperparameters for [`LinearSvm`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SvmParams {
     /// Misclassification cost `C` (identical for every sample).
     pub c: f64,
@@ -47,7 +47,7 @@ pub struct LinearSvm {
 
 /// A trained linear decision function `f(x) = w · x̃` where `x̃` is `x`
 /// augmented with the bias constant when one was configured.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SvmModel {
     weights: Vector,
     bias: Option<f64>,
@@ -61,22 +61,40 @@ impl LinearSvm {
 
     /// Trains on `(x_i, y_i)` pairs with `y_i ∈ {−1, +1}`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if inputs are empty, lengths mismatch, dimensions are ragged,
-    /// or any label is not `±1`.
-    pub fn fit(&self, xs: &[Vector], ys: &[i8]) -> SvmModel {
-        assert!(!xs.is_empty(), "SVM requires at least one training sample");
-        assert_eq!(xs.len(), ys.len(), "xs and ys length mismatch");
-        assert!(ys.iter().all(|&y| y == 1 || y == -1), "labels must be ±1");
-        let d = xs[0].len();
-        assert!(xs.iter().all(|x| x.len() == d), "ragged feature vectors");
+    /// * [`MlError::Empty`] if `xs` is empty.
+    /// * [`MlError::LengthMismatch`] if `xs.len() != ys.len()` or feature
+    ///   vectors are ragged.
+    /// * [`MlError::BadLabel`] if any label is not `±1`.
+    pub fn fit(&self, xs: &[Vector], ys: &[i8]) -> Result<SvmModel, MlError> {
+        if xs.is_empty() {
+            return Err(MlError::Empty { what: "training samples" });
+        }
+        if xs.len() != ys.len() {
+            return Err(MlError::LengthMismatch {
+                what: "labels",
+                expected: xs.len(),
+                actual: ys.len(),
+            });
+        }
+        if let Some(index) = ys.iter().position(|&y| y != 1 && y != -1) {
+            return Err(MlError::BadLabel { index });
+        }
+        let d = xs.first().map_or(0, Vector::len);
+        if let Some(bad) = xs.iter().find(|x| x.len() != d) {
+            return Err(MlError::LengthMismatch {
+                what: "feature dimensions",
+                expected: d,
+                actual: bad.len(),
+            });
+        }
 
         let augmented: Vec<Vector> = match self.params.bias {
             Some(b) => xs.iter().map(|x| x.with_appended(b)).collect(),
             None => xs.to_vec(),
         };
-        let dim = augmented[0].len();
+        let dim = augmented.first().map_or(0, Vector::len);
         let n = augmented.len();
 
         let sq_norms: Vec<f64> = augmented.iter().map(Vector::norm_squared).collect();
@@ -85,25 +103,27 @@ impl LinearSvm {
 
         for _ in 0..self.params.max_sweeps {
             let mut max_pg = 0.0_f64;
-            for i in 0..n {
-                let yi = ys[i] as f64;
-                let g = yi * w.dot(&augmented[i]) - 1.0;
+            for ((alpha_i, x), (&yi8, &qn)) in
+                alpha.iter_mut().zip(&augmented).zip(ys.iter().zip(&sq_norms))
+            {
+                let yi = yi8 as f64;
+                let g = yi * w.dot(x) - 1.0;
                 // Projected gradient for the box constraint 0 <= alpha <= C.
-                let pg = if alpha[i] <= 0.0 {
+                let pg = if *alpha_i <= 0.0 {
                     g.min(0.0)
-                } else if alpha[i] >= self.params.c {
+                } else if *alpha_i >= self.params.c {
                     g.max(0.0)
                 } else {
                     g
                 };
                 if pg.abs() > 1e-14 {
                     max_pg = max_pg.max(pg.abs());
-                    let qii = sq_norms[i].max(1e-12);
-                    let new_alpha = (alpha[i] - g / qii).clamp(0.0, self.params.c);
-                    let delta = new_alpha - alpha[i];
+                    let qii = qn.max(1e-12);
+                    let new_alpha = (*alpha_i - g / qii).clamp(0.0, self.params.c);
+                    let delta = new_alpha - *alpha_i;
                     if delta != 0.0 {
-                        w.axpy(delta * yi, &augmented[i]);
-                        alpha[i] = new_alpha;
+                        w.axpy(delta * yi, x);
+                        *alpha_i = new_alpha;
                     }
                 }
             }
@@ -111,7 +131,7 @@ impl LinearSvm {
                 break;
             }
         }
-        SvmModel { weights: w, bias: self.params.bias }
+        Ok(SvmModel { weights: w, bias: self.params.bias })
     }
 }
 
@@ -170,7 +190,7 @@ mod tests {
     fn separable_1d_problem() {
         let xs = vec![v(&[-2.0]), v(&[-1.0]), v(&[1.0]), v(&[2.0])];
         let ys = vec![-1, -1, 1, 1];
-        let model = LinearSvm::new(SvmParams::default()).fit(&xs, &ys);
+        let model = LinearSvm::new(SvmParams::default()).fit(&xs, &ys).unwrap();
         for (x, y) in xs.iter().zip(&ys) {
             assert_eq!(model.predict(x), *y);
         }
@@ -181,17 +201,13 @@ mod tests {
         // Classes split at x = 3: impossible through the origin without bias.
         let xs = vec![v(&[1.0]), v(&[2.0]), v(&[4.0]), v(&[5.0])];
         let ys = vec![-1, -1, 1, 1];
-        let with_bias = LinearSvm::new(SvmParams::default()).fit(&xs, &ys);
+        let with_bias = LinearSvm::new(SvmParams::default()).fit(&xs, &ys).unwrap();
         for (x, y) in xs.iter().zip(&ys) {
             assert_eq!(with_bias.predict(x), *y, "with bias, x={x}");
         }
         let no_bias =
-            LinearSvm::new(SvmParams { bias: None, ..SvmParams::default() }).fit(&xs, &ys);
-        let errs = xs
-            .iter()
-            .zip(&ys)
-            .filter(|(x, y)| no_bias.predict(x) != **y)
-            .count();
+            LinearSvm::new(SvmParams { bias: None, ..SvmParams::default() }).fit(&xs, &ys).unwrap();
+        let errs = xs.iter().zip(&ys).filter(|(x, y)| no_bias.predict(x) != **y).count();
         assert!(errs >= 1, "origin-constrained SVM cannot separate a shifted split");
     }
 
@@ -202,7 +218,7 @@ mod tests {
         let xs = vec![v(&[-1.0]), v(&[1.0])];
         let ys = vec![-1, 1];
         let params = SvmParams { c: 1000.0, bias: None, ..SvmParams::default() };
-        let model = LinearSvm::new(params).fit(&xs, &ys);
+        let model = LinearSvm::new(params).fit(&xs, &ys).unwrap();
         assert!((model.decision_function(&v(&[1.0])) - 1.0).abs() < 1e-4);
         assert!((model.decision_function(&v(&[-1.0])) + 1.0).abs() < 1e-4);
     }
@@ -218,7 +234,7 @@ mod tests {
             xs.push(v(&[cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]));
             ys.push(y);
         }
-        let model = LinearSvm::new(SvmParams::default()).fit(&xs, &ys);
+        let model = LinearSvm::new(SvmParams::default()).fit(&xs, &ys).unwrap();
         let preds = model.predict_batch(&xs);
         let correct = preds.iter().zip(&ys).filter(|(p, y)| p == y).count();
         assert!(correct as f64 / xs.len() as f64 > 0.95);
@@ -232,7 +248,8 @@ mod tests {
         ys[0] = 1;
         xs.push(v(&[-10.5]));
         ys.push(-1);
-        let model = LinearSvm::new(SvmParams { c: 0.1, ..SvmParams::default() }).fit(&xs, &ys);
+        let model =
+            LinearSvm::new(SvmParams { c: 0.1, ..SvmParams::default() }).fit(&xs, &ys).unwrap();
         // The flipped point must not dominate: boundary stays near 0.
         assert_eq!(model.predict(&v(&[5.0])), 1);
         assert_eq!(model.predict(&v(&[-5.0])), -1);
@@ -246,28 +263,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "labels must be ±1")]
-    fn rejects_bad_labels() {
-        let _ = LinearSvm::new(SvmParams::default()).fit(&[v(&[1.0])], &[0]);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one training sample")]
-    fn rejects_empty() {
-        let _ = LinearSvm::new(SvmParams::default()).fit(&[], &[]);
-    }
-
-    #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn rejects_length_mismatch() {
-        let _ = LinearSvm::new(SvmParams::default()).fit(&[v(&[1.0])], &[1, -1]);
+    fn rejects_bad_inputs_with_err() {
+        use crate::error::MlError;
+        let svm = LinearSvm::new(SvmParams::default());
+        assert!(matches!(svm.fit(&[v(&[1.0])], &[0]), Err(MlError::BadLabel { index: 0 })));
+        assert!(matches!(svm.fit(&[], &[]), Err(MlError::Empty { .. })));
+        assert!(matches!(svm.fit(&[v(&[1.0])], &[1, -1]), Err(MlError::LengthMismatch { .. })));
+        assert!(matches!(
+            svm.fit(&[v(&[1.0]), v(&[1.0, 2.0])], &[1, -1]),
+            Err(MlError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
     fn single_class_data_trains_without_panic() {
         // All-positive data: decision function should be positive on them.
         let xs = vec![v(&[1.0]), v(&[2.0])];
-        let model = LinearSvm::new(SvmParams::default()).fit(&xs, &[1, 1]);
+        let model = LinearSvm::new(SvmParams::default()).fit(&xs, &[1, 1]).unwrap();
         assert_eq!(model.predict(&v(&[1.5])), 1);
     }
 }

@@ -8,11 +8,10 @@
 //! preserves exactly what the figure shows — *how the two curves scale with
 //! the number of users* — without the physical testbed.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Effective compute capability of a device class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceProfile {
     /// Human-readable device name.
     pub name: &'static str,

@@ -1,3 +1,9 @@
+// Unit tests assert by panicking; the panic-free gate applies to library
+// code only (see [workspace.lints] in the root Cargo.toml).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
 //! Distributed-runtime substrate for the PLOS reproduction.
 //!
 //! The paper's Sec. VI-E runs distributed PLOS on a real testbed (Nexus 5
@@ -11,7 +17,7 @@
 //!   broadcast of `(w0, u_t)` and the clients' `(w_t, v_t, ξ_t)` updates.
 //!   Raw sensory data has no message type at all — the type system enforces
 //!   the paper's privacy claim that only model parameters travel;
-//! * [`transport`] — crossbeam-channel duplex endpoints with per-endpoint
+//! * [`transport`] — mpsc duplex endpoints with per-endpoint
 //!   byte/message counters;
 //! * [`node`] — star-topology construction and a scoped-thread client
 //!   runner;

@@ -197,19 +197,13 @@ mod tests {
     fn bad_version_rejected() {
         let mut raw = Message::Shutdown.encode().to_vec();
         raw[0] = 99;
-        assert_eq!(
-            Message::decode(Bytes::from(raw)).unwrap_err(),
-            CodecError::BadVersion(99)
-        );
+        assert_eq!(Message::decode(Bytes::from(raw)).unwrap_err(), CodecError::BadVersion(99));
     }
 
     #[test]
     fn unknown_tag_rejected() {
         let raw = vec![WIRE_VERSION, 0xAB];
-        assert_eq!(
-            Message::decode(Bytes::from(raw)).unwrap_err(),
-            CodecError::UnknownTag(0xAB)
-        );
+        assert_eq!(Message::decode(Bytes::from(raw)).unwrap_err(), CodecError::UnknownTag(0xAB));
     }
 
     #[test]
@@ -222,10 +216,7 @@ mod tests {
         let full = m.encode();
         for cut in 1..full.len() {
             let sliced = full.slice(0..cut);
-            assert!(
-                Message::decode(sliced).is_err(),
-                "decoding a {cut}-byte prefix should fail"
-            );
+            assert!(Message::decode(sliced).is_err(), "decoding a {cut}-byte prefix should fail");
         }
     }
 
@@ -234,8 +225,7 @@ mod tests {
         // Fig. 13's claim: per-user message size is independent of the
         // number of users — it depends only on the model dimension.
         let size = |d: usize| {
-            Message::Broadcast { round: 0, w0: Vector::zeros(d), u_t: Vector::zeros(d) }
-                .wire_len()
+            Message::Broadcast { round: 0, w0: Vector::zeros(d), u_t: Vector::zeros(d) }.wire_len()
         };
         assert_eq!(size(10), 2 + 4 + 2 * (4 + 80));
         assert!(size(20) > size(10));

@@ -6,10 +6,8 @@
 //! costs plus per-FLOP compute cost, so experiments can report joules per
 //! user per training run.
 
-use serde::{Deserialize, Serialize};
-
 /// Snapshot of one endpoint's traffic counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// Bytes written to the link.
     pub bytes_sent: u64,
@@ -50,7 +48,7 @@ impl TrafficStats {
 
 /// Energy model for a mobile device: radio cost per byte plus compute cost
 /// per floating-point operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Joules per transmitted byte.
     pub joules_per_byte_tx: f64,
@@ -98,19 +96,34 @@ mod tests {
 
     #[test]
     fn merge_adds_componentwise() {
-        let a = TrafficStats { bytes_sent: 1, bytes_received: 2, messages_sent: 3, messages_received: 4 };
-        let b = TrafficStats { bytes_sent: 10, bytes_received: 20, messages_sent: 30, messages_received: 40 };
+        let a = TrafficStats {
+            bytes_sent: 1,
+            bytes_received: 2,
+            messages_sent: 3,
+            messages_received: 4,
+        };
+        let b = TrafficStats {
+            bytes_sent: 10,
+            bytes_received: 20,
+            messages_sent: 30,
+            messages_received: 40,
+        };
         let m = a.merged(&b);
-        assert_eq!(m, TrafficStats { bytes_sent: 11, bytes_received: 22, messages_sent: 33, messages_received: 44 });
+        assert_eq!(
+            m,
+            TrafficStats {
+                bytes_sent: 11,
+                bytes_received: 22,
+                messages_sent: 33,
+                messages_received: 44
+            }
+        );
     }
 
     #[test]
     fn energy_combines_radio_and_compute() {
-        let model = EnergyModel {
-            joules_per_byte_tx: 2.0,
-            joules_per_byte_rx: 1.0,
-            joules_per_flop: 0.5,
-        };
+        let model =
+            EnergyModel { joules_per_byte_tx: 2.0, joules_per_byte_rx: 1.0, joules_per_flop: 0.5 };
         let traffic = TrafficStats { bytes_sent: 3, bytes_received: 4, ..Default::default() };
         // 3*2 + 4*1 + 10*0.5 = 15
         assert_eq!(model.energy_joules(&traffic, 10.0), 15.0);

@@ -42,10 +42,11 @@ impl StarNetwork {
         self.server.len()
     }
 
-    /// Runs `client_fn(t, endpoint)` for every client on its own scoped
-    /// thread while executing `server_fn(&server_endpoints)` on the calling
-    /// thread. Returns the server closure's output together with every
-    /// client's output (indexed by user).
+    /// Runs `client_fn(t, endpoint)` for every client on its own
+    /// `std::thread::scope` thread while executing
+    /// `server_fn(&server_endpoints)` on the calling thread. Returns the
+    /// server closure's output together with every client's output (indexed
+    /// by user).
     ///
     /// Consumes the network: endpoints move into the closures.
     ///
@@ -60,21 +61,22 @@ impl StarNetwork {
     {
         let StarNetwork { server, clients } = self;
         let client_fn = &client_fn;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = clients
                 .into_iter()
                 .enumerate()
-                .map(|(t, endpoint)| scope.spawn(move |_| client_fn(t, endpoint)))
+                .map(|(t, endpoint)| scope.spawn(move || client_fn(t, endpoint)))
                 .collect();
             let server_result = server_fn(&server);
             // Drop the server endpoints so stray clients see Disconnected
             // rather than hanging, then join.
             drop(server);
-            let client_results =
-                handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect();
+            let client_results = handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect();
             (server_result, client_results)
         })
-        .expect("thread scope panicked")
     }
 }
 

@@ -6,11 +6,10 @@
 //! radio, not only compute.
 
 use crate::metrics::TrafficStats;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// A symmetric link model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkModel {
     /// One-way latency per message.
     pub latency: Duration,
@@ -42,12 +41,9 @@ impl LinkModel {
     /// Total link time for a traffic snapshot: per-message latency plus
     /// serialization time for every byte in both directions.
     pub fn total_time(&self, traffic: &TrafficStats) -> Duration {
-        let latency_total = self
-            .latency
-            .checked_mul(traffic.total_messages() as u32)
-            .unwrap_or(Duration::MAX);
-        latency_total
-            + Duration::from_secs_f64(traffic.total_bytes() as f64 / self.bytes_per_sec)
+        let latency_total =
+            self.latency.checked_mul(traffic.total_messages() as u32).unwrap_or(Duration::MAX);
+        latency_total + Duration::from_secs_f64(traffic.total_bytes() as f64 / self.bytes_per_sec)
     }
 }
 

@@ -1,7 +1,7 @@
 //! In-process duplex transport with traffic accounting.
 //!
 //! Each [`Endpoint`] is one end of a bidirectional link built from two
-//! crossbeam channels. Every send/receive passes through the binary codec,
+//! unbounded mpsc channels. Every send/receive passes through the binary codec,
 //! so the byte counters measure exactly what a real socket would carry —
 //! that is what Fig. 13 (message overhead per user) reports.
 
@@ -9,9 +9,9 @@ use crate::codec::CodecError;
 use crate::message::Message;
 use crate::metrics::TrafficStats;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -70,8 +70,8 @@ pub struct Endpoint {
 impl Endpoint {
     /// Creates a connected pair of endpoints.
     pub fn pair() -> (Endpoint, Endpoint) {
-        let (a_tx, b_rx) = unbounded();
-        let (b_tx, a_rx) = unbounded();
+        let (a_tx, b_rx) = channel();
+        let (b_tx, a_rx) = channel();
         let a = Endpoint { tx: a_tx, rx: a_rx, counters: Arc::new(Counters::default()) };
         let b = Endpoint { tx: b_tx, rx: b_rx, counters: Arc::new(Counters::default()) };
         (a, b)

@@ -13,7 +13,6 @@
 
 use crate::convergence::History;
 use plos_linalg::Vector;
-use serde::{Deserialize, Serialize};
 
 /// One consensus-ADMM problem instance.
 ///
@@ -40,7 +39,7 @@ pub trait AdmmProblem {
 
 /// Consensus-ADMM configuration (ρ and ε_abs as in Sec. VI-E: the paper uses
 /// `ρ = 1`, `ε_abs = 10⁻³`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConsensusAdmm {
     /// Augmented-Lagrangian penalty / step size ρ.
     pub rho: f64,
@@ -107,8 +106,8 @@ impl ConsensusAdmm {
             iterations += 1;
 
             // x-step: every agent solves its local subproblem.
-            for (t, x_t) in xs.iter_mut().enumerate() {
-                *x_t = problem.local_step(t, &z, &us[t]);
+            for (t, (x_t, u_t)) in xs.iter_mut().zip(&us).enumerate() {
+                *x_t = problem.local_step(t, &z, u_t);
             }
 
             // z-step: global aggregation (Eq. 23, first line, for PLOS).
@@ -124,31 +123,28 @@ impl ConsensusAdmm {
                 *u_t += &delta;
             }
 
-            // Residuals per Eq. (24).
+            // Residuals per Eq. (24). A non-finite residual means a local
+            // step diverged (NaN/∞ escaped an agent's solver); the stopping
+            // test would silently never fire, so fail fast in strict mode.
             dual_residual = self.rho * sqrt_2t * z_new.distance(&z);
             primal_residual = u_change_sq.sqrt();
+            #[cfg(feature = "strict-invariants")]
+            debug_assert!(
+                dual_residual.is_finite() && primal_residual.is_finite(),
+                "ADMM Eq. (24) residuals not finite at iteration {iterations}: \
+                 dual {dual_residual}, primal {primal_residual}"
+            );
             z = z_new;
 
             history.push(problem.objective(&xs, &z));
 
-            if dual_residual <= sqrt_2t * self.eps_abs
-                && primal_residual <= sqrt_t * self.eps_abs
-            {
+            if dual_residual <= sqrt_2t * self.eps_abs && primal_residual <= sqrt_t * self.eps_abs {
                 converged = true;
                 break;
             }
         }
 
-        AdmmResult {
-            z,
-            xs,
-            us,
-            history,
-            iterations,
-            converged,
-            dual_residual,
-            primal_residual,
-        }
+        AdmmResult { z, xs, us, history, iterations, converged, dual_residual, primal_residual }
     }
 }
 
@@ -194,10 +190,7 @@ mod tests {
             z
         }
         fn objective(&self, xs: &[Vector], _z: &Vector) -> f64 {
-            xs.iter()
-                .zip(&self.targets)
-                .map(|(x, a)| 0.5 * x.distance_squared(a))
-                .sum()
+            xs.iter().zip(&self.targets).map(|(x, a)| 0.5 * x.distance_squared(a)).sum()
         }
     }
 

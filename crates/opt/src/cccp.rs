@@ -11,10 +11,9 @@
 //! pattern) and the convex-subproblem solver.
 
 use crate::convergence::History;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the CCCP outer loop.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cccp {
     /// Stop when consecutive objective values differ by less than this.
     pub tol: f64,

@@ -1,7 +1,5 @@
 //! Objective-trajectory bookkeeping shared by the iterative drivers.
 
-use serde::{Deserialize, Serialize};
-
 /// Records a scalar objective trajectory and answers convergence questions.
 ///
 /// ```
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(h.converged(1e-3));
 /// assert!(h.is_monotone_decreasing(1e-9));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct History {
     values: Vec<f64>,
 }
@@ -51,9 +49,9 @@ impl History {
 
     /// `true` once the last two values differ by less than `tol`.
     pub fn converged(&self, tol: f64) -> bool {
-        match self.values.len() {
-            0 | 1 => false,
-            n => (self.values[n - 1] - self.values[n - 2]).abs() < tol,
+        match self.values.as_slice() {
+            [.., prev, last] => (last - prev).abs() < tol,
+            _ => false,
         }
     }
 
@@ -62,7 +60,7 @@ impl History {
     /// CCCP guarantees a monotonically decreasing objective; the PLOS tests
     /// assert this invariant on every run.
     pub fn is_monotone_decreasing(&self, tol: f64) -> bool {
-        self.values.windows(2).all(|w| w[1] <= w[0] + tol)
+        self.values.iter().zip(self.values.iter().skip(1)).all(|(a, b)| *b <= *a + tol)
     }
 
     /// Total decrease from the first to the last value (positive = progress).

@@ -15,10 +15,8 @@
 //!   most violated constraint and its violation margin (how far beyond
 //!   `ξ_t + ε` it sits), or `None` if the group is satisfied.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration for the cutting-plane loop.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CuttingPlane {
     /// Constraint-violation tolerance `ε` (Algorithm 1, step 6).
     pub eps: f64,
@@ -33,7 +31,7 @@ impl Default for CuttingPlane {
 }
 
 /// Outcome of a cutting-plane run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CuttingPlaneReport {
     /// Rounds of solve + oracle performed.
     pub rounds: usize,
@@ -72,21 +70,18 @@ impl CuttingPlane {
             rounds += 1;
             let sol = solve(&working_sets);
             let mut any_added = false;
-            for g in 0..n_groups {
+            for (g, ws) in working_sets.iter_mut().enumerate() {
                 if let Some((constraint, violation)) = most_violated(&sol, g) {
                     if violation > self.eps {
-                        working_sets[g].push(constraint);
+                        ws.push(constraint);
                         any_added = true;
                     }
                 }
             }
             if !any_added || rounds >= self.max_rounds {
                 let total_constraints = working_sets.iter().map(Vec::len).sum();
-                let report = CuttingPlaneReport {
-                    rounds,
-                    total_constraints,
-                    satisfied: !any_added,
-                };
+                let report =
+                    CuttingPlaneReport { rounds, total_constraints, satisfied: !any_added };
                 return (sol, working_sets, report);
             }
         }
@@ -133,10 +128,8 @@ mod tests {
         let (sol, sets, report) = cp.run(
             2,
             |ws: &[Vec<f64>]| {
-                let per_group: Vec<f64> = ws
-                    .iter()
-                    .map(|w| w.iter().copied().fold(0.0_f64, f64::max))
-                    .collect();
+                let per_group: Vec<f64> =
+                    ws.iter().map(|w| w.iter().copied().fold(0.0_f64, f64::max)).collect();
                 per_group
             },
             |xs: &Vec<f64>, g| {

@@ -1,3 +1,9 @@
+// Unit tests assert by panicking; the panic-free gate applies to library
+// code only (see [workspace.lints] in the root Cargo.toml).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
 //! Optimization substrate for the PLOS reproduction.
 //!
 //! The PLOS paper (ICDCS 2018) composes four optimization building blocks:
@@ -22,6 +28,7 @@ pub mod admm;
 pub mod cccp;
 pub mod convergence;
 pub mod cutting_plane;
+pub mod error;
 pub mod pg;
 pub mod qp;
 
@@ -29,4 +36,5 @@ pub use admm::{AdmmProblem, AdmmResult, ConsensusAdmm};
 pub use cccp::{Cccp, CccpResult};
 pub use convergence::History;
 pub use cutting_plane::{CuttingPlane, CuttingPlaneReport};
+pub use error::OptError;
 pub use qp::{GroupedQp, QpSolution, QpSolverOptions};

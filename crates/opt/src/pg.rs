@@ -5,6 +5,7 @@
 //! doubles as the projection toolbox (non-negative capped simplex) used
 //! elsewhere.
 
+use crate::error::OptError;
 use crate::qp::GroupedQp;
 use plos_linalg::Vector;
 
@@ -31,13 +32,13 @@ pub fn project_capped_simplex(x: &mut [f64], cap: f64) {
     // Project onto {x >= 0, sum == cap}: find threshold tau with
     // sum(max(x_i - tau, 0)) == cap.
     let mut sorted = x.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    sorted.sort_by(|a, b| f64::total_cmp(b, a));
     let mut cumulative = 0.0;
     let mut tau = 0.0;
     for (k, &v) in sorted.iter().enumerate() {
         cumulative += v;
         let candidate = (cumulative - cap) / (k as f64 + 1.0);
-        if k + 1 == sorted.len() || sorted[k + 1] <= candidate {
+        if sorted.get(k + 1).is_none_or(|&next| next <= candidate) {
             tau = candidate;
             break;
         }
@@ -62,7 +63,16 @@ pub struct PgSolution {
 /// from a Lipschitz upper bound (`trace(Q)` majorizes the top eigenvalue).
 ///
 /// Intended as a test oracle: robust, derivative-checked, slow.
-pub fn solve_projected_gradient(qp: &GroupedQp, max_iters: usize, tol: f64) -> PgSolution {
+///
+/// # Errors
+///
+/// Returns [`OptError::NonFinite`] when the final objective is NaN or
+/// infinite (i.e. the problem data contained non-finite entries).
+pub fn solve_projected_gradient(
+    qp: &GroupedQp,
+    max_iters: usize,
+    tol: f64,
+) -> Result<PgSolution, OptError> {
     let n = qp.dim();
     let mut gamma = Vector::zeros(n);
     // Lipschitz constant of the gradient: λ_max(Q) <= trace(Q) for PSD Q.
@@ -83,7 +93,10 @@ pub fn solve_projected_gradient(qp: &GroupedQp, max_iters: usize, tol: f64) -> P
         }
     }
     let objective = qp.objective(&gamma);
-    PgSolution { gamma, objective, iterations }
+    if !objective.is_finite() {
+        return Err(OptError::NonFinite { what: "projected-gradient objective" });
+    }
+    Ok(PgSolution { gamma, objective, iterations })
 }
 
 impl GroupedQp {
@@ -197,8 +210,8 @@ mod tests {
             let cap = rng.gen_range(0.1..2.0);
             let qp = GroupedQp::new(q, b, vec![((0..n).collect(), cap)]).unwrap();
 
-            let cd = qp.solve(&QpSolverOptions::default());
-            let pg = solve_projected_gradient(&qp, 200_000, 1e-12);
+            let cd = qp.solve(&QpSolverOptions::default()).unwrap();
+            let pg = solve_projected_gradient(&qp, 200_000, 1e-12).unwrap();
             assert!(
                 (cd.objective - pg.objective).abs() < 1e-5,
                 "trial {trial}: cd={} pg={}",

@@ -15,8 +15,8 @@
 //! clipping is exact and converges monotonically for PSD `Q` — the same
 //! family of solvers used by liblinear for SVM duals.
 
+use crate::error::OptError;
 use plos_linalg::{LinalgError, Matrix, Vector};
-use serde::{Deserialize, Serialize};
 
 /// A PSD quadratic program `min ½ γᵀQγ − bᵀγ` over `γ ≥ 0` with disjoint
 /// capped-sum groups `Σ_{i ∈ g} γ_i ≤ cap_g`.
@@ -25,13 +25,13 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```
 /// use plos_linalg::{Matrix, Vector};
-/// use plos_opt::{GroupedQp, QpSolverOptions};
-/// # fn main() -> Result<(), plos_linalg::LinalgError> {
+/// use plos_opt::{GroupedQp, OptError, QpSolverOptions};
+/// # fn main() -> Result<(), OptError> {
 /// // min ½(γ₀² + γ₁²) − γ₀ − 2γ₁  s.t. γ ≥ 0, γ₀ + γ₁ ≤ 1
 /// let q = Matrix::identity(2);
 /// let b = Vector::from(vec![1.0, 2.0]);
 /// let qp = GroupedQp::new(q, b, vec![(vec![0, 1], 1.0)])?;
-/// let sol = qp.solve(&QpSolverOptions::default());
+/// let sol = qp.solve(&QpSolverOptions::default())?;
 /// assert!(sol.gamma[1] > sol.gamma[0]); // the larger linear gain wins the cap
 /// assert!(sol.gamma[0] + sol.gamma[1] <= 1.0 + 1e-9);
 /// # Ok(())
@@ -48,7 +48,7 @@ pub struct GroupedQp {
 }
 
 /// Tuning knobs for [`GroupedQp::solve`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QpSolverOptions {
     /// Stop when the largest coordinate update in a sweep falls below this.
     pub tol: f64,
@@ -83,13 +83,8 @@ impl GroupedQp {
     /// * [`LinalgError::NotSquare`] if `q` is not square.
     /// * [`LinalgError::DimensionMismatch`] if `b.len() != q.nrows()`, if a
     ///   group references an out-of-range variable, or if groups overlap.
-    ///
-    /// Caps must be non-negative and finite (checked with an assertion).
-    pub fn new(
-        q: Matrix,
-        b: Vector,
-        groups: Vec<(Vec<usize>, f64)>,
-    ) -> Result<Self, LinalgError> {
+    /// * [`LinalgError::OutOfRange`] if a group cap is negative or not finite.
+    pub fn new(q: Matrix, b: Vector, groups: Vec<(Vec<usize>, f64)>) -> Result<Self, LinalgError> {
         if !q.is_square() {
             return Err(LinalgError::NotSquare { rows: q.nrows(), cols: q.ncols() });
         }
@@ -103,23 +98,28 @@ impl GroupedQp {
         }
         let mut group_of = vec![usize::MAX; n];
         for (gi, (members, cap)) in groups.iter().enumerate() {
-            assert!(cap.is_finite() && *cap >= 0.0, "group cap must be finite and >= 0");
+            if !(cap.is_finite() && *cap >= 0.0) {
+                return Err(LinalgError::OutOfRange {
+                    op: "GroupedQp::new (group cap)",
+                    value: *cap,
+                });
+            }
             for &m in members {
-                if m >= n {
+                let Some(slot) = group_of.get_mut(m) else {
                     return Err(LinalgError::DimensionMismatch {
                         op: "GroupedQp::new (group member)",
                         expected: n,
                         actual: m,
                     });
-                }
-                if group_of[m] != usize::MAX {
+                };
+                if *slot != usize::MAX {
                     return Err(LinalgError::DimensionMismatch {
                         op: "GroupedQp::new (overlapping groups)",
                         expected: usize::MAX,
                         actual: m,
                     });
                 }
-                group_of[m] = gi;
+                *slot = gi;
             }
         }
         Ok(GroupedQp { q, b, groups, group_of })
@@ -143,14 +143,19 @@ impl GroupedQp {
         if gamma.iter().any(|&g| g < -tol) {
             return false;
         }
-        self.groups.iter().all(|(members, cap)| {
-            members.iter().map(|&i| gamma[i]).sum::<f64>() <= cap + tol
-        })
+        self.groups
+            .iter()
+            .all(|(members, cap)| members.iter().map(|&i| gamma[i]).sum::<f64>() <= cap + tol)
     }
 
     /// Solves the QP by cyclic coordinate descent with exact per-coordinate
     /// clipping, starting from `γ = 0` (always feasible).
-    pub fn solve(&self, opts: &QpSolverOptions) -> QpSolution {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::NonFinite`] if `Q` or `b` contains NaN or
+    /// infinite entries.
+    pub fn solve(&self, opts: &QpSolverOptions) -> Result<QpSolution, OptError> {
         self.solve_warm(Vector::zeros(self.dim()), opts)
     }
 
@@ -158,9 +163,35 @@ impl GroupedQp {
     ///
     /// The warm start is first projected to feasibility (coordinates clamped
     /// to `≥ 0`, then groups rescaled onto their caps if violated).
-    pub fn solve_warm(&self, warm: Vector, opts: &QpSolverOptions) -> QpSolution {
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::Linalg`] ([`LinalgError::DimensionMismatch`]) if
+    ///   `warm.len() != dim()`.
+    /// * [`OptError::NonFinite`] if `Q`, `b`, or the warm start contains NaN
+    ///   or infinite entries.
+    // Allowed: `new` validates every group member index against `n` and fills
+    // `group_of` with ids below `groups.len()`; `group_sum` is sized to
+    // `groups.len()` locally, so all slice indices below are invariant-backed.
+    #[allow(clippy::indexing_slicing)]
+    pub fn solve_warm(&self, warm: Vector, opts: &QpSolverOptions) -> Result<QpSolution, OptError> {
         let n = self.dim();
-        assert_eq!(warm.len(), n, "warm start has wrong dimension");
+        if warm.len() != n {
+            return Err(OptError::Linalg(LinalgError::DimensionMismatch {
+                op: "GroupedQp::solve_warm (warm start)",
+                expected: n,
+                actual: warm.len(),
+            }));
+        }
+        if !warm.iter().all(|g| g.is_finite()) {
+            return Err(OptError::NonFinite { what: "warm start" });
+        }
+        if !self.q.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(OptError::NonFinite { what: "Q matrix" });
+        }
+        if !self.b.iter().all(|v| v.is_finite()) {
+            return Err(OptError::NonFinite { what: "b vector" });
+        }
         let mut gamma = warm.map(|g| g.max(0.0));
         // Rescale any over-cap group onto its cap.
         let mut group_sum: Vec<f64> = self
@@ -230,8 +261,7 @@ impl GroupedQp {
                 for a in 0..members.len() {
                     for b in (a + 1)..members.len() {
                         let (i, j) = (members[a], members[b]);
-                        let curvature =
-                            self.q[(i, i)] + self.q[(j, j)] - 2.0 * self.q[(i, j)];
+                        let curvature = self.q[(i, i)] + self.q[(j, j)] - 2.0 * self.q[(i, j)];
                         let slope = grad[i] - grad[j];
                         let lo = -gamma[i]; // keeps γ_i ≥ 0
                         let hi = gamma[j]; // keeps γ_j ≥ 0
@@ -259,7 +289,17 @@ impl GroupedQp {
             }
         }
         let objective = self.objective(&gamma);
-        QpSolution { gamma, objective, sweeps, converged }
+        // Eq. (18) dual feasibility: γ ≥ 0 with every capped-sum group on or
+        // under its cap. Coordinate descent maintains feasibility at every
+        // step, so a violation here is a solver bug, not bad input.
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(
+            self.is_feasible(&gamma, 1e-8),
+            "QP solution violates Eq. (18) dual feasibility"
+        );
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(objective.is_finite(), "QP objective is not finite at the returned point");
+        Ok(QpSolution { gamma, objective, sweeps, converged })
     }
 
     /// Applies `gamma[i] += delta` and keeps `grad = Q·γ − b` consistent.
@@ -301,7 +341,7 @@ mod tests {
             vec![(vec![0, 1, 2], 100.0)],
         )
         .unwrap();
-        let sol = qp.solve(&opts());
+        let sol = qp.solve(&opts()).unwrap();
         assert!(sol.converged);
         for (g, b) in sol.gamma.iter().zip([0.5, 1.0, 0.25]) {
             assert!((g - b).abs() < 1e-8);
@@ -311,9 +351,9 @@ mod tests {
     #[test]
     fn nonneg_constraint_binds() {
         // Negative linear gain => γ stays 0.
-        let qp = GroupedQp::new(Matrix::identity(2), Vector::from(vec![-1.0, -2.0]), vec![])
-            .unwrap();
-        let sol = qp.solve(&opts());
+        let qp =
+            GroupedQp::new(Matrix::identity(2), Vector::from(vec![-1.0, -2.0]), vec![]).unwrap();
+        let sol = qp.solve(&opts()).unwrap();
         assert_eq!(sol.gamma.as_slice(), &[0.0, 0.0]);
         assert_eq!(sol.objective, 0.0);
     }
@@ -327,7 +367,7 @@ mod tests {
             vec![(vec![0, 1], 1.0)],
         )
         .unwrap();
-        let sol = qp.solve(&opts());
+        let sol = qp.solve(&opts()).unwrap();
         assert!(qp.is_feasible(&sol.gamma, 1e-9));
         let total: f64 = sol.gamma.iter().sum();
         assert!((total - 1.0).abs() < 1e-8, "cap should be active, total={total}");
@@ -344,7 +384,7 @@ mod tests {
             vec![(vec![0, 1], 1.0), (vec![2, 3], 10.0)],
         )
         .unwrap();
-        let sol = qp.solve(&opts());
+        let sol = qp.solve(&opts()).unwrap();
         assert!((sol.gamma[0] + sol.gamma[1] - 1.0).abs() < 1e-8, "group 0 cap active");
         // Group 1 cap slack: interior optimum = b.
         assert!((sol.gamma[2] - 0.1).abs() < 1e-8);
@@ -359,7 +399,7 @@ mod tests {
             vec![(vec![0, 1], 0.0)],
         )
         .unwrap();
-        let sol = qp.solve(&opts());
+        let sol = qp.solve(&opts()).unwrap();
         assert_eq!(sol.gamma.as_slice(), &[0.0, 0.0]);
     }
 
@@ -368,7 +408,7 @@ mod tests {
         // Q = [[2,1],[1,2]], b = (1,1): unconstrained optimum Qγ = b => γ = (1/3,1/3).
         let q = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let qp = GroupedQp::new(q, Vector::from(vec![1.0, 1.0]), vec![]).unwrap();
-        let sol = qp.solve(&opts());
+        let sol = qp.solve(&opts()).unwrap();
         assert!((sol.gamma[0] - 1.0 / 3.0).abs() < 1e-8);
         assert!((sol.gamma[1] - 1.0 / 3.0).abs() < 1e-8);
     }
@@ -378,7 +418,7 @@ mod tests {
         // Q has a zero row/col: variable 1 is linear with positive gain and a cap.
         let q = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]).unwrap();
         let qp = GroupedQp::new(q, Vector::from(vec![1.0, 1.0]), vec![(vec![1], 2.0)]).unwrap();
-        let sol = qp.solve(&opts());
+        let sol = qp.solve(&opts()).unwrap();
         assert!((sol.gamma[0] - 1.0).abs() < 1e-8);
         assert!((sol.gamma[1] - 2.0).abs() < 1e-8, "linear coordinate rides to its cap");
     }
@@ -391,7 +431,7 @@ mod tests {
             vec![(vec![0, 1], 1.0)],
         )
         .unwrap();
-        let sol = qp.solve_warm(Vector::from(vec![-5.0, 10.0]), &opts());
+        let sol = qp.solve_warm(Vector::from(vec![-5.0, 10.0]), &opts()).unwrap();
         assert!(qp.is_feasible(&sol.gamma, 1e-9));
         // Optimum splits the cap evenly by symmetry.
         assert!((sol.gamma[0] - 0.5).abs() < 1e-6);
@@ -401,10 +441,9 @@ mod tests {
     #[test]
     fn warm_start_matches_cold_start() {
         let q = Matrix::from_rows(&[vec![3.0, 0.5], vec![0.5, 2.0]]).unwrap();
-        let qp = GroupedQp::new(q, Vector::from(vec![1.0, 4.0]), vec![(vec![0, 1], 1.5)])
-            .unwrap();
-        let cold = qp.solve(&opts());
-        let warm = qp.solve_warm(Vector::from(vec![0.7, 0.7]), &opts());
+        let qp = GroupedQp::new(q, Vector::from(vec![1.0, 4.0]), vec![(vec![0, 1], 1.5)]).unwrap();
+        let cold = qp.solve(&opts()).unwrap();
+        let warm = qp.solve_warm(Vector::from(vec![0.7, 0.7]), &opts()).unwrap();
         assert!((cold.objective - warm.objective).abs() < 1e-8);
     }
 
@@ -412,12 +451,9 @@ mod tests {
     fn constructor_validations() {
         assert!(GroupedQp::new(Matrix::zeros(2, 3), Vector::zeros(2), vec![]).is_err());
         assert!(GroupedQp::new(Matrix::identity(2), Vector::zeros(3), vec![]).is_err());
-        assert!(GroupedQp::new(
-            Matrix::identity(2),
-            Vector::zeros(2),
-            vec![(vec![5], 1.0)]
-        )
-        .is_err());
+        assert!(
+            GroupedQp::new(Matrix::identity(2), Vector::zeros(2), vec![(vec![5], 1.0)]).is_err()
+        );
         assert!(GroupedQp::new(
             Matrix::identity(2),
             Vector::zeros(2),
@@ -429,25 +465,51 @@ mod tests {
     #[test]
     fn objective_decreases_from_feasible_start() {
         let q = Matrix::from_rows(&[vec![2.0, 0.3], vec![0.3, 1.0]]).unwrap();
-        let qp = GroupedQp::new(q, Vector::from(vec![1.0, -0.2]), vec![(vec![0, 1], 0.8)])
-            .unwrap();
+        let qp = GroupedQp::new(q, Vector::from(vec![1.0, -0.2]), vec![(vec![0, 1], 0.8)]).unwrap();
         let start = Vector::from(vec![0.4, 0.4]);
         let before = qp.objective(&start);
-        let sol = qp.solve_warm(start, &opts());
+        let sol = qp.solve_warm(start, &opts()).unwrap();
         assert!(sol.objective <= before + 1e-12);
     }
 
     #[test]
     fn is_feasible_rejects_bad_points() {
-        let qp = GroupedQp::new(
-            Matrix::identity(2),
-            Vector::zeros(2),
-            vec![(vec![0, 1], 1.0)],
-        )
-        .unwrap();
+        let qp =
+            GroupedQp::new(Matrix::identity(2), Vector::zeros(2), vec![(vec![0, 1], 1.0)]).unwrap();
         assert!(qp.is_feasible(&Vector::from(vec![0.5, 0.5]), 1e-9));
         assert!(!qp.is_feasible(&Vector::from(vec![-0.1, 0.5]), 1e-9));
         assert!(!qp.is_feasible(&Vector::from(vec![0.8, 0.8]), 1e-9));
         assert!(!qp.is_feasible(&Vector::zeros(3), 1e-9));
+    }
+
+    #[test]
+    fn solve_rejects_bad_inputs_with_err() {
+        let nan_b =
+            GroupedQp::new(Matrix::identity(2), Vector::from(vec![1.0, f64::NAN]), vec![]).unwrap();
+        assert!(matches!(nan_b.solve(&opts()), Err(OptError::NonFinite { what: "b vector" })));
+
+        let nan_q =
+            GroupedQp::new(Matrix::from_diagonal(&[f64::NAN, 1.0]), Vector::zeros(2), vec![])
+                .unwrap();
+        assert!(matches!(nan_q.solve(&opts()), Err(OptError::NonFinite { what: "Q matrix" })));
+
+        let qp = GroupedQp::new(Matrix::identity(2), Vector::zeros(2), vec![]).unwrap();
+        assert!(matches!(
+            qp.solve_warm(Vector::zeros(3), &opts()),
+            Err(OptError::Linalg(LinalgError::DimensionMismatch { .. }))
+        ));
+        assert!(matches!(
+            qp.solve_warm(Vector::from(vec![0.0, f64::INFINITY]), &opts()),
+            Err(OptError::NonFinite { what: "warm start" })
+        ));
+    }
+
+    #[test]
+    fn constructor_rejects_bad_caps() {
+        for cap in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = GroupedQp::new(Matrix::identity(1), Vector::zeros(1), vec![(vec![0], cap)])
+                .unwrap_err();
+            assert!(matches!(err, LinalgError::OutOfRange { .. }), "cap {cap}: {err:?}");
+        }
     }
 }

@@ -123,6 +123,11 @@ fn activity_model(activity: i8, node: usize) -> ActivityModel {
 /// # Panics
 ///
 /// Panics if any spec field is zero/degenerate.
+// Allowed: `per_activity` always holds 3 nodes of 5 TelosB channels each
+// and windows come from `sliding_windows` over the channel length, so the
+// nested `[node][ch]` and window-range accesses are in bounds by
+// construction.
+#[allow(clippy::indexing_slicing)]
 pub fn generate_body_sensor(spec: &BodySensorSpec, seed: u64) -> MultiUserDataset {
     assert!(spec.num_users > 0, "num_users must be positive");
     assert!(spec.segments_per_activity > 0, "segments_per_activity must be positive");
@@ -140,9 +145,8 @@ pub fn generate_body_sensor(spec: &BodySensorSpec, seed: u64) -> MultiUserDatase
     for _user in 0..spec.num_users {
         // One set of traits per node, shared by both activities: the device
         // is placed once.
-        let node_traits: Vec<UserTraits> = (0..3)
-            .map(|_| UserTraits::sample(spec.personal_variation, true, &mut rng))
-            .collect();
+        let node_traits: Vec<UserTraits> =
+            (0..3).map(|_| UserTraits::sample(spec.personal_variation, true, &mut rng)).collect();
 
         let mut features: Vec<Vector> = Vec::new();
         let mut labels: Vec<i8> = Vec::new();
@@ -156,8 +160,7 @@ pub fn generate_body_sensor(spec: &BodySensorSpec, seed: u64) -> MultiUserDatase
             let mut node_channels: Vec<Vec<Signal>> = Vec::with_capacity(3);
             for (node, traits) in node_traits.iter().enumerate() {
                 let model = activity_model(activity, node);
-                let trace =
-                    generate_imu_trace(&model, traits, needed_raw, raw_rate, &mut rng);
+                let trace = generate_imu_trace(&model, traits, needed_raw, raw_rate, &mut rng);
                 let processed: Vec<Signal> = trace
                     .telosb_channels()
                     .into_iter()
@@ -176,8 +179,7 @@ pub fn generate_body_sensor(spec: &BodySensorSpec, seed: u64) -> MultiUserDatase
                 }
                 let n = all.len() as f64;
                 let mean = all.iter().sum::<f64>() / n;
-                let std =
-                    (all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
+                let std = (all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
                 for (_, channels) in &mut per_activity {
                     let rate = channels[node][ch].sample_rate_hz();
                     let normalized: Vec<f64> = channels[node][ch]
@@ -196,13 +198,7 @@ pub fn generate_body_sensor(spec: &BodySensorSpec, seed: u64) -> MultiUserDatase
                 let mut combined: Vec<f64> = Vec::with_capacity(120);
                 for channels in node_channels {
                     let slice = |c: usize| &channels[c].samples()[range.clone()];
-                    let nf = node_features(
-                        slice(0),
-                        slice(1),
-                        slice(2),
-                        slice(3),
-                        slice(4),
-                    );
+                    let nf = node_features(slice(0), slice(1), slice(2), slice(3), slice(4));
                     combined.extend(nf.iter().copied());
                 }
                 features.push(Vector::from(combined));
@@ -277,9 +273,7 @@ mod tests {
                 .iter()
                 .zip(&u.truth)
                 .filter(|(f, &y)| {
-                    let pred = if f.distance_squared(&mean_pos)
-                        < f.distance_squared(&mean_neg)
-                    {
+                    let pred = if f.distance_squared(&mean_pos) < f.distance_squared(&mean_neg) {
                         1
                     } else {
                         -1
@@ -343,9 +337,6 @@ mod tests {
             };
             centroid(0).distance(&centroid(1))
         };
-        assert!(
-            gap_at(0.9) > gap_at(0.0),
-            "strong variation should separate users more than none"
-        );
+        assert!(gap_at(0.9) > gap_at(0.0), "strong variation should separate users more than none");
     }
 }

@@ -33,7 +33,7 @@ impl UserData {
     pub fn new(features: Vec<Vector>, truth: Vec<i8>) -> Self {
         assert!(!features.is_empty(), "a user must have at least one sample");
         assert_eq!(features.len(), truth.len(), "features/labels length mismatch");
-        let d = features[0].len();
+        let d = features.first().map_or(0, Vector::len);
         assert!(d > 0, "features must be non-empty vectors");
         assert!(features.iter().all(|f| f.len() == d), "ragged features");
         assert!(truth.iter().all(|&y| y == 1 || y == -1), "labels must be ±1");
@@ -48,16 +48,12 @@ impl UserData {
 
     /// Feature dimension.
     pub fn dim(&self) -> usize {
-        self.features[0].len()
+        self.features.first().map_or(0, Vector::len)
     }
 
     /// Indices of samples with observed labels.
     pub fn labeled_indices(&self) -> Vec<usize> {
-        self.observed
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.map(|_| i))
-            .collect()
+        self.observed.iter().enumerate().filter_map(|(i, l)| l.map(|_| i)).collect()
     }
 
     /// Number of observed labels `l_t`.
@@ -86,7 +82,7 @@ impl MultiUserDataset {
     /// Panics if `users` is empty or dimensions differ across users.
     pub fn new(users: Vec<UserData>) -> Self {
         assert!(!users.is_empty(), "dataset must contain at least one user");
-        let d = users[0].dim();
+        let d = users.first().map_or(0, UserData::dim);
         assert!(users.iter().all(|u| u.dim() == d), "users disagree on feature dimension");
         MultiUserDataset { users }
     }
@@ -98,7 +94,7 @@ impl MultiUserDataset {
 
     /// Shared feature dimension.
     pub fn dim(&self) -> usize {
-        self.users[0].dim()
+        self.users.first().map_or(0, UserData::dim)
     }
 
     /// Borrows the users.
@@ -111,6 +107,9 @@ impl MultiUserDataset {
     /// # Panics
     ///
     /// Panics if `t` is out of range.
+    // Allowed: a documented panicking accessor delegating to the slice
+    // bounds check.
+    #[allow(clippy::indexing_slicing)]
     pub fn user(&self, t: usize) -> &UserData {
         &self.users[t]
     }
@@ -122,12 +121,12 @@ impl MultiUserDataset {
 
     /// Indices of users that provide at least one label.
     pub fn providers(&self) -> Vec<usize> {
-        (0..self.users.len()).filter(|&t| self.users[t].is_provider()).collect()
+        self.users.iter().enumerate().filter(|(_, u)| u.is_provider()).map(|(t, _)| t).collect()
     }
 
     /// Indices of users that provide no labels.
     pub fn non_providers(&self) -> Vec<usize> {
-        (0..self.users.len()).filter(|&t| !self.users[t].is_provider()).collect()
+        self.users.iter().enumerate().filter(|(_, u)| !u.is_provider()).map(|(t, _)| t).collect()
     }
 
     /// Returns a copy with observed labels assigned according to `mask`.
@@ -156,21 +155,19 @@ impl MultiUserDataset {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut user_order: Vec<usize> = (0..self.num_users()).collect();
         user_order.shuffle(&mut rng);
-        let provider_set: Vec<usize> = user_order[..mask.num_providers].to_vec();
+        user_order.truncate(mask.num_providers);
 
         let mut users = self.users.clone();
         for u in &mut users {
             u.observed.iter_mut().for_each(|l| *l = None);
         }
-        for &t in &provider_set {
-            let user = &mut users[t];
+        for &t in &user_order {
+            let Some(user) = users.get_mut(t) else { continue };
             let m = user.num_samples();
             let want = ((mask.rate * m as f64).round() as usize).clamp(1, m);
             // Class-balanced selection: split the budget between classes.
-            let mut pos: Vec<usize> =
-                (0..m).filter(|&i| user.truth[i] == 1).collect();
-            let mut neg: Vec<usize> =
-                (0..m).filter(|&i| user.truth[i] == -1).collect();
+            let mut pos: Vec<usize> = label_indices(&user.truth, 1);
+            let mut neg: Vec<usize> = label_indices(&user.truth, -1);
             pos.shuffle(&mut rng);
             neg.shuffle(&mut rng);
             let take_pos = (want / 2 + want % 2).min(pos.len());
@@ -178,14 +175,24 @@ impl MultiUserDataset {
             // If one class is short, backfill from the other.
             let shortfall = want - take_pos - take_neg;
             let extra_pos = shortfall.min(pos.len() - take_pos);
-            for &i in pos.iter().take(take_pos + extra_pos) {
-                user.observed[i] = Some(user.truth[i]);
-            }
-            for &i in neg.iter().take(take_neg) {
-                user.observed[i] = Some(user.truth[i]);
-            }
+            reveal(user, pos.iter().take(take_pos + extra_pos));
+            reveal(user, neg.iter().take(take_neg));
         }
         MultiUserDataset { users }
+    }
+}
+
+/// Indices of samples whose ground-truth label equals `label`.
+fn label_indices(truth: &[i8], label: i8) -> Vec<usize> {
+    truth.iter().enumerate().filter(|(_, &y)| y == label).map(|(i, _)| i).collect()
+}
+
+/// Copies ground-truth labels at `indices` into the observed set.
+fn reveal<'a>(user: &mut UserData, indices: impl Iterator<Item = &'a usize>) {
+    for &i in indices {
+        if let (Some(slot), Some(&y)) = (user.observed.get_mut(i), user.truth.get(i)) {
+            *slot = Some(y);
+        }
     }
 }
 
@@ -210,9 +217,8 @@ mod tests {
     use super::*;
 
     fn toy_user(n: usize, dim: usize, bias: f64) -> UserData {
-        let features: Vec<Vector> = (0..n)
-            .map(|i| (0..dim).map(|j| bias + (i * dim + j) as f64).collect())
-            .collect();
+        let features: Vec<Vector> =
+            (0..n).map(|i| (0..dim).map(|j| bias + (i * dim + j) as f64).collect()).collect();
         let truth: Vec<i8> = (0..n).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
         UserData::new(features, truth)
     }

@@ -30,6 +30,9 @@ pub const NODE_FEATURES: usize = 5 * PER_SIGNAL_FEATURES + CROSS_FEATURES;
 /// # Panics
 ///
 /// Panics if the window is empty.
+// Allowed: the non-empty assert below guarantees every `stats::*` call
+// returns `Ok`, so the expects are unreachable.
+#[allow(clippy::expect_used)]
 pub fn signal_features(samples: &[f64]) -> [f64; PER_SIGNAL_FEATURES] {
     assert!(!samples.is_empty(), "cannot featurize an empty window");
     [
@@ -59,13 +62,9 @@ pub fn accel_cross_features(ax: &[f64], ay: &[f64], az: &[f64]) -> [f64; CROSS_F
     let n = ax.len() as f64;
 
     // Mean per-sample magnitude.
-    let mean_magnitude = ax
-        .iter()
-        .zip(ay)
-        .zip(az)
-        .map(|((&x, &y), &z)| (x * x + y * y + z * z).sqrt())
-        .sum::<f64>()
-        / n;
+    let mean_magnitude =
+        ax.iter().zip(ay).zip(az).map(|((&x, &y), &z)| (x * x + y * y + z * z).sqrt()).sum::<f64>()
+            / n;
 
     // Angles between the mean acceleration vector and each axis.
     let mx = ax.iter().sum::<f64>() / n;
@@ -81,13 +80,9 @@ pub fn accel_cross_features(ax: &[f64], ay: &[f64], az: &[f64]) -> [f64; CROSS_F
     };
 
     // Signal magnitude area: normalized integral of |x|+|y|+|z|.
-    let sma = ax
-        .iter()
-        .zip(ay)
-        .zip(az)
-        .map(|((&x, &y), &z)| x.abs() + y.abs() + z.abs())
-        .sum::<f64>()
-        / n;
+    let sma =
+        ax.iter().zip(ay).zip(az).map(|((&x, &y), &z)| x.abs() + y.abs() + z.abs()).sum::<f64>()
+            / n;
 
     [mean_magnitude, angle(mx), angle(my), angle(mz), sma]
 }
@@ -98,13 +93,7 @@ pub fn accel_cross_features(ax: &[f64], ay: &[f64], az: &[f64]) -> [f64; CROSS_F
 /// # Panics
 ///
 /// Panics if any channel is empty or channels have differing lengths.
-pub fn node_features(
-    ax: &[f64],
-    ay: &[f64],
-    az: &[f64],
-    gu: &[f64],
-    gv: &[f64],
-) -> Vector {
+pub fn node_features(ax: &[f64], ay: &[f64], az: &[f64], gu: &[f64], gv: &[f64]) -> Vector {
     let len = ax.len();
     assert!(
         [ay.len(), az.len(), gu.len(), gv.len()].iter().all(|&l| l == len),

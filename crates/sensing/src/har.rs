@@ -85,10 +85,7 @@ pub fn generate_har(spec: &HarSpec, seed: u64) -> MultiUserDataset {
     assert!(spec.samples_per_class > 0, "samples_per_class must be positive");
     assert!(spec.dim >= 2, "dim must be at least 2");
     assert!(spec.latent_rank >= 1 && spec.latent_rank <= spec.dim, "bad latent rank");
-    assert!(
-        (0.0..=1.0).contains(&spec.personal_variation),
-        "personal_variation must be in [0,1]"
-    );
+    assert!((0.0..=1.0).contains(&spec.personal_variation), "personal_variation must be in [0,1]");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
     // Shared structure: a unit class direction and a latent basis.
@@ -113,9 +110,7 @@ pub fn generate_har(spec: &HarSpec, seed: u64) -> MultiUserDataset {
                 while j == i {
                     j = rng.gen_range(0..spec.dim);
                 }
-                let angle = spec.personal_variation
-                    * std::f64::consts::FRAC_PI_3
-                    * randn(&mut rng);
+                let angle = spec.personal_variation * std::f64::consts::FRAC_PI_3 * randn(&mut rng);
                 Givens { i, j, cos: angle.cos(), sin: angle.sin() }
             })
             .collect();

@@ -118,6 +118,9 @@ impl ImuTrace {
 /// # Panics
 ///
 /// Panics if `num_samples == 0` or the rate is not positive.
+// Allowed: all indices below are the loop variable `axis` over fixed-size
+// `[_; 3]` arrays and 3-vectors, in bounds by construction.
+#[allow(clippy::indexing_slicing)]
 pub fn generate_imu_trace(
     model: &ActivityModel,
     traits: &UserTraits,
@@ -134,11 +137,7 @@ pub fn generate_imu_trace(
     let noise = model.noise_std * traits.noise_scale;
     // Ornstein–Uhlenbeck postural drift: x' = a·x + sigma·sqrt(1−a²)·N(0,1)
     // keeps the stationary std at drift_std for any sample rate.
-    let drift_alpha = if model.drift_tau_s > 0.0 {
-        (-dt / model.drift_tau_s).exp()
-    } else {
-        0.0
-    };
+    let drift_alpha = if model.drift_tau_s > 0.0 { (-dt / model.drift_tau_s).exp() } else { 0.0 };
     let drift_sigma = model.drift_std * (1.0 - drift_alpha * drift_alpha).sqrt();
     let mut drift = [0.0f64; 3];
     if model.drift_std > 0.0 {
@@ -175,17 +174,13 @@ pub fn generate_imu_trace(
             .map(|axis| {
                 model.accel_base[axis]
                     + drift[axis]
-                    + traits.amplitude_scale
-                        * model.sway_amp[axis]
-                        * (s1 + 0.35 * s2)
+                    + traits.amplitude_scale * model.sway_amp[axis] * (s1 + 0.35 * s2)
                     + noise * randn(rng)
             })
             .collect();
         let g1 = (gyro_w * t + traits.phase * 0.5).cos();
         let body_gyro: Vector = (0..3)
-            .map(|axis| {
-                traits.amplitude_scale * model.gyro_amp[axis] * g1 + noise * randn(rng)
-            })
+            .map(|axis| traits.amplitude_scale * model.gyro_amp[axis] * g1 + noise * randn(rng))
             .collect();
 
         // Sensor frame = orientation · body frame.
@@ -198,10 +193,7 @@ pub fn generate_imu_trace(
     }
 
     let to_signal = |v: Vec<f64>| Signal::new(sample_rate_hz, v);
-    ImuTrace {
-        accel: accel.map(to_signal),
-        gyro: gyro.map(to_signal),
-    }
+    ImuTrace { accel: accel.map(to_signal), gyro: gyro.map(to_signal) }
 }
 
 #[cfg(test)]

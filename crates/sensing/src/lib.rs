@@ -1,3 +1,9 @@
+// Unit tests assert by panicking; the panic-free gate applies to library
+// code only (see [workspace.lints] in the root Cargo.toml).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
 //! Mobile-sensing data substrate for the PLOS reproduction.
 //!
 //! The paper evaluates PLOS on three data sources; none of the original data

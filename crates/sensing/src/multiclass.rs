@@ -33,7 +33,7 @@ impl MultiClassUserData {
     pub fn new(features: Vec<Vector>, truth: Vec<usize>) -> Self {
         assert!(!features.is_empty(), "a user needs at least one sample");
         assert_eq!(features.len(), truth.len(), "features/labels length mismatch");
-        let d = features[0].len();
+        let d = features.first().map_or(0, Vector::len);
         assert!(features.iter().all(|f| f.len() == d), "ragged features");
         let observed = vec![None; truth.len()];
         MultiClassUserData { features, truth, observed }
@@ -67,7 +67,7 @@ impl MultiClassDataset {
     pub fn new(users: Vec<MultiClassUserData>, num_classes: usize) -> Self {
         assert!(!users.is_empty(), "dataset needs at least one user");
         assert!(num_classes >= 2, "need at least two classes");
-        let d = users[0].features[0].len();
+        let d = users.first().and_then(|u| u.features.first()).map_or(0, Vector::len);
         for u in &users {
             assert!(u.features.iter().all(|f| f.len() == d), "dimension mismatch");
             assert!(u.truth.iter().all(|&y| y < num_classes), "class id out of range");
@@ -87,7 +87,7 @@ impl MultiClassDataset {
 
     /// Shared feature dimension.
     pub fn dim(&self) -> usize {
-        self.users[0].features[0].len()
+        self.users.first().and_then(|u| u.features.first()).map_or(0, Vector::len)
     }
 
     /// Borrows the users.
@@ -100,13 +100,16 @@ impl MultiClassDataset {
     /// # Panics
     ///
     /// Panics if `t` is out of range.
+    // Allowed: a documented panicking accessor delegating to the slice
+    // bounds check.
+    #[allow(clippy::indexing_slicing)]
     pub fn user(&self, t: usize) -> &MultiClassUserData {
         &self.users[t]
     }
 
     /// Indices of users that provide labels.
     pub fn providers(&self) -> Vec<usize> {
-        (0..self.users.len()).filter(|&t| self.users[t].is_provider()).collect()
+        self.users.iter().enumerate().filter(|(_, u)| u.is_provider()).map(|(t, _)| t).collect()
     }
 
     /// Reveals labels: `num_providers` random users each label `rate` of
@@ -122,20 +125,22 @@ impl MultiClassDataset {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..self.num_users()).collect();
         order.shuffle(&mut rng);
-        let chosen: Vec<usize> = order[..mask.num_providers].to_vec();
+        order.truncate(mask.num_providers);
 
         let mut users = self.users.clone();
         for u in &mut users {
             u.observed.iter_mut().for_each(|l| *l = None);
         }
-        for &t in &chosen {
-            let user = &mut users[t];
+        for &t in &order {
+            let Some(user) = users.get_mut(t) else { continue };
             let m = user.num_samples();
             let want = ((mask.rate * m as f64).round() as usize).clamp(1, m);
             // Stratified: round-robin over classes.
             let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
             for (i, &y) in user.truth.iter().enumerate() {
-                per_class[y].push(i);
+                if let Some(bucket) = per_class.get_mut(y) {
+                    bucket.push(i);
+                }
             }
             for idxs in &mut per_class {
                 idxs.shuffle(&mut rng);
@@ -149,7 +154,11 @@ impl MultiClassDataset {
                         break;
                     }
                     if let Some(&i) = idxs.get(depth) {
-                        users[t].observed[i] = Some(users[t].truth[i]);
+                        if let (Some(slot), Some(&y)) =
+                            (user.observed.get_mut(i), user.truth.get(i))
+                        {
+                            *slot = Some(y);
+                        }
                         taken += 1;
                         progressed = true;
                     }
@@ -233,10 +242,7 @@ impl Default for MultiClassSpec {
 pub fn generate_multiclass(spec: &MultiClassSpec, seed: u64) -> MultiClassDataset {
     assert!(spec.num_users > 0 && spec.num_classes >= 2, "bad cohort shape");
     assert!(spec.samples_per_class > 0 && spec.dim >= 2, "bad sample shape");
-    assert!(
-        (0.0..=1.0).contains(&spec.personal_variation),
-        "personal_variation must be in [0,1]"
-    );
+    assert!((0.0..=1.0).contains(&spec.personal_variation), "personal_variation must be in [0,1]");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
     // Shared class means: random directions at the given radius.

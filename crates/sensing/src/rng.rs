@@ -76,8 +76,7 @@ mod tests {
         let m1: f64 = samples.iter().map(|s| s[1]).sum::<f64>() / n as f64;
         assert!((m0 - 10.0).abs() < 0.3);
         assert!((m1 - 10.0).abs() < 0.3);
-        let cov01: f64 =
-            samples.iter().map(|s| (s[0] - m0) * (s[1] - m1)).sum::<f64>() / n as f64;
+        let cov01: f64 = samples.iter().map(|s| (s[0] - m0) * (s[1] - m1)).sum::<f64>() / n as f64;
         let var0: f64 = samples.iter().map(|s| (s[0] - m0) * (s[0] - m0)).sum::<f64>() / n as f64;
         assert!((var0 - 225.0).abs() < 10.0, "var0={var0}");
         assert!((cov01 + 180.0).abs() < 10.0, "cov01={cov01}");

@@ -5,10 +5,8 @@
 //! one channel (e.g. accelerometer x) with its sample rate and implements
 //! those two steps.
 
-use serde::{Deserialize, Serialize};
-
 /// A uniformly sampled scalar signal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Signal {
     sample_rate_hz: f64,
     samples: Vec<f64>,

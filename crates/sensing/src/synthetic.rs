@@ -42,6 +42,8 @@ pub const POSITIVE_MEAN: [f64; 2] = [10.0, 10.0];
 
 /// Lower Cholesky factor of the paper's covariance
 /// `Σ = [[225, −180], [−180, 225]]`, i.e. `L = [[15, 0], [−12, 9]]`.
+// Allowed: the literal rows are rectangular, so `from_rows` cannot fail.
+#[allow(clippy::expect_used)]
 fn covariance_cholesky() -> Matrix {
     Matrix::from_rows(&[vec![15.0, 0.0], vec![-12.0, 9.0]]).expect("fixed shape")
 }
@@ -124,10 +126,8 @@ mod tests {
         let d = generate_synthetic(&spec, 1);
         let u = d.user(0);
         // Count labels that disagree with the generating class (first half +1).
-        let flipped_pos =
-            u.truth[..2000].iter().filter(|&&y| y == -1).count() as f64 / 2000.0;
-        let flipped_neg =
-            u.truth[2000..].iter().filter(|&&y| y == 1).count() as f64 / 2000.0;
+        let flipped_pos = u.truth[..2000].iter().filter(|&&y| y == -1).count() as f64 / 2000.0;
+        let flipped_neg = u.truth[2000..].iter().filter(|&&y| y == 1).count() as f64 / 2000.0;
         assert!((flipped_pos - 0.1).abs() < 0.03, "{flipped_pos}");
         assert!((flipped_neg - 0.1).abs() < 0.03, "{flipped_neg}");
     }
@@ -170,8 +170,7 @@ mod tests {
         assert_eq!(d.num_users(), 1);
         // Class means should be near (±10, ±10) (no rotation applied).
         let u = d.user(0);
-        let mean_x: f64 =
-            u.features[..5].iter().map(|f| f[0]).sum::<f64>() / 5.0;
+        let mean_x: f64 = u.features[..5].iter().map(|f| f[0]).sum::<f64>() / 5.0;
         assert!(mean_x > 0.0, "positive-class x mean should stay positive");
     }
 

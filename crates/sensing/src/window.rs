@@ -91,8 +91,7 @@ mod tests {
 
     #[test]
     fn samples_for_windows_round_trips() {
-        for (count, window, overlap) in [(1, 8, 0.5), (5, 10, 0.0), (12, 64, 0.5), (3, 7, 0.25)]
-        {
+        for (count, window, overlap) in [(1, 8, 0.5), (5, 10, 0.0), (12, 64, 0.5), (3, 7, 0.25)] {
             let n = samples_for_windows(count, window, overlap);
             assert_eq!(sliding_windows(n, window, overlap).len(), count);
         }

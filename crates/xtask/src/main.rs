@@ -1,0 +1,309 @@
+//! Project-specific static analysis, run as `cargo run -p xtask -- lint`.
+//!
+//! Complements the `[workspace.lints]` table in the root `Cargo.toml` with
+//! invariants clippy cannot express. Five rules, all textual and
+//! zero-dependency so the gate works offline:
+//!
+//! 1. **std-sync** — no `std::sync::Mutex`/`RwLock` in first-party library
+//!    code; the workspace mandates `parking_lot` (no lock poisoning, so no
+//!    `unwrap` on every acquisition).
+//! 2. **thread-spawn** — no bare `thread::spawn` outside `crates/net`; all
+//!    concurrency flows through the simulated transport so byte/energy
+//!    accounting stays exact.
+//! 3. **solver-result** — every public solver entry point (`solve*`,
+//!    `fit*`, `train*`) returns `Result`; panicking trainers poison the
+//!    distributed protocol.
+//! 4. **float-cast** — no truncating `f64 as usize` casts in
+//!    `crates/sensing`; sample counts must round explicitly
+//!    (`.round()`/`.floor()`/`.ceil()`) before casting.
+//! 5. **allow-justification** — every `#[allow(...)]` (and file-level
+//!    `#![allow(...)]`/`cfg_attr` variant) is immediately preceded by a
+//!    `//` comment justifying the suppression.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One rule violation at a file location.
+struct Violation {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => run_lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let files = first_party_rust_files(&root);
+    if files.is_empty() {
+        eprintln!("xtask: no Rust sources found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let Ok(text) = fs::read_to_string(path) else {
+            eprintln!("xtask: cannot read {}", path.display());
+            return ExitCode::from(2);
+        };
+        check_file(&root, path, &text, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("xtask lint: {} files clean", files.len());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.path.display(), v.line, v.rule, v.message);
+    }
+    println!("xtask lint: {} violation(s) in {} files scanned", violations.len(), files.len());
+    ExitCode::FAILURE
+}
+
+/// The workspace root: the directory holding the top-level `Cargo.toml`,
+/// two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map_or(manifest.clone(), Path::to_path_buf)
+}
+
+/// Every first-party `.rs` file: `crates/*/src`, facade `src/`, `tests/`,
+/// `examples/`, and `crates/bench/benches`. Vendored shims and build
+/// output are exempt — they are not held to the workspace gate.
+fn first_party_rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let skip = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n == "target" || n == "vendor" || n.starts_with('.'));
+            if !skip {
+                collect_rs(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Path relative to the workspace root, with `/` separators, for scoping.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .fold(String::new(), |mut acc, c| {
+            if !acc.is_empty() {
+                acc.push('/');
+            }
+            acc.push_str(c);
+            acc
+        })
+}
+
+fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
+    let rel_path = rel(root, path);
+    // The linter's own sources talk about the patterns it bans; exempt it.
+    if rel_path.starts_with("crates/xtask/") {
+        return;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Library code scopes. Tests, benches, and examples assert by
+    // panicking and may use whatever std primitives they like; rules 1-4
+    // guard the code that ships.
+    let is_library = (rel_path.starts_with("crates/") && rel_path.contains("/src/"))
+        || rel_path.starts_with("src/");
+    let in_net = rel_path.starts_with("crates/net/");
+    let in_sensing = rel_path.starts_with("crates/sensing/");
+
+    // Banned-pattern fragments are concatenated at use sites so this file
+    // never contains them verbatim (the linter must pass itself).
+    let std_mutex = ["std::sync::", "Mutex"].concat();
+    let std_rwlock = ["std::sync::", "RwLock"].concat();
+    let spawn = ["thread::", "spawn"].concat();
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = raw.trim_start();
+        let lineno = idx + 1;
+        if line.starts_with("//") {
+            continue;
+        }
+
+        if is_library {
+            // Rule 1: parking_lot is mandated for first-party locking.
+            if line.contains(&std_mutex) || line.contains(&std_rwlock) {
+                out.push(Violation {
+                    path: path.to_path_buf(),
+                    line: lineno,
+                    rule: "std-sync",
+                    message: "std::sync locks are banned; use parking_lot (no poisoning)"
+                        .to_string(),
+                });
+            }
+            // Rule 2: concurrency goes through the accounted transport.
+            if !in_net && line.contains(&spawn) {
+                out.push(Violation {
+                    path: path.to_path_buf(),
+                    line: lineno,
+                    rule: "thread-spawn",
+                    message: "bare thread::spawn outside crates/net; route work through \
+                              the transport so traffic accounting stays exact"
+                        .to_string(),
+                });
+            }
+            // Rule 3: public solver entry points are fallible.
+            if let Some(name) = solver_entry_name(line) {
+                let signature = signature_text(&lines, idx);
+                if !signature.contains("Result<") {
+                    let mut message = String::new();
+                    let _ = write!(
+                        message,
+                        "public solver entry `{name}` must return Result \
+                         (panicking trainers poison the distributed protocol)"
+                    );
+                    out.push(Violation {
+                        path: path.to_path_buf(),
+                        line: lineno,
+                        rule: "solver-result",
+                        message,
+                    });
+                }
+            }
+            // Rule 4: explicit rounding before float→index casts.
+            if in_sensing
+                && line.contains("as usize")
+                && line.contains("f64")
+                && !["round", "floor", "ceil", "trunc"]
+                    .iter()
+                    .any(|m| line.contains(&[".", m, "()"].concat()))
+            {
+                out.push(Violation {
+                    path: path.to_path_buf(),
+                    line: lineno,
+                    rule: "float-cast",
+                    message: "truncating f64→usize cast; round explicitly \
+                              (.round()/.floor()/.ceil()) before casting"
+                        .to_string(),
+                });
+            }
+        }
+
+        // Rule 5: every allow carries a justification comment (all
+        // first-party code, including tests/benches/examples).
+        if is_allow_attribute(line) && !preceded_by_comment(&lines, idx) {
+            out.push(Violation {
+                path: path.to_path_buf(),
+                line: lineno,
+                rule: "allow-justification",
+                message: "#[allow] without a justification comment on the line above".to_string(),
+            });
+        }
+    }
+}
+
+/// If the line opens a `pub fn` whose name starts with `solve`, `fit`, or
+/// `train`, returns the function name.
+fn solver_entry_name(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("pub fn ")?;
+    let name_len = rest
+        .char_indices()
+        .find(|&(_, c)| !(c.is_alphanumeric() || c == '_'))
+        .map_or(rest.len(), |(i, _)| i);
+    let name = rest.get(..name_len)?;
+    ["solve", "fit", "train"].iter().any(|p| name.starts_with(p)).then_some(name)
+}
+
+/// The signature text from the `fn` line to its body brace (or `;`).
+fn signature_text(lines: &[&str], start: usize) -> String {
+    let mut sig = String::new();
+    for line in lines.iter().skip(start).take(16) {
+        sig.push_str(line);
+        sig.push(' ');
+        if line.contains('{') || line.trim_end().ends_with(';') {
+            break;
+        }
+    }
+    sig
+}
+
+/// Matches outer/inner `allow` attributes, including the
+/// `cfg_attr(test, allow(...))` form.
+fn is_allow_attribute(line: &str) -> bool {
+    let allow_open = ["allow", "("].concat();
+    (line.starts_with(&["#", "["].concat()) || line.starts_with(&["#!", "["].concat()))
+        && line.contains(&allow_open)
+}
+
+/// True when the previous non-empty line is a `//` comment.
+fn preceded_by_comment(lines: &[&str], idx: usize) -> bool {
+    lines
+        .iter()
+        .take(idx)
+        .rev()
+        .map(|l| l.trim())
+        .find(|l| !l.is_empty())
+        .is_some_and(|l| l.starts_with("//"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_entries_detected_with_and_without_result() {
+        assert_eq!(solver_entry_name("pub fn fit(&self) -> Model {"), Some("fit"));
+        assert_eq!(solver_entry_name("pub fn solve_qp("), Some("solve_qp"));
+        assert_eq!(solver_entry_name("pub fn fitness(&self)"), Some("fitness"));
+        assert_eq!(solver_entry_name("fn fit(&self)"), None);
+        assert_eq!(solver_entry_name("pub fn predict(&self)"), None);
+    }
+
+    #[test]
+    fn multiline_signatures_are_joined() {
+        let lines = vec!["pub fn fit(", "    a: usize,", ") -> Result<(), ()> {"];
+        assert!(signature_text(&lines, 0).contains("Result<"));
+    }
+
+    #[test]
+    fn allow_attribute_forms_recognized() {
+        let outer = ["#", "[allow(clippy::unwrap_used)]"].concat();
+        let inner = ["#!", "[allow(clippy::expect_used)]"].concat();
+        let cfg = ["#!", "[cfg_attr(test, allow(clippy::panic))]"].concat();
+        assert!(is_allow_attribute(&outer));
+        assert!(is_allow_attribute(&inner));
+        assert!(is_allow_attribute(&cfg));
+        assert!(!is_allow_attribute("#[derive(Debug)]"));
+    }
+
+    #[test]
+    fn comment_lookup_skips_blank_lines() {
+        let lines = vec!["// why", "", "#[allow(x)]"];
+        assert!(preceded_by_comment(&lines, 2));
+        let bare = vec!["let x = 1;", "#[allow(x)]"];
+        assert!(!preceded_by_comment(&bare, 1));
+    }
+}

@@ -16,14 +16,11 @@ use plos::core::eval::{plos_predictions, score_predictions};
 use plos::prelude::*;
 use plos::sensing::body_sensor::{generate_body_sensor, BodySensorSpec};
 
-fn main() {
+fn main() -> Result<(), plos::core::CoreError> {
     // A small cohort so the example runs in seconds; the figure binaries use
     // the paper's full 20 x 140 configuration.
-    let spec = BodySensorSpec {
-        num_users: 8,
-        segments_per_activity: 30,
-        ..BodySensorSpec::default()
-    };
+    let spec =
+        BodySensorSpec { num_users: 8, segments_per_activity: 30, ..BodySensorSpec::default() };
     println!("generating IMU traces for {} subjects...", spec.num_users);
     let cohort = generate_body_sensor(&spec, 42);
     println!(
@@ -37,24 +34,21 @@ fn main() {
 
     // PLOS.
     let config = PlosConfig { lambda: 40.0, ..PlosConfig::default() };
-    let model = CentralizedPlos::new(config).fit(&masked);
+    let model = CentralizedPlos::new(config).fit(&masked)?;
     let plos = score_predictions(&masked, &plos_predictions(&model, &masked));
 
     // The paper's three baselines.
-    let all = AllBaseline::fit(&masked);
+    let all = AllBaseline::fit(&masked)?;
     let all_acc = score_predictions(&masked, &all.predict_all(&masked));
-    let group = GroupBaseline::fit(&masked, &GroupConfig::default());
+    let group = GroupBaseline::fit(&masked, &GroupConfig::default())?;
     let group_acc = score_predictions(&masked, &group.predict_all(&masked));
-    let single = SingleBaseline::fit(&masked, 0);
+    let single = SingleBaseline::fit(&masked, 0)?;
     let single_acc = score_predictions(&masked, &single.predict_all(&masked));
 
     println!("\n{:<8} {:>14} {:>17}", "method", "labeled users", "unlabeled users");
-    for (name, acc) in [
-        ("PLOS", plos),
-        ("All", all_acc),
-        ("Group", group_acc),
-        ("Single", single_acc),
-    ] {
+    for (name, acc) in
+        [("PLOS", plos), ("All", all_acc), ("Group", group_acc), ("Single", single_acc)]
+    {
         println!(
             "{:<8} {:>13.1}% {:>16.1}%",
             name,
@@ -63,4 +57,5 @@ fn main() {
         );
     }
     println!("\nuser groups found by the Group baseline: {:?}", group.assignment());
+    Ok(())
 }

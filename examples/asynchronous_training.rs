@@ -13,7 +13,7 @@ use plos::core::asynchronous::{AsyncDistributedPlos, AsyncSpec};
 use plos::core::eval::{plos_predictions, score_predictions};
 use plos::prelude::*;
 
-fn main() {
+fn main() -> Result<(), plos::core::CoreError> {
     let spec = SyntheticSpec {
         num_users: 10,
         points_per_class: 50,
@@ -24,12 +24,12 @@ fn main() {
     let config = PlosConfig { lambda: 40.0, ..PlosConfig::default() };
 
     // Synchronous reference.
-    let (sync_model, _) = DistributedPlos::new(config.clone()).fit(&cohort);
+    let (sync_model, _) = DistributedPlos::new(config.clone()).fit(&cohort)?;
     let sync_acc = score_predictions(&cohort, &plos_predictions(&sync_model, &cohort));
     println!(
         "synchronous reference: labeled {:.1}%, unlabeled {:.1}%\n",
-        sync_acc.labeled_users.unwrap() * 100.0,
-        sync_acc.unlabeled_users.unwrap() * 100.0
+        sync_acc.labeled_users.unwrap_or(0.0) * 100.0,
+        sync_acc.unlabeled_users.unwrap_or(0.0) * 100.0
     );
 
     println!(
@@ -37,18 +37,17 @@ fn main() {
         "availability", "stale %", "acc labeled %", "acc unlabeled %"
     );
     for availability in [1.0, 0.8, 0.6, 0.4, 0.2] {
-        let trainer = AsyncDistributedPlos::new(
-            config.clone(),
-            AsyncSpec { availability, seed: 7 },
-        );
-        let (model, report) = trainer.fit(&cohort);
+        let trainer =
+            AsyncDistributedPlos::new(config.clone(), AsyncSpec { availability, seed: 7 });
+        let (model, report) = trainer.fit(&cohort)?;
         let acc = score_predictions(&cohort, &plos_predictions(&model, &cohort));
         println!(
             "{:>13.1} {:>10.1} {:>14.1} {:>17.1}",
             availability,
             report.staleness() * 100.0,
-            acc.labeled_users.unwrap() * 100.0,
-            acc.unlabeled_users.unwrap() * 100.0
+            acc.labeled_users.unwrap_or(0.0) * 100.0,
+            acc.unlabeled_users.unwrap_or(0.0) * 100.0
         );
     }
+    Ok(())
 }

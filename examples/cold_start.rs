@@ -15,7 +15,7 @@ use plos::core::baselines::SingleBaseline;
 use plos::ml::matching::best_matching_accuracy;
 use plos::prelude::*;
 
-fn main() {
+fn main() -> Result<(), plos::core::CoreError> {
     // Cohort of 8 users; the last one is our cold-start user.
     let spec = SyntheticSpec {
         num_users: 8,
@@ -36,16 +36,16 @@ fn main() {
     let truth = &masked.user(newcomer).truth;
 
     // Alone: unsupervised clustering, scored under the best matching.
-    let single = SingleBaseline::fit(&masked, 1);
+    let single = SingleBaseline::fit(&masked, 1)?;
     let single_preds = single.predict_all(&masked);
-    let single_acc = single_preds[newcomer].accuracy(truth);
+    let single_acc = single_preds.get(newcomer).map_or(0.0, |p| p.accuracy(truth));
 
     // With the crowd: PLOS personalizes a classifier for the newcomer
     // without a single label from them.
-    let model = CentralizedPlos::new(PlosConfig::default()).fit(&masked);
+    let model = CentralizedPlos::new(PlosConfig::default()).fit(&masked)?;
     let plos_preds = model.predict_batch(newcomer, &masked.user(newcomer).features);
-    let plos_acc = plos_preds.iter().zip(truth).filter(|(p, y)| p == y).count() as f64
-        / truth.len() as f64;
+    let plos_acc =
+        plos_preds.iter().zip(truth).filter(|(p, y)| p == y).count() as f64 / truth.len() as f64;
     // Also report the orientation-free quality of the split itself.
     let plos_clusters: Vec<usize> =
         plos_preds.iter().map(|&p| if p == 1 { 1 } else { 0 }).collect();
@@ -56,8 +56,6 @@ fn main() {
     println!("  learning alone (k-means):       {:.1}%", single_acc * 100.0);
     println!("  PLOS, labels as predicted:      {:.1}%", plos_acc * 100.0);
     println!("  PLOS, best-matched split:       {:.1}%", plos_matched * 100.0);
-    println!(
-        "  personalization |v|/|w0|:       {:.3}",
-        model.personalization_ratio(newcomer)
-    );
+    println!("  personalization |v|/|w0|:       {:.3}", model.personalization_ratio(newcomer));
+    Ok(())
 }

@@ -14,7 +14,7 @@ use plos::core::eval::{plos_predictions, score_predictions};
 use plos::net::{DeviceProfile, EnergyModel};
 use plos::prelude::*;
 
-fn main() {
+fn main() -> Result<(), plos::core::CoreError> {
     let spec = SyntheticSpec {
         num_users: 12,
         points_per_class: 60,
@@ -26,17 +26,29 @@ fn main() {
     let config = PlosConfig { lambda: 40.0, ..PlosConfig::default() };
 
     // Centralized reference (requires uploading all data to a server).
-    let central = CentralizedPlos::new(config.clone()).fit(&cohort);
+    let central = CentralizedPlos::new(config.clone()).fit(&cohort)?;
     let central_acc = score_predictions(&cohort, &plos_predictions(&central, &cohort));
 
     // Distributed run: raw data never leaves the device threads.
-    let (distributed, report) = DistributedPlos::new(config).fit(&cohort);
+    let (distributed, report) = DistributedPlos::new(config).fit(&cohort)?;
     let dist_acc = score_predictions(&cohort, &plos_predictions(&distributed, &cohort));
 
-    println!("centralized accuracy (labeled users):   {:.1}%", central_acc.labeled_users.unwrap() * 100.0);
-    println!("distributed accuracy (labeled users):   {:.1}%", dist_acc.labeled_users.unwrap() * 100.0);
-    println!("centralized accuracy (unlabeled users): {:.1}%", central_acc.unlabeled_users.unwrap() * 100.0);
-    println!("distributed accuracy (unlabeled users): {:.1}%", dist_acc.unlabeled_users.unwrap() * 100.0);
+    println!(
+        "centralized accuracy (labeled users):   {:.1}%",
+        central_acc.labeled_users.unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "distributed accuracy (labeled users):   {:.1}%",
+        dist_acc.labeled_users.unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "centralized accuracy (unlabeled users): {:.1}%",
+        central_acc.unlabeled_users.unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "distributed accuracy (unlabeled users): {:.1}%",
+        dist_acc.unlabeled_users.unwrap_or(0.0) * 100.0
+    );
 
     println!("\nADMM iterations: {}, CCCP rounds: {}", report.admm_iterations, report.cccp_rounds);
 
@@ -59,4 +71,5 @@ fn main() {
     let slowest = phone.rescale_from(report.max_client_compute(), &host);
     println!("\nslowest phone compute (Nexus 5 equivalent): {:.2?}", slowest);
     println!("server aggregation compute:                 {:.2?}", report.server_compute);
+    Ok(())
 }

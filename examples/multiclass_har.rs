@@ -13,7 +13,7 @@ use plos::core::multiclass::{multiclass_accuracy, MulticlassPlos};
 use plos::prelude::*;
 use plos::sensing::multiclass::{generate_multiclass, MultiClassSpec};
 
-fn main() {
+fn main() -> Result<(), plos::core::CoreError> {
     let spec = MultiClassSpec {
         num_users: 8,
         num_classes: 4,
@@ -34,18 +34,12 @@ fn main() {
     );
 
     let config = PlosConfig { lambda: 40.0, ..PlosConfig::default() };
-    let model = MulticlassPlos::new(config).fit(&masked);
+    let model = MulticlassPlos::new(config).fit(&masked)?;
 
     let (labeled, unlabeled) = multiclass_accuracy(&model, &masked);
     println!("chance level:                      {:.1}%", 100.0 / spec.num_classes as f64);
-    println!(
-        "accuracy on users WITH labels:     {:.1}%",
-        labeled.unwrap_or(0.0) * 100.0
-    );
-    println!(
-        "accuracy on users WITHOUT labels:  {:.1}%",
-        unlabeled.unwrap_or(0.0) * 100.0
-    );
+    println!("accuracy on users WITH labels:     {:.1}%", labeled.unwrap_or(0.0) * 100.0);
+    println!("accuracy on users WITHOUT labels:  {:.1}%", unlabeled.unwrap_or(0.0) * 100.0);
 
     // Per-user breakdown.
     println!("\n{:>6} {:>10} {:>10}", "user", "provider", "accuracy");
@@ -55,4 +49,5 @@ fn main() {
             / user.num_samples() as f64;
         println!("{:>6} {:>10} {:>9.1}%", t, user.is_provider(), acc * 100.0);
     }
+    Ok(())
 }

@@ -12,7 +12,7 @@
 use plos::core::eval::{plos_predictions, score_predictions};
 use plos::prelude::*;
 
-fn main() {
+fn main() -> Result<(), plos::core::CoreError> {
     // 10 simulated users; each is a rotation (up to 90°) of the same
     // two-class Gaussian sample, so users share structure but differ.
     let spec = SyntheticSpec {
@@ -34,7 +34,7 @@ fn main() {
 
     // Train the personalized model: one global hyperplane + one bias per
     // user.
-    let model = CentralizedPlos::new(PlosConfig::default()).fit(&masked);
+    let model = CentralizedPlos::new(PlosConfig::default()).fit(&masked)?;
 
     // Every user now owns a personalized classifier.
     let accuracies = score_predictions(&masked, &plos_predictions(&model, &masked));
@@ -55,4 +55,5 @@ fn main() {
             model.personalization_ratio(t)
         );
     }
+    Ok(())
 }

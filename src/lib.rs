@@ -1,3 +1,9 @@
+// Unit tests assert by panicking; the panic-free gate applies to library
+// code only (see [workspace.lints] in the root Cargo.toml).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
 //! # PLOS — Personalized Learning in Mobile Sensing Systems
 //!
 //! Facade crate for the reproduction of *"Towards Personalized Learning in
@@ -29,8 +35,9 @@
 //! let dataset = generate_synthetic(&spec, 42);
 //! // ... mask labels so only 2 users provide 10% labels ...
 //! let masked = dataset.mask_labels(&LabelMask::providers(2, 0.10), 7);
-//! // ... and train a personalized model per user.
-//! let model = CentralizedPlos::new(PlosConfig::default()).fit(&masked);
+//! // ... and train a personalized model per user. Training is fallible
+//! // (numerically degenerate cohorts surface as errors, not panics).
+//! let model = CentralizedPlos::new(PlosConfig::default()).fit(&masked).expect("training succeeds");
 //! assert_eq!(model.num_users(), 4);
 //! ```
 

@@ -1,9 +1,12 @@
 //! Integration tests for the future-work extensions: one-vs-rest
 //! multi-class PLOS and asynchronous (stale-update) distributed training.
 
+// Tests assert by panicking; the panic-free gate applies to library code
+// only (see [workspace.lints] in the root Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
 use plos::core::asynchronous::{AsyncDistributedPlos, AsyncSpec};
-use plos::core::multiclass::{multiclass_accuracy, MulticlassPlos};
 use plos::core::eval::{plos_predictions, score_predictions};
+use plos::core::multiclass::{multiclass_accuracy, MulticlassPlos};
 use plos::prelude::*;
 use plos::sensing::multiclass::{generate_multiclass, MultiClassSpec};
 
@@ -19,7 +22,7 @@ fn multiclass_beats_chance_clearly() {
         personal_variation: 0.25,
     };
     let data = generate_multiclass(&spec, 8).mask_labels(&LabelMask::providers(3, 0.3), 1);
-    let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+    let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data).unwrap();
     let (labeled, unlabeled) = multiclass_accuracy(&model, &data);
     assert!(labeled.unwrap() > 0.6, "labeled {labeled:?} vs chance 0.33");
     assert!(unlabeled.unwrap() > 0.4, "unlabeled {unlabeled:?} vs chance 0.33");
@@ -39,7 +42,7 @@ fn multiclass_binary_case_agrees_with_binary_plos() {
         personal_variation: 0.2,
     };
     let data = generate_multiclass(&spec, 2).mask_labels(&LabelMask::providers(2, 0.4), 3);
-    let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data);
+    let model = MulticlassPlos::new(PlosConfig::fast()).fit(&data).unwrap();
     assert_eq!(model.num_classes(), 2);
     let (labeled, _) = multiclass_accuracy(&model, &data);
     assert!(labeled.unwrap() > 0.7, "binary-as-multiclass accuracy {labeled:?}");
@@ -47,19 +50,13 @@ fn multiclass_binary_case_agrees_with_binary_plos() {
 
 #[test]
 fn async_with_full_availability_matches_synchronous_protocol() {
-    let spec = SyntheticSpec {
-        num_users: 4,
-        points_per_class: 20,
-        max_rotation: 0.4,
-        flip_prob: 0.05,
-    };
+    let spec =
+        SyntheticSpec { num_users: 4, points_per_class: 20, max_rotation: 0.4, flip_prob: 0.05 };
     let data = generate_synthetic(&spec, 6).mask_labels(&LabelMask::providers(2, 0.2), 2);
     let config = PlosConfig::fast();
-    let (_, report) = AsyncDistributedPlos::new(
-        config,
-        AsyncSpec { availability: 1.0, seed: 0 },
-    )
-    .fit(&data);
+    let (_, report) = AsyncDistributedPlos::new(config, AsyncSpec { availability: 1.0, seed: 0 })
+        .fit(&data)
+        .unwrap();
     assert_eq!(report.staleness(), 0.0);
     assert!(report.admm_iterations > 0);
 }
@@ -73,11 +70,10 @@ fn async_stragglers_remain_accurate_and_accounted() {
         flip_prob: 0.05,
     };
     let data = generate_synthetic(&spec, 9).mask_labels(&LabelMask::providers(3, 0.2), 5);
-    let (model, report) = AsyncDistributedPlos::new(
-        PlosConfig::fast(),
-        AsyncSpec { availability: 0.5, seed: 4 },
-    )
-    .fit(&data);
+    let (model, report) =
+        AsyncDistributedPlos::new(PlosConfig::fast(), AsyncSpec { availability: 0.5, seed: 4 })
+            .fit(&data)
+            .unwrap();
     let acc = score_predictions(&data, &plos_predictions(&model, &data));
     assert!(acc.labeled_users.unwrap() > 0.7, "labeled {:?}", acc.labeled_users);
     // Bookkeeping is complete and consistent.

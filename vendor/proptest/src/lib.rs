@@ -1,0 +1,464 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the slice of proptest the PLOS test-suite uses: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! range and collection strategies, `prop_assert!`-style assertions, and
+//! [`Strategy::prop_map`] / [`Strategy::prop_filter`] combinators.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the sampled inputs via the
+//!   panic message (every generated value is `Debug`-printed) but is not
+//!   minimized.
+//! * **Deterministic.** Each test function derives its RNG seed from its
+//!   own name, so failures reproduce without a persistence file.
+//!   `*.proptest-regressions` files are accepted but ignored.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Number of cases run per property when no config is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: DEFAULT_CASES }
+    }
+}
+
+/// The PRNG driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+/// A generator of random values of type `Value`.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this subset samples directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, resampling up to a bounded number of
+    /// times (mirrors upstream's rejection semantics without the global
+    /// rejection budget).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.whence)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = ((rng.next_u64() as u128) * span) >> 64;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+// Strategies must compose by reference too (`&strategy` in helper fns).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy modules, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::fmt;
+        use std::ops::Range;
+
+        /// Size specification for [`vec`]: a fixed size or a half-open range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { lo: r.start, hi: r.end }
+            }
+        }
+
+        /// Strategy producing `Vec`s with element strategy `element` and a
+        /// length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: fmt::Debug,
+        {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.hi - self.size.lo;
+                let len = self.size.lo + if span == 0 { 0 } else { rng.below(span) };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// `use proptest::prelude::*;` — everything a property test needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestRng};
+
+    /// Canonical strategy for a type. Only the handful of types the suite
+    /// uses are supported; integers cover their full domain.
+    pub fn any<T: crate::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Types with a canonical strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy value.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for primitive types (used via `any::<T>()`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+/// Derives a stable 64-bit seed from a test's module path and name.
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Asserts a condition inside a property; on failure the macro panics with
+/// the formatted message (no shrinking in this subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Skips the current case when its precondition fails. Upstream feeds the
+/// rejection budget; this subset just moves to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ..) { body }`
+/// expands to a `#[test]` running `body` over sampled inputs; failures
+/// print the sampled inputs. An optional leading
+/// `#![proptest_config(expr)]` sets the case count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@block ($cfg); $($rest)*);
+    };
+    (@block ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            )));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&$strat, &mut rng);)*
+                // One immediately-invoked closure per case so
+                // `prop_assume!`'s early return skips just this case, not
+                // the whole test.
+                #[allow(clippy::redundant_closure_call)]
+                (move || $body)();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@block (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seed_is_stable() {
+        assert_eq!(crate::seed_from_name("a::b"), crate::seed_from_name("a::b"));
+        assert_ne!(crate::seed_from_name("a::b"), crate::seed_from_name("a::c"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0..3.0f64, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in prop::collection::vec(0.0..1.0f64, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn fixed_size_vec(v in prop::collection::vec(0usize..5, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            x in (0.0..10.0f64).prop_map(|v| v * 2.0),
+            y in (0usize..100).prop_filter("even only", |n| n % 2 == 0),
+        ) {
+            prop_assert!((0.0..20.0).contains(&x));
+            prop_assert_eq!(y % 2, 0);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(b in any::<bool>(), _x in 0u32..7) {
+            prop_assert!(b == (b as u8 == 1));
+        }
+    }
+}
