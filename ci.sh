@@ -16,6 +16,14 @@ cargo run -p xtask -- lint
 echo "==> cargo test -q"
 cargo test -q
 
+# The parity suite proves the fork-join pool leaves training output
+# bit-identical; run it pinned to one thread and at default parallelism.
+echo "==> PLOS_THREADS=1 cargo test -q --test parallel_parity"
+PLOS_THREADS=1 cargo test -q --test parallel_parity
+
+echo "==> cargo test -q --test parallel_parity (default threads)"
+cargo test -q --test parallel_parity
+
 echo "==> cargo test -q --features strict-invariants"
 cargo test -q --features strict-invariants
 

@@ -20,7 +20,7 @@ fn cohort(users: usize) -> plos_sensing::dataset::MultiUserDataset {
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("plos_fit");
     group.sample_size(10);
-    for &users in &[4usize, 8] {
+    for &users in &[4usize, 8, 16] {
         let data = cohort(users);
         let config = PlosConfig::fast();
         group.bench_with_input(BenchmarkId::new("centralized", users), &users, |b, _| {

@@ -2,15 +2,26 @@
 //! over the user counts, three tables — Fig. 11 (accuracy parity), Fig. 12
 //! (running time), Fig. 13 (message overhead). Equivalent to running the
 //! three individual binaries but 3× cheaper, since they share the sweep.
+//!
+//! Besides the human-readable tables on stdout, the suite writes a
+//! machine-readable `results/BENCH_scale.json` (per-phase wall-clock,
+//! thread count used, dataset sizes) so perf regressions can be tracked
+//! without scraping the text output.
 
-use plos_bench::{run_scale_point, scale_sweep, RunOptions};
+use plos_bench::{run_scale_point, scale_sweep, RunOptions, ScalePoint};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
 
-fn main() -> Result<(), plos_core::CoreError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
+    let threads = plos_exec::Pool::current().threads();
+    let sweep_started = Instant::now();
     let points = scale_sweep(&opts)
         .into_iter()
         .map(|users| run_scale_point(users, &opts))
         .collect::<Result<Vec<_>, _>>()?;
+    let total_wall_clock_s = sweep_started.elapsed().as_secs_f64();
 
     println!("\n=== Figure 11: accuracy difference (centralized - distributed), percent ===");
     println!("{:>8} {:>14} {:>14} {:>12}", "# users", "central acc %", "dist acc %", "diff (pp)");
@@ -41,5 +52,63 @@ fn main() -> Result<(), plos_core::CoreError> {
     for p in &points {
         println!("{:>8} {:>14.2} {:>10}", p.users, p.kb_per_user, p.admm_iterations);
     }
+
+    let json = render_json(&opts, threads, total_wall_clock_s, &points);
+    let out = json_output_path();
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&out, json)?;
+    println!("\nwrote {}", out.display());
     Ok(())
+}
+
+/// `results/BENCH_scale.json` next to the existing `results/*.txt`, resolved
+/// from the workspace root so the suite can run from any directory.
+fn json_output_path() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or(manifest.clone(), std::path::Path::to_path_buf);
+    root.join("results").join("BENCH_scale.json")
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free; there is no serde).
+/// All emitted floats come from accuracies and elapsed timers, so they are
+/// finite and `{}` formatting yields valid JSON numbers.
+fn render_json(
+    opts: &RunOptions,
+    threads: usize,
+    total_wall_clock_s: f64,
+    points: &[ScalePoint],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"scale\",");
+    let _ = writeln!(s, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(s, "  \"trials\": {},", opts.trials);
+    let _ = writeln!(s, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"total_wall_clock_s\": {total_wall_clock_s},");
+    let _ = writeln!(s, "  \"points\": [");
+    let last = points.len().saturating_sub(1);
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"users\": {},", p.users);
+        let _ = writeln!(s, "      \"points_per_class\": {},", p.points_per_class);
+        let _ = writeln!(s, "      \"samples_per_user\": {},", 2 * p.points_per_class);
+        let _ = writeln!(s, "      \"acc_centralized\": {},", p.acc_centralized);
+        let _ = writeln!(s, "      \"acc_distributed\": {},", p.acc_distributed);
+        let _ = writeln!(s, "      \"phase_wall_clock_s\": {{");
+        let _ = writeln!(s, "        \"centralized\": {},", p.time_centralized_s);
+        let _ = writeln!(s, "        \"distributed\": {}", p.time_distributed_s);
+        let _ = writeln!(s, "      }},");
+        let _ = writeln!(s, "      \"kb_per_user\": {},", p.kb_per_user);
+        let _ = writeln!(s, "      \"admm_iterations\": {}", p.admm_iterations);
+        let _ = writeln!(s, "    }}{}", if i == last { "" } else { "," });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
 }

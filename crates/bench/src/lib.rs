@@ -232,6 +232,9 @@ pub fn mask(
 pub struct ScalePoint {
     /// Number of users.
     pub users: usize,
+    /// Synthetic points generated per class per user (each user holds
+    /// `2 * points_per_class` samples).
+    pub points_per_class: usize,
     /// Overall accuracy of centralized PLOS.
     pub acc_centralized: f64,
     /// Overall accuracy of distributed PLOS.
@@ -292,6 +295,7 @@ pub fn run_scale_point(users: usize, opts: &RunOptions) -> Result<ScalePoint, Co
 
     Ok(ScalePoint {
         users,
+        points_per_class: points,
         acc_centralized: overall(&central),
         acc_distributed: overall(&dist),
         time_centralized_s,

@@ -72,52 +72,53 @@ impl GroupBaseline {
             "num_groups must be in 1..={t_count}"
         );
 
-        // 1. LSH histograms per user.
+        // 1. LSH histograms per user, hashed concurrently (the hyperplanes
+        // are fixed by the seed, so output is identical at any pool size).
+        let pool = plos_exec::Pool::current();
         let hasher = RandomHyperplaneHasher::new(dataset.dim(), config.lsh_bits, config.seed);
         let histograms: Vec<Vec<f64>> =
-            dataset.users().iter().map(|u| hasher.histogram(&u.features)).collect();
+            pool.par_map(dataset.users(), |_t, u| hasher.histogram(&u.features));
 
         // 2. Pairwise Jaccard similarity → spectral clustering.
         let affinity = similarity_matrix(&histograms);
         let assignment = spectral_clustering(&affinity, config.num_groups, config.seed)?;
 
-        // 3. One classifier per group over pooled members.
-        let models = (0..config.num_groups)
-            .map(|g| {
-                let members: Vec<usize> = assignment
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &a)| a == g)
-                    .map(|(t, _)| t)
-                    .collect();
-                let mut xs: Vec<Vector> = Vec::new();
-                let mut ys: Vec<i8> = Vec::new();
-                let mut pool: Vec<Vector> = Vec::new();
-                for &t in &members {
-                    let user = dataset.user(t);
-                    pool.extend(user.features.iter().cloned());
-                    for (i, obs) in user.observed.iter().enumerate() {
-                        if let (Some(y), Some(x)) = (obs, user.features.get(i)) {
-                            xs.push(x.clone());
-                            ys.push(*y);
-                        }
+        // 3. One classifier per group over pooled members; groups are
+        // disjoint, so they fit concurrently (per-group k-means seeds depend
+        // only on `g`).
+        let group_ids: Vec<usize> = (0..config.num_groups).collect();
+        let models = pool.par_map_indexed(&group_ids, |_i, &g| {
+            let members: Vec<usize> =
+                assignment.iter().enumerate().filter(|&(_, &a)| a == g).map(|(t, _)| t).collect();
+            let mut xs: Vec<Vector> = Vec::new();
+            let mut ys: Vec<i8> = Vec::new();
+            let mut pooled: Vec<Vector> = Vec::new();
+            for &t in &members {
+                let user = dataset.user(t);
+                pooled.extend(user.features.iter().cloned());
+                for (i, obs) in user.observed.iter().enumerate() {
+                    if let (Some(y), Some(x)) = (obs, user.features.get(i)) {
+                        xs.push(x.clone());
+                        ys.push(*y);
                     }
                 }
-                let has_both = ys.contains(&1) && ys.contains(&-1);
-                if has_both {
-                    Ok(GroupModel::Svm(LinearSvm::new(config.svm.clone()).fit(&xs, &ys)?))
-                } else if pool.is_empty() {
-                    // Empty group (spectral clustering may leave one): a
-                    // degenerate centroid model that maps everything to one
-                    // cluster.
-                    Ok(GroupModel::Centroids(vec![Vector::zeros(dataset.dim())]))
-                } else {
-                    let k = 2.min(pool.len());
-                    let result = KMeans::new(k).fit(&pool, config.seed.wrapping_add(g as u64))?;
-                    Ok(GroupModel::Centroids(result.centroids))
-                }
-            })
-            .collect::<Result<Vec<_>, CoreError>>()?;
+            }
+            let has_both = ys.contains(&1) && ys.contains(&-1);
+            if has_both {
+                Ok::<GroupModel, CoreError>(GroupModel::Svm(
+                    LinearSvm::new(config.svm.clone()).fit(&xs, &ys)?,
+                ))
+            } else if pooled.is_empty() {
+                // Empty group (spectral clustering may leave one): a
+                // degenerate centroid model that maps everything to one
+                // cluster.
+                Ok(GroupModel::Centroids(vec![Vector::zeros(dataset.dim())]))
+            } else {
+                let k = 2.min(pooled.len());
+                let result = KMeans::new(k).fit(&pooled, config.seed.wrapping_add(g as u64))?;
+                Ok(GroupModel::Centroids(result.centroids))
+            }
+        })?;
         Ok(GroupBaseline { assignment, models })
     }
 

@@ -51,30 +51,31 @@ impl SingleBaseline {
         params: &SvmParams,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let models = dataset
-            .users()
-            .iter()
-            .enumerate()
-            .map(|(t, user)| {
-                let mut xs = Vec::new();
-                let mut ys: Vec<i8> = Vec::new();
-                for (i, obs) in user.observed.iter().enumerate() {
-                    if let (Some(y), Some(x)) = (obs, user.features.get(i)) {
-                        xs.push(x.clone());
-                        ys.push(*y);
-                    }
+        // Users train independently (that is the whole point of *Single*),
+        // so fit them concurrently; per-user k-means seeds depend only on
+        // `t`, and results return in user order, so the trained model is
+        // identical at any pool size.
+        let pool = plos_exec::Pool::current();
+        let models = pool.par_map_indexed(dataset.users(), |t, user| {
+            let mut xs = Vec::new();
+            let mut ys: Vec<i8> = Vec::new();
+            for (i, obs) in user.observed.iter().enumerate() {
+                if let (Some(y), Some(x)) = (obs, user.features.get(i)) {
+                    xs.push(x.clone());
+                    ys.push(*y);
                 }
-                let has_both = ys.contains(&1) && ys.contains(&-1);
-                if has_both {
-                    Ok(LocalModel::Svm(LinearSvm::new(params.clone()).fit(&xs, &ys)?))
-                } else {
-                    let k = 2.min(user.features.len());
-                    let clusters =
-                        KMeans::new(k).fit(&user.features, seed.wrapping_add(t as u64))?;
-                    Ok(LocalModel::Clusters(clusters.assignments))
-                }
-            })
-            .collect::<Result<Vec<_>, CoreError>>()?;
+            }
+            let has_both = ys.contains(&1) && ys.contains(&-1);
+            if has_both {
+                Ok::<LocalModel, CoreError>(LocalModel::Svm(
+                    LinearSvm::new(params.clone()).fit(&xs, &ys)?,
+                ))
+            } else {
+                let k = 2.min(user.features.len());
+                let clusters = KMeans::new(k).fit(&user.features, seed.wrapping_add(t as u64))?;
+                Ok(LocalModel::Clusters(clusters.assignments))
+            }
+        })?;
         Ok(SingleBaseline { models })
     }
 

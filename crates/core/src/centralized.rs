@@ -91,12 +91,16 @@ impl CentralizedPlos {
         let prepared = problem::prepare(dataset, self.config.bias);
         let t_count = prepared.users.len();
         let dim = prepared.dim;
+        // Per-user work below (constraint search, sign refresh, refinement)
+        // fans out on the fork-join pool; results come back in user order,
+        // so training output is bit-identical at any pool size.
+        let pool = plos_exec::Pool::current();
 
         // Initialization of w'(0): a global SVM over all observed labels
         // gives the sign pattern CCCP linearizes around first.
         let w0_init = self.initial_hyperplane(&prepared)?;
         let init_signs: Vec<Vec<f64>> =
-            prepared.users.iter().map(|u| problem::compute_signs(u, &w0_init)).collect();
+            pool.par_map(&prepared.users, |_t, u| problem::compute_signs(u, &w0_init));
         let init =
             CccpState { w0: w0_init, vs: vec![Vector::zeros(dim); t_count], signs: init_signs };
 
@@ -131,15 +135,20 @@ impl CentralizedPlos {
             for _round in 0..self.config.max_cutting_rounds {
                 cutting_rounds += 1;
                 let mut any_added = false;
-                for (t, user) in prepared.users.iter().enumerate() {
+                // Per-user most-violated-constraint search (Eq. 14) is
+                // independent given the current iterate — fan it out, then
+                // install the findings in user order.
+                let searched = pool.par_map(&prepared.users, |t, user| {
                     let w_t = &solution.w0 + &solution.vs[t];
-                    let (constraint, violation) = problem::most_violated_constraint(
+                    problem::most_violated_constraint(
                         user,
                         &state.signs[t],
                         &w_t,
                         solution.xis[t],
                         &self.config,
-                    );
+                    )
+                });
+                for (t, (constraint, violation)) in searched.into_iter().enumerate() {
                     if violation > self.config.eps {
                         solver.add_constraint(t, constraint);
                         constraints_added += 1;
@@ -159,12 +168,9 @@ impl CentralizedPlos {
             }
 
             // Refresh the linearization point and report the true objective.
-            let new_signs: Vec<Vec<f64>> = prepared
-                .users
-                .iter()
-                .enumerate()
-                .map(|(t, u)| problem::compute_signs(u, &(&solution.w0 + &solution.vs[t])))
-                .collect();
+            let new_signs: Vec<Vec<f64>> = pool.par_map(&prepared.users, |t, u| {
+                problem::compute_signs(u, &(&solution.w0 + &solution.vs[t]))
+            });
             let objective = problem::objective(&prepared, &solution.w0, &solution.vs, &self.config);
             (CccpState { w0: solution.w0, vs: solution.vs, signs: new_signs }, objective)
         });
@@ -182,7 +188,11 @@ impl CentralizedPlos {
         let mut history = result.history.clone();
         let mu = 2.0 * self.config.lambda / t_count as f64;
         for round in 0..self.config.refine_rounds {
-            for (t, user) in prepared.users.iter().enumerate() {
+            // Within a round every user's block step depends only on the
+            // round-start `w0` and its own `w_t`, so the per-user CCCP runs
+            // are independent; per-user seeds are derived from (round, t)
+            // exactly as in the sequential schedule.
+            let updates = pool.par_map_indexed(&prepared.users, |t, user| {
                 let base_signs = problem::compute_signs(user, &w_ts[t]);
                 let seed = self.config.seed.wrapping_add(
                     0x5851_f42d_4c95_7f2d_u64.wrapping_mul((round * t_count + t + 1) as u64),
@@ -198,8 +208,11 @@ impl CentralizedPlos {
                 // Keep the incumbent when no candidate beats it — this is
                 // what makes the refinement pass monotone.
                 let incumbent = crate::prox::prox_objective(user, &w0, mu, &w_ts[t], &self.config);
-                if sol.objective < incumbent {
-                    w_ts[t] = sol.w;
+                Ok::<Option<Vector>, CoreError>((sol.objective < incumbent).then_some(sol.w))
+            })?;
+            for (w_t, update) in w_ts.iter_mut().zip(updates) {
+                if let Some(w) = update {
+                    *w_t = w;
                 }
             }
             // Closed-form w0 block update.

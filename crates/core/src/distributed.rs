@@ -140,7 +140,7 @@ impl DistributedPlos {
             |t, endpoint| {
                 let solver = slots.lock().get_mut(t).and_then(Option::take);
                 let solver = solver.expect("each device slot is taken exactly once");
-                Self::client_loop(&config, solver, endpoint)
+                Self::client_loop(&config, t, solver, endpoint)
             },
         );
 
@@ -155,9 +155,11 @@ impl DistributedPlos {
     /// shutdown.
     fn client_loop(
         _config: &PlosConfig,
+        user: usize,
         mut solver: LocalSolver,
         endpoint: Endpoint,
     ) -> ClientOutcome {
+        let user = user as u32;
         let mut compute = Duration::ZERO;
         loop {
             match endpoint.recv() {
@@ -171,7 +173,7 @@ impl DistributedPlos {
                         compute += start.elapsed();
                         let reply = Message::ClientUpdate {
                             round,
-                            user: 0, // filled meaningfully below; server matches by link
+                            user,
                             w_t: w_init,
                             v_t: Vector::zeros(w0.len()),
                             xi_t: 0.0,
@@ -194,7 +196,7 @@ impl DistributedPlos {
                         compute += start.elapsed();
                         let reply = Message::ClientUpdate {
                             round,
-                            user: 0,
+                            user,
                             w_t: update.w_t,
                             v_t: update.v_t,
                             xi_t: update.xi_t,
@@ -217,7 +219,7 @@ impl DistributedPlos {
                     compute += start.elapsed();
                     let reply = Message::ClientUpdate {
                         round,
-                        user: 0,
+                        user,
                         w_t: update.w_t,
                         v_t: update.v_t,
                         xi_t: update.xi_t,
@@ -257,9 +259,10 @@ impl DistributedPlos {
         }
         let mut w0 = Vector::zeros(dim);
         let mut contributors = 0usize;
-        for end in ends {
+        for (t, end) in ends.iter().enumerate() {
             match end.recv().expect("init reply") {
-                Message::ClientUpdate { w_t, .. } => {
+                Message::ClientUpdate { user, w_t, .. } => {
+                    assert_eq!(user as usize, t, "init reply attributed to the wrong device");
                     let t0 = Instant::now();
                     if w_t.norm() > 0.0 {
                         w0 += &w_t;
@@ -319,8 +322,9 @@ impl DistributedPlos {
                 // Gather (links are 1:1, so order per link is guaranteed).
                 for (t, end) in ends.iter().enumerate() {
                     match end.recv().expect("client update") {
-                        Message::ClientUpdate { round: r, w_t, v_t, xi_t, .. } => {
+                        Message::ClientUpdate { round: r, user, w_t, v_t, xi_t } => {
                             assert_eq!(r, round, "client answered the wrong round");
+                            assert_eq!(user as usize, t, "update attributed to the wrong device");
                             w_ts[t] = w_t;
                             v_ts[t] = v_t;
                             xi_ts[t] = xi_t;
@@ -377,8 +381,12 @@ impl DistributedPlos {
             }
             for (t, end) in ends.iter().enumerate() {
                 match end.recv().expect("refine reply") {
-                    Message::ClientUpdate { round: r, w_t, v_t, xi_t, .. } => {
+                    Message::ClientUpdate { round: r, user, w_t, v_t, xi_t } => {
                         assert_eq!(r, round, "client answered the wrong refine round");
+                        assert_eq!(
+                            user as usize, t,
+                            "refine update attributed to the wrong device"
+                        );
                         w_ts[t] = w_t;
                         v_ts[t] = v_t;
                         xi_ts[t] = xi_t;

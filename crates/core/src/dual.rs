@@ -108,10 +108,13 @@ impl DualSolver {
     fn push_entry(&mut self, t: usize, k: Constraint, hard: bool) {
         assert!(t < self.t_count, "user index out of range");
         assert_eq!(k.s.len(), self.dim, "constraint dimension mismatch");
-        let mut row = Vec::with_capacity(self.entries.len() + 1);
-        for (_, existing) in &self.entries {
-            row.push(existing.s.dot(&k.s));
-        }
+        // The O(n·d) Gram row of the new constraint against every existing
+        // one is computed in parallel blocks; block results are concatenated
+        // in submission order, so the row is identical at any pool size.
+        let pool = plos_exec::Pool::current();
+        let mut row: Vec<f64> = pool.par_chunks(&self.entries, 64, |_start, chunk| {
+            chunk.iter().map(|(_, existing)| existing.s.dot(&k.s)).collect()
+        });
         row.push(k.s.norm_squared());
         self.dots.push(row);
         self.entries.push((t, k));

@@ -75,12 +75,11 @@ pub fn plos_predictions(
     model: &PersonalizedModel,
     dataset: &MultiUserDataset,
 ) -> Vec<UserPredictions> {
-    dataset
-        .users()
-        .iter()
-        .enumerate()
-        .map(|(t, u)| UserPredictions::Labels(model.predict_batch(t, &u.features)))
-        .collect()
+    // Scoring each user is independent; results return in user order.
+    let pool = plos_exec::Pool::current();
+    pool.par_map(dataset.users(), |t, u| {
+        UserPredictions::Labels(model.predict_batch(t, &u.features))
+    })
 }
 
 /// One experiment's accuracy for the four methods the paper compares.

@@ -1,0 +1,381 @@
+// Unit tests assert by panicking; the panic-free gate applies to library
+// code only (see [workspace.lints] in the root Cargo.toml).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
+//! Deterministic fork-join execution runtime for the PLOS solvers.
+//!
+//! The paper's hot loops are embarrassingly parallel *given the current
+//! iterate*: per-user most-violated-constraint selection (Eq. 12–15),
+//! per-user dual groups (Eq. 16–18), per-user baseline fits, and the
+//! Gram-row dot products of the working-set duals. This crate provides the
+//! single sanctioned way to exploit that structure (enforced by the xtask
+//! linter: `thread::scope`/`thread::spawn` are banned everywhere else except
+//! the simulated device network in `crates/net`).
+//!
+//! # Determinism guarantee
+//!
+//! Every combinator maps items **independently** and returns results in
+//! **submission order**. Each item is processed by exactly one worker with
+//! exactly the same closure regardless of the pool size, so training output
+//! is bit-identical across pool sizes — the 1-thread path and the N-thread
+//! path produce the same floats. The only requirement on the caller is that
+//! the closure is a pure function of `(index, item)`, which the solver hot
+//! paths satisfy by construction (they never reduce across items inside the
+//! pool; reductions happen sequentially on the caller's thread).
+//!
+//! # Sizing
+//!
+//! [`Pool::current`] sizes the pool from, in priority order:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by the
+//!    parity test suite to compare pool sizes in one process),
+//! 2. the `PLOS_THREADS` environment variable (read once per process),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Errors
+//!
+//! [`Pool::par_map_indexed`] is `Result`-based: a worker closure returning
+//! `Err` surfaces as the combinator's `Err`, and when several items fail the
+//! error of the **smallest index** wins — again independent of the pool
+//! size. Worker panics are treated as programming errors and resume on the
+//! caller's thread, exactly like `std::thread::scope`.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Thread-local pool-size override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Cached `PLOS_THREADS` parse (one env read per process).
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("PLOS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    })
+}
+
+/// Hardware parallelism, defaulting to 1 when the runtime cannot tell.
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` with the calling thread's pool size pinned to `threads`: every
+/// [`Pool::current`] call made from this thread inside `f` sees that size.
+///
+/// The override is restored on exit (including unwinds) and does not leak to
+/// other threads — in particular, worker threads spawned by the pool and the
+/// device threads of `plos-net` are unaffected.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// A deterministic fork-join pool of scoped worker threads.
+///
+/// The pool holds no long-lived threads: each combinator call opens a
+/// `std::thread::scope`, splits the items into contiguous chunks (one per
+/// worker), and joins in submission order. A pool of size 1 runs inline on
+/// the calling thread with zero spawn overhead, which is also the reference
+/// path the parity suite compares larger pools against.
+///
+/// ```
+/// use plos_exec::Pool;
+/// let squares = Pool::sized(4).par_map(&[1, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn sized(threads: usize) -> Self {
+        Pool { threads: threads.max(1) }
+    }
+
+    /// The single-threaded pool: runs everything inline.
+    pub fn sequential() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// The ambient pool: [`with_threads`] override, else `PLOS_THREADS`,
+    /// else hardware parallelism.
+    pub fn current() -> Self {
+        let threads =
+            THREAD_OVERRIDE.with(Cell::get).or_else(env_threads).unwrap_or_else(hardware_threads);
+        Pool::sized(threads)
+    }
+
+    /// Number of workers this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Core chunked executor: splits `items` into at most `threads`
+    /// contiguous chunks of at least `min_chunk` items, runs
+    /// `f(chunk_offset, chunk)` per chunk (in parallel when more than one
+    /// chunk), and concatenates the chunk outputs in submission order.
+    fn run_chunked<T, R, F>(&self, items: &[T], min_chunk: usize, f: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let min_chunk = min_chunk.max(1);
+        let workers = self.threads.min(n.div_ceil(min_chunk)).max(1);
+        if workers <= 1 {
+            return f(0, items);
+        }
+        let chunk_len = n.div_ceil(workers);
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(ci, chunk)| scope.spawn(move || f(ci * chunk_len, chunk)))
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    // A worker panic is a bug in the mapped closure; re-raise
+                    // it on the caller as std::thread::scope would.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        out
+    }
+
+    /// Fallible indexed parallel map, results in submission order.
+    ///
+    /// Each item is mapped by `f(index, item)`; the returned vector is
+    /// ordered by index regardless of which worker produced which entry.
+    /// When one or more closures return `Err`, the error with the smallest
+    /// index is returned — deterministically, independent of pool size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) `Err` produced by `f`.
+    pub fn par_map_indexed<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let parts = self.run_chunked(items, 1, &|base, chunk: &[T]| {
+            chunk.iter().enumerate().map(|(j, item)| f(base + j, item)).collect::<Vec<_>>()
+        });
+        // Sequential scan in index order: deterministic first-error-wins.
+        parts.into_iter().collect()
+    }
+
+    /// Infallible indexed parallel map, results in submission order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        match self.par_map_indexed(items, |i, item| Ok::<R, std::convert::Infallible>(f(i, item))) {
+            Ok(out) => out,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Parallel map over contiguous chunks of at least `min_chunk` items:
+    /// `f(offset, chunk)` returns the mapped values for `chunk` (which
+    /// starts at `items[offset]`), and the chunk outputs are concatenated in
+    /// order.
+    ///
+    /// Use this instead of [`Pool::par_map`] when per-item work is tiny
+    /// (e.g. one dot product) so each worker streams through a cache-friendly
+    /// block. For bit-identical results across pool sizes the closure must
+    /// map each chunk element independently of its neighbors — chunk
+    /// boundaries move with the pool size.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], min_chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
+        self.run_chunked(items, min_chunk, &f)
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_across_pool_sizes() {
+        let items: Vec<usize> = (0..103).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Pool::sized(threads).par_map(&items, |_, &x| x * 3 + 1);
+            assert_eq!(got, expected, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = Pool::sized(2).par_map(&items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn first_error_by_index_wins() {
+        let items: Vec<usize> = (0..50).collect();
+        for threads in [1, 2, 8] {
+            let res: Result<Vec<usize>, usize> = Pool::sized(threads)
+                .par_map_indexed(&items, |i, &x| if x % 7 == 3 { Err(i) } else { Ok(x) });
+            assert_eq!(res, Err(3), "pool size {threads}");
+        }
+    }
+
+    #[test]
+    fn ok_path_collects_everything() {
+        let items: Vec<i64> = (0..20).collect();
+        let res: Result<Vec<i64>, ()> = Pool::sized(4).par_map_indexed(&items, |_, &x| Ok(-x));
+        assert_eq!(res.unwrap(), (0..20).map(|x| -x).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn par_chunks_concatenates_in_order() {
+        let items: Vec<f64> = (0..37).map(|i| i as f64).collect();
+        for threads in [1, 2, 5] {
+            let got = Pool::sized(threads).par_chunks(&items, 4, |offset, chunk| {
+                chunk.iter().enumerate().map(|(j, &x)| (offset + j) as f64 * x).collect()
+            });
+            let expected: Vec<f64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(got, expected, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(Pool::sized(8).par_map(&empty, |_, &x| x).is_empty());
+        assert!(Pool::sized(8).par_chunks(&empty, 16, |_, c| c.to_vec()).is_empty());
+    }
+
+    #[test]
+    fn sized_clamps_to_one() {
+        assert_eq!(Pool::sized(0).threads(), 1);
+        assert_eq!(Pool::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = Pool::current().threads();
+        with_threads(3, || {
+            assert_eq!(Pool::current().threads(), 3);
+            with_threads(5, || assert_eq!(Pool::current().threads(), 5));
+            assert_eq!(Pool::current().threads(), 3);
+        });
+        assert_eq!(Pool::current().threads(), outer);
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        let outer = Pool::current().threads();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(7, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(Pool::current().threads(), outer);
+    }
+
+    #[test]
+    fn override_does_not_leak_to_workers() {
+        // Workers spawned by the pool read their own thread-local (unset),
+        // but the mapped closure must not rely on Pool::current() anyway;
+        // this documents that nesting via current() inside workers falls
+        // back to env/hardware sizing rather than the caller's override.
+        with_threads(2, || {
+            let sizes = Pool::current().par_map(&[(); 4], |_, ()| Pool::current().threads());
+            // Caller's chunk (if any) sees 2; a worker thread sees the
+            // ambient default. Either way every entry is at least 1.
+            assert!(sizes.iter().all(|&s| s >= 1));
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let _ = Pool::sized(2).par_map(&[1, 2, 3, 4], |_, &x| {
+                assert!(x < 3, "x too big");
+                x
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Ordering: par_map_indexed returns exactly the sequential map
+            /// for every pool size.
+            #[test]
+            fn ordering_matches_sequential(
+                items in prop::collection::vec(-1000i64..1000, 0..200),
+                threads in 1usize..16,
+            ) {
+                let seq: Vec<i64> =
+                    items.iter().enumerate().map(|(i, &x)| x.wrapping_mul(i as i64 + 1)).collect();
+                let par = Pool::sized(threads)
+                    .par_map(&items, |i, &x| x.wrapping_mul(i as i64 + 1));
+                prop_assert_eq!(par, seq);
+            }
+
+            /// Errors: a failing worker surfaces as Err (never a panic), and
+            /// the lowest failing index wins regardless of pool size.
+            #[test]
+            fn errors_propagate_as_err(
+                items in prop::collection::vec(0u32..100, 1..200),
+                threads in 1usize..16,
+                fail_mod in 1u32..10,
+            ) {
+                let first_fail = items.iter().position(|&x| x % fail_mod == 0);
+                let got: Result<Vec<u32>, usize> = Pool::sized(threads)
+                    .par_map_indexed(&items, |i, &x| {
+                        if x % fail_mod == 0 { Err(i) } else { Ok(x) }
+                    });
+                match first_fail {
+                    Some(i) => prop_assert_eq!(got, Err(i)),
+                    None => prop_assert_eq!(got, Ok(items.clone())),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Unrolled slice-level kernels behind the [`Vector`](crate::Vector) and
+//! [`Matrix`](crate::Matrix) hot paths.
+//!
+//! The QP coordinate-descent sweeps and the Gram-row construction in the
+//! dual solver spend nearly all their time in `dot` and `axpy` over dense
+//! `f64` slices. These kernels use four independent accumulators /
+//! four-way-unrolled bodies so the compiler can keep four FMA chains in
+//! flight instead of serializing on a single accumulator dependency.
+//!
+//! Reduction order is fixed (lane-wise accumulators combined as
+//! `(acc0 + acc1) + (acc2 + acc3)` plus the tail), so results are
+//! deterministic run-to-run and independent of thread count — they just
+//! differ from a strictly sequential left fold by ordinary rounding.
+
+/// Dot product over slices with four independent accumulators.
+///
+/// Trailing elements beyond the longest common multiple-of-4 prefix are
+/// folded sequentially into a tail term. If the slices have different
+/// lengths the extra elements of the longer slice are ignored; callers
+/// enforce dimension agreement.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc0 = 0.0_f64;
+    let mut acc1 = 0.0_f64;
+    let mut acc2 = 0.0_f64;
+    let mut acc3 = 0.0_f64;
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    while let (Some(&[a0, a1, a2, a3]), Some(&[b0, b1, b2, b3])) = (ca.next(), cb.next()) {
+        acc0 += a0 * b0;
+        acc1 += a1 * b1;
+        acc2 += a2 * b2;
+        acc3 += a3 * b3;
+    }
+    let tail: f64 = ca.remainder().iter().zip(cb.remainder()).map(|(x, y)| x * y).sum();
+    (acc0 + acc1) + (acc2 + acc3) + tail
+}
+
+/// Four-way-unrolled `y += alpha * x`.
+///
+/// If the slices have different lengths the extra elements of the longer
+/// slice are ignored; callers enforce dimension agreement.
+pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    while let (Some([y0, y1, y2, y3]), Some(&[x0, x1, x2, x3])) = (cy.next(), cx.next()) {
+        *y0 += alpha * x0;
+        *y1 += alpha * x1;
+        *y2 += alpha * x2;
+        *y3 += alpha * x3;
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Fused `y += alpha * x` returning `⟨y_updated, x⟩` in a single pass.
+///
+/// One memory sweep instead of two for the axpy-then-dot idiom used by the
+/// incremental gradient maintenance in the QP solver. Same unrolling and
+/// reduction order as [`dot`] / [`axpy`].
+pub fn axpy_dot(y: &mut [f64], alpha: f64, x: &[f64]) -> f64 {
+    let mut acc0 = 0.0_f64;
+    let mut acc1 = 0.0_f64;
+    let mut acc2 = 0.0_f64;
+    let mut acc3 = 0.0_f64;
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    while let (Some([y0, y1, y2, y3]), Some(&[x0, x1, x2, x3])) = (cy.next(), cx.next()) {
+        *y0 += alpha * x0;
+        *y1 += alpha * x1;
+        *y2 += alpha * x2;
+        *y3 += alpha * x3;
+        acc0 += *y0 * x0;
+        acc1 += *y1 * x1;
+        acc2 += *y2 * x2;
+        acc3 += *y3 * x3;
+    }
+    let mut tail = 0.0_f64;
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yi += alpha * xi;
+        tail += *yi * xi;
+    }
+    (acc0 + acc1) + (acc2 + acc3) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    // Deterministic pseudo-random data without pulling in a RNG dependency.
+    fn lcg_data(n: usize, mut state: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dot_matches_reference_all_tail_lengths() {
+        for n in 0..=19 {
+            let a = lcg_data(n, 1);
+            let b = lcg_data(n, 2);
+            let got = dot(&a, &b);
+            let want = seq_dot(&a, &b);
+            assert!((got - want).abs() <= 1e-12 * (1.0 + want.abs()), "n={n}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dot_exact_on_integral_data() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i % 5) as f64).collect();
+        assert_eq!(dot(&a, &b), seq_dot(&a, &b));
+    }
+
+    #[test]
+    fn axpy_matches_reference_all_tail_lengths() {
+        for n in 0..=19 {
+            let x = lcg_data(n, 3);
+            let mut y = lcg_data(n, 4);
+            let mut want = y.clone();
+            for (w, xi) in want.iter_mut().zip(&x) {
+                *w += 0.75 * xi;
+            }
+            axpy(&mut y, 0.75, &x);
+            assert_eq!(y, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_dot_fuses_both_operations() {
+        for n in 0..=19 {
+            let x = lcg_data(n, 5);
+            let mut y = lcg_data(n, 6);
+            let mut y_ref = y.clone();
+            axpy(&mut y_ref, -0.3, &x);
+            let want = dot(&y_ref, &x);
+            let got = axpy_dot(&mut y, -0.3, &x);
+            assert_eq!(y, y_ref, "n={n}: updated vectors must agree exactly");
+            assert!((got - want).abs() <= 1e-12 * (1.0 + want.abs()), "n={n}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        let mut y: Vec<f64> = vec![];
+        axpy(&mut y, 2.0, &[]);
+        assert_eq!(axpy_dot(&mut y, 2.0, &[]), 0.0);
+    }
+}

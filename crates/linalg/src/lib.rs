@@ -30,6 +30,7 @@
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+pub mod kernels;
 pub mod matrix;
 pub mod solve;
 pub mod stats;

@@ -85,7 +85,7 @@ impl Vector {
     /// fallible variant.
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot: dimension mismatch");
-        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+        crate::kernels::dot(&self.0, &other.0)
     }
 
     /// Fallible inner product.
@@ -131,9 +131,21 @@ impl Vector {
     /// Panics if the dimensions differ.
     pub fn axpy(&mut self, alpha: f64, other: &Vector) {
         assert_eq!(self.len(), other.len(), "axpy: dimension mismatch");
-        for (a, b) in self.0.iter_mut().zip(&other.0) {
-            *a += alpha * b;
-        }
+        crate::kernels::axpy(&mut self.0, alpha, &other.0);
+    }
+
+    /// Fused `self += alpha * other` returning `⟨self_updated, other⟩`.
+    ///
+    /// Single memory sweep for the axpy-then-dot idiom (see
+    /// [`crate::kernels::axpy_dot`]); used by the QP solver's incremental
+    /// gradient maintenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn axpy_dot(&mut self, alpha: f64, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "axpy_dot: dimension mismatch");
+        crate::kernels::axpy_dot(&mut self.0, alpha, &other.0)
     }
 
     /// In-place scaling `self *= alpha`.
@@ -381,6 +393,17 @@ mod tests {
         x.scale_mut(0.5);
         assert_eq!(x.as_slice(), &[1.5, -0.5]);
         assert_eq!(x.scaled(2.0).as_slice(), &[3.0, -1.0]);
+    }
+
+    #[test]
+    fn axpy_dot_matches_separate_ops() {
+        let mut fused = v(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut separate = fused.clone();
+        let x = v(&[2.0, -1.0, 0.5, 0.0, 3.0]);
+        let r = fused.axpy_dot(2.0, &x);
+        separate.axpy(2.0, &x);
+        assert_eq!(fused, separate);
+        assert!((r - separate.dot(&x)).abs() < 1e-12);
     }
 
     #[test]

@@ -47,11 +47,18 @@ pub fn histogram_jaccard(u: &[f64], v: &[f64]) -> f64 {
 /// Panics if histograms are ragged (via [`histogram_jaccard`]).
 pub fn similarity_matrix(histograms: &[Vec<f64>]) -> plos_linalg::Matrix {
     let n = histograms.len();
+    // Upper-triangle rows are independent; fan them out on the fork-join
+    // pool and mirror sequentially. Row order is preserved, so the result
+    // is identical at any pool size.
+    let pool = plos_exec::Pool::current();
+    let rows: Vec<Vec<f64>> = pool.par_map(histograms, |i, hi| {
+        histograms.iter().skip(i + 1).map(|hj| histogram_jaccard(hi, hj)).collect()
+    });
     let mut m = plos_linalg::Matrix::zeros(n, n);
-    for (i, hi) in histograms.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         m[(i, i)] = 1.0;
-        for (j, hj) in histograms.iter().enumerate().skip(i + 1) {
-            let s = histogram_jaccard(hi, hj);
+        for (offset, &s) in row.iter().enumerate() {
+            let j = i + 1 + offset;
             m[(i, j)] = s;
             m[(j, i)] = s;
         }

@@ -7,8 +7,10 @@
 //! 1. **std-sync** — no `std::sync::Mutex`/`RwLock` in first-party library
 //!    code; the workspace mandates `parking_lot` (no lock poisoning, so no
 //!    `unwrap` on every acquisition).
-//! 2. **thread-spawn** — no bare `thread::spawn` outside `crates/net`; all
-//!    concurrency flows through the simulated transport so byte/energy
+//! 2. **thread-spawn** — no bare `thread::spawn`/`thread::scope` outside
+//!    `crates/exec` and `crates/net`; solver concurrency flows through the
+//!    deterministic fork-join pool and network concurrency through the
+//!    simulated transport, so results stay reproducible and byte/energy
 //!    accounting stays exact.
 //! 3. **solver-result** — every public solver entry point (`solve*`,
 //!    `fit*`, `train*`) returns `Result`; panicking trainers poison the
@@ -138,6 +140,7 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
     let is_library = (rel_path.starts_with("crates/") && rel_path.contains("/src/"))
         || rel_path.starts_with("src/");
     let in_net = rel_path.starts_with("crates/net/");
+    let in_exec = rel_path.starts_with("crates/exec/");
     let in_sensing = rel_path.starts_with("crates/sensing/");
 
     // Banned-pattern fragments are concatenated at use sites so this file
@@ -145,6 +148,7 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
     let std_mutex = ["std::sync::", "Mutex"].concat();
     let std_rwlock = ["std::sync::", "RwLock"].concat();
     let spawn = ["thread::", "spawn"].concat();
+    let scope = ["thread::", "scope"].concat();
 
     for (idx, raw) in lines.iter().enumerate() {
         let line = raw.trim_start();
@@ -164,14 +168,16 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
                         .to_string(),
                 });
             }
-            // Rule 2: concurrency goes through the accounted transport.
-            if !in_net && line.contains(&spawn) {
+            // Rule 2: the fork-join pool and the accounted transport are
+            // the only sanctioned spawn sites.
+            if !in_net && !in_exec && (line.contains(&spawn) || line.contains(&scope)) {
                 out.push(Violation {
                     path: path.to_path_buf(),
                     line: lineno,
                     rule: "thread-spawn",
-                    message: "bare thread::spawn outside crates/net; route work through \
-                              the transport so traffic accounting stays exact"
+                    message: "bare thread spawn/scope outside crates/exec and crates/net; \
+                              route solver work through the plos-exec pool and network \
+                              work through the transport"
                         .to_string(),
                 });
             }

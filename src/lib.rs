@@ -21,6 +21,9 @@
 //!   schema, in-process transport with byte/energy accounting.
 //! * [`ml`] — classical-ML substrate: linear SVM, k-means, spectral
 //!   clustering, LSH, metrics.
+//! * [`exec`] — deterministic fork-join runtime: the scoped thread pool the
+//!   solver hot paths fan out on (`PLOS_THREADS` override, bit-identical
+//!   results across pool sizes).
 //! * [`opt`] — optimization substrate: grouped QP solver, cutting-plane,
 //!   CCCP, and consensus-ADMM drivers.
 //! * [`linalg`] — dense vectors/matrices, Cholesky, Jacobi eigensolver.
@@ -42,6 +45,7 @@
 //! ```
 
 pub use plos_core as core;
+pub use plos_exec as exec;
 pub use plos_linalg as linalg;
 pub use plos_ml as ml;
 pub use plos_net as net;

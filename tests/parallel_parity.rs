@@ -1,0 +1,87 @@
+//! Determinism parity: the fork-join pool must not change training output.
+//!
+//! The execution runtime's contract is that results are joined in
+//! submission order and reductions stay on the caller thread, so every
+//! model trained through the pool is bit-identical to the sequential path
+//! regardless of pool size. These tests pin that contract with exact
+//! (`==`, no tolerance) comparisons at pool sizes 1, 2, and 8.
+//!
+//! `plos::exec::with_threads` scopes a thread-count override to a closure,
+//! which is how `ci.sh` exercises both the `PLOS_THREADS=1` and the
+//! default-parallelism configurations within one binary.
+
+// Test code asserts by panicking; the panic-free gate covers library code
+// only.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+use plos::core::baselines::{GroupBaseline, GroupConfig, SingleBaseline, UserPredictions};
+use plos::core::eval::plos_predictions;
+use plos::prelude::*;
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+fn cohort() -> MultiUserDataset {
+    let spec = SyntheticSpec {
+        num_users: 6,
+        points_per_class: 25,
+        max_rotation: std::f64::consts::FRAC_PI_3,
+        flip_prob: 0.05,
+    };
+    generate_synthetic(&spec, 29).mask_labels(&LabelMask::providers(3, 0.25), 11)
+}
+
+#[test]
+fn centralized_model_is_bit_identical_across_pool_sizes() {
+    let dataset = cohort();
+    let fit = |threads: usize| {
+        plos::exec::with_threads(threads, || {
+            CentralizedPlos::new(PlosConfig::fast()).fit(&dataset).expect("training succeeds")
+        })
+    };
+    let reference = fit(POOL_SIZES[0]);
+    for threads in &POOL_SIZES[1..] {
+        let model = fit(*threads);
+        assert_eq!(reference, model, "centralized model diverged between 1 and {threads} threads");
+    }
+    // The model's predictions (the parallel evaluation path) must agree too.
+    let preds: Vec<Vec<UserPredictions>> = POOL_SIZES
+        .iter()
+        .map(|&threads| {
+            plos::exec::with_threads(threads, || plos_predictions(&reference, &dataset))
+        })
+        .collect();
+    assert_eq!(preds[0], preds[1]);
+    assert_eq!(preds[0], preds[2]);
+}
+
+#[test]
+fn single_baseline_is_bit_identical_across_pool_sizes() {
+    let dataset = cohort();
+    let outputs: Vec<Vec<UserPredictions>> = POOL_SIZES
+        .iter()
+        .map(|&threads| {
+            plos::exec::with_threads(threads, || {
+                SingleBaseline::fit(&dataset, 7).expect("single fits").predict_all(&dataset)
+            })
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1], "Single diverged between 1 and 2 threads");
+    assert_eq!(outputs[0], outputs[2], "Single diverged between 1 and 8 threads");
+}
+
+#[test]
+fn group_baseline_is_bit_identical_across_pool_sizes() {
+    let dataset = cohort();
+    let outputs: Vec<(Vec<usize>, Vec<UserPredictions>)> = POOL_SIZES
+        .iter()
+        .map(|&threads| {
+            plos::exec::with_threads(threads, || {
+                let model =
+                    GroupBaseline::fit(&dataset, &GroupConfig::default()).expect("group fits");
+                (model.assignment().to_vec(), model.predict_all(&dataset))
+            })
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1], "Group diverged between 1 and 2 threads");
+    assert_eq!(outputs[0], outputs[2], "Group diverged between 1 and 8 threads");
+}
