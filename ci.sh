@@ -24,6 +24,12 @@ PLOS_THREADS=1 cargo test -q --test parallel_parity
 echo "==> cargo test -q --test parallel_parity (default threads)"
 cargo test -q --test parallel_parity
 
+# The chaos suite drives distributed training through seeded fault
+# injection (drops, delays, corruption, dead devices); pinning the seed
+# keeps the injected schedule — and thus the suite — reproducible.
+echo "==> PLOS_FAULT_SEED=2024 cargo test -q --test fault_tolerance"
+PLOS_FAULT_SEED=2024 cargo test -q --test fault_tolerance
+
 echo "==> cargo test -q --features strict-invariants"
 cargo test -q --features strict-invariants
 

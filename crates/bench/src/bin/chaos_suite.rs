@@ -1,0 +1,87 @@
+//! Chaos suite — distributed PLOS accuracy under seeded fault injection.
+//!
+//! Not a paper figure: this sweep characterizes the fault-tolerance layer
+//! (retry/backoff, quorum gather, eviction) by training the same cohort
+//! under increasingly hostile link conditions and printing accuracy,
+//! participation, and eviction counts per point. All plans share one seed,
+//! so the injected schedule — and the whole table — is reproducible.
+
+use std::time::Duration;
+
+use plos_bench::RunOptions;
+use plos_core::eval::{plos_predictions, score_predictions};
+use plos_core::{CoreError, DistributedPlos, FaultTolerance, PlosConfig, RetryPolicy};
+use plos_net::FaultPlan;
+use plos_sensing::dataset::LabelMask;
+use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+/// A middle-ground policy for the sweep: windows short enough that a run
+/// under 20% drop finishes in seconds, but with enough re-broadcasts that
+/// only a genuinely dead device gets evicted.
+fn sweep_policy() -> FaultTolerance {
+    FaultTolerance {
+        retry: RetryPolicy {
+            recv_timeout: Duration::from_millis(80),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(40),
+            backoff_factor: 2.0,
+            round_deadline: Duration::from_secs(1),
+        },
+        evict_after: 3,
+        ..FaultTolerance::default()
+    }
+    .with_quorum(0.75)
+}
+
+fn main() -> Result<(), CoreError> {
+    let opts = RunOptions::from_args();
+    let users = if opts.quick { 4 } else { 8 };
+    let spec = SyntheticSpec {
+        num_users: users,
+        points_per_class: if opts.quick { 20 } else { 40 },
+        max_rotation: 0.25,
+        flip_prob: 0.02,
+    };
+    let data = generate_synthetic(&spec, opts.seed)
+        .mask_labels(&LabelMask::providers(users / 2, 0.2), opts.seed.wrapping_add(3));
+
+    let trainer = DistributedPlos::new(PlosConfig::fast()).with_fault_tolerance(sweep_policy());
+    let seed = opts.seed.wrapping_add(2024);
+
+    let scenarios: Vec<(&str, FaultPlan)> = vec![
+        ("clean", FaultPlan::none()),
+        ("drop 5%", FaultPlan::seeded(seed).with_drop(0.05)),
+        ("drop 10%", FaultPlan::seeded(seed).with_drop(0.10)),
+        ("drop 20%", FaultPlan::seeded(seed).with_drop(0.20)),
+        ("delay 25%/5ms", FaultPlan::seeded(seed).with_delay(0.25, Duration::from_millis(5))),
+        ("corrupt 8%", FaultPlan::seeded(seed).with_corruption(0.08)),
+        (
+            "combo + 1 dead",
+            FaultPlan::seeded(seed)
+                .with_drop(0.10)
+                .with_delay(0.05, Duration::from_millis(3))
+                .with_dead_link(users - 1, 40),
+        ),
+    ];
+
+    println!("\n=== Chaos suite: accuracy under seeded link faults (quorum 0.75) ===");
+    println!(
+        "{:>16} {:>10} {:>14} {:>9} {:>10}",
+        "scenario", "accuracy", "participation", "evicted", "degraded"
+    );
+    for (name, plan) in &scenarios {
+        let (model, report) = trainer.fit_with_faults(&data, plan)?;
+        let acc = score_predictions(&data, &plos_predictions(&model, &data));
+        let providers = data.providers().len();
+        let overall = acc.overall(providers, data.num_users() - providers);
+        println!(
+            "{:>16} {:>10.4} {:>13.1}% {:>9} {:>10}",
+            name,
+            overall,
+            report.participation_rate() * 100.0,
+            report.evicted.len(),
+            report.degraded
+        );
+    }
+    Ok(())
+}

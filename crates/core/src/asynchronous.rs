@@ -20,10 +20,19 @@ use crate::model::PersonalizedModel;
 use crate::problem;
 use parking_lot::Mutex;
 use plos_linalg::Vector;
-use plos_net::{star, Endpoint, Message, TrafficStats};
+use plos_net::{star, Endpoint, Message, TrafficStats, TransportError};
 use plos_opt::History;
 use plos_sensing::dataset::MultiUserDataset;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Device-side wake-up cadence while waiting for server messages.
+const CLIENT_IDLE: Duration = Duration::from_millis(50);
+
+/// How long the async server waits for any single reply before declaring
+/// the transport broken. Generous because this trainer models stragglers in
+/// *compute*, not a faulty network — a silent link here is a real failure.
+const SERVER_WAIT: Duration = Duration::from_secs(60);
 
 /// Straggler model for the asynchronous runtime.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,7 +157,7 @@ impl AsyncDistributedPlos {
             },
         );
 
-        let (model, mut report) = server_out;
+        let (model, mut report) = server_out?;
         report.per_user_traffic = client_outs.iter().map(|c| c.stats).collect();
         report.stale_replies = client_outs.iter().map(|c| c.stale).collect();
         report.fresh_replies = client_outs.iter().map(|c| c.fresh).collect();
@@ -168,7 +177,7 @@ impl AsyncDistributedPlos {
         let mut stale = 0usize;
         let mut fresh = 0usize;
         loop {
-            match endpoint.recv() {
+            match endpoint.recv_timeout(CLIENT_IDLE) {
                 Ok(Message::Broadcast { round, w0, u_t }) => {
                     if round == 0 {
                         let w_init =
@@ -241,34 +250,39 @@ impl AsyncDistributedPlos {
                         break;
                     }
                 }
-                Ok(Message::ClientUpdate { .. }) | Ok(Message::Shutdown) | Err(_) => break,
+                // The synchronous trainer's eviction machinery can shrink
+                // the cohort; mirror the rescale so shared clients behave.
+                Ok(Message::RosterUpdate { t_count }) => {
+                    solver.set_cohort_size(t_count as usize);
+                }
+                // Devices never receive peer updates; drop the stray frame.
+                Ok(Message::ClientUpdate { .. }) => {}
+                // Nothing from the server yet: keep listening.
+                Err(TransportError::Timeout | TransportError::Codec(_)) => {}
+                Ok(Message::Shutdown) | Err(TransportError::Disconnected) => break,
             }
         }
         ClientOutcome { stats: endpoint.stats(), stale, fresh }
     }
 
-    // Allowed: the in-process star network keeps every link alive for the
-    // whole run (clients only exit after `Shutdown`), messages on a link
-    // arrive in order, and the per-user buffers below are sized `t_count`
-    // with `t` ranging over the same `t_count` endpoints — so the channel
-    // expects, protocol panics and `t`-indexed accesses cannot fire.
-    #[allow(clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    /// The server thread. Transport failures propagate as
+    /// [`CoreError::Transport`]; a reply of the wrong kind is a
+    /// [`CoreError::Protocol`] — nothing panics.
     fn server_loop(
         &self,
         ends: &[Endpoint],
         dim: usize,
         t_count: usize,
-    ) -> (PersonalizedModel, AsyncReport) {
+    ) -> Result<(PersonalizedModel, AsyncReport), CoreError> {
         // Init: average provider hyperplanes (identical to Algorithm 2).
         let zero = Vector::zeros(dim);
         for end in ends {
-            end.send(&Message::Broadcast { round: 0, w0: zero.clone(), u_t: zero.clone() })
-                .expect("client alive");
+            end.send(&Message::Broadcast { round: 0, w0: zero.clone(), u_t: zero.clone() })?;
         }
         let mut w0 = Vector::zeros(dim);
         let mut contributors = 0usize;
         for end in ends {
-            if let Message::ClientUpdate { w_t, .. } = end.recv().expect("init reply") {
+            if let Message::ClientUpdate { w_t, .. } = end.recv_timeout(SERVER_WAIT)? {
                 if w_t.norm() > 0.0 {
                     w0 += &w_t;
                     contributors += 1;
@@ -304,42 +318,48 @@ impl AsyncDistributedPlos {
             cccp_rounds += 1;
             if cccp_round > 0 {
                 for end in ends {
-                    end.send(&Message::CccpAdvance { cccp_round: cccp_round as u32 })
-                        .expect("client alive");
+                    end.send(&Message::CccpAdvance { cccp_round: cccp_round as u32 })?;
                 }
             }
             for _ in 0..self.config.max_admm_iters {
                 round += 1;
                 admm_iterations += 1;
-                for (t, end) in ends.iter().enumerate() {
-                    end.send(&Message::Broadcast { round, w0: w0.clone(), u_t: us[t].clone() })
-                        .expect("client alive");
+                for (end, u_t) in ends.iter().zip(&us) {
+                    end.send(&Message::Broadcast { round, w0: w0.clone(), u_t: u_t.clone() })?;
                 }
                 for (t, end) in ends.iter().enumerate() {
-                    match end.recv().expect("client update") {
+                    match end.recv_timeout(SERVER_WAIT)? {
                         Message::ClientUpdate { w_t, v_t, xi_t, .. } => {
-                            w_ts[t] = w_t;
-                            v_ts[t] = v_t;
-                            xi_ts[t] = xi_t;
+                            if let (Some(w), Some(v), Some(xi)) =
+                                (w_ts.get_mut(t), v_ts.get_mut(t), xi_ts.get_mut(t))
+                            {
+                                *w = w_t;
+                                *v = v_t;
+                                *xi = xi_t;
+                            }
                         }
-                        other => panic!("unexpected message: {other:?}"),
+                        other => {
+                            return Err(CoreError::Protocol {
+                                detail: format!("unexpected async gather reply: {other:?}"),
+                            })
+                        }
                     }
                 }
                 let mut w0_new = Vector::zeros(dim);
-                for t in 0..t_count {
-                    w0_new += &w_ts[t];
-                    w0_new -= &v_ts[t];
-                    w0_new += &us[t];
+                for ((w_t, v_t), u_t) in w_ts.iter().zip(&v_ts).zip(&us) {
+                    w0_new += w_t;
+                    w0_new -= v_t;
+                    w0_new += u_t;
                 }
                 w0_new.scale_mut(rho / (2.0 + t_count as f64 * rho));
                 let dual_residual = rho * sqrt_2t * w0_new.distance(&w0);
                 let mut primal_sq = 0.0;
-                for t in 0..t_count {
-                    let mut delta = w_ts[t].clone();
+                for ((w_t, v_t), u_t) in w_ts.iter().zip(&v_ts).zip(us.iter_mut()) {
+                    let mut delta = w_t.clone();
                     delta -= &w0_new;
-                    delta -= &v_ts[t];
+                    delta -= v_t;
                     primal_sq += delta.norm_squared();
-                    us[t] += &delta;
+                    *u_t += &delta;
                 }
                 w0 = w0_new;
                 if dual_residual <= sqrt_2t * self.config.eps_abs
@@ -361,16 +381,24 @@ impl AsyncDistributedPlos {
         for _ in 0..self.config.refine_rounds {
             round += 1;
             for end in ends {
-                end.send(&Message::Refine { round, w0: w0.clone() }).expect("client alive");
+                end.send(&Message::Refine { round, w0: w0.clone() })?;
             }
             for (t, end) in ends.iter().enumerate() {
-                match end.recv().expect("refine reply") {
+                match end.recv_timeout(SERVER_WAIT)? {
                     Message::ClientUpdate { w_t, v_t, xi_t, .. } => {
-                        w_ts[t] = w_t;
-                        v_ts[t] = v_t;
-                        xi_ts[t] = xi_t;
+                        if let (Some(w), Some(v), Some(xi)) =
+                            (w_ts.get_mut(t), v_ts.get_mut(t), xi_ts.get_mut(t))
+                        {
+                            *w = w_t;
+                            *v = v_t;
+                            *xi = xi_t;
+                        }
                     }
-                    other => panic!("unexpected message: {other:?}"),
+                    other => {
+                        return Err(CoreError::Protocol {
+                            detail: format!("unexpected refine reply: {other:?}"),
+                        })
+                    }
                 }
             }
             let mut mean = Vector::zeros(dim);
@@ -394,7 +422,7 @@ impl AsyncDistributedPlos {
             stale_replies: Vec::new(),
             fresh_replies: Vec::new(),
         };
-        (model, report)
+        Ok((model, report))
     }
 }
 

@@ -1,6 +1,134 @@
-//! PLOS hyperparameters.
+//! PLOS hyperparameters and the fault-tolerance policy of the distributed
+//! server.
 
 use plos_opt::QpSolverOptions;
+use std::time::Duration;
+
+/// Server-side retry schedule for one gather round of distributed PLOS.
+///
+/// A round's time budget unfolds as: wait `recv_timeout` for the first
+/// gather window, then up to `max_retries` re-broadcasts to the devices
+/// that have not answered, each followed by an exponentially growing wait
+/// (`backoff_base`, `backoff_factor`), all capped by `round_deadline`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Initial per-round gather window before the first retry fires.
+    pub recv_timeout: Duration,
+    /// Bounded number of re-broadcasts to unresponsive devices per round.
+    pub max_retries: u32,
+    /// Wait after the first re-broadcast.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the wait after every further re-broadcast.
+    pub backoff_factor: f64,
+    /// Hard wall-clock cap on one gather round; when it expires the round
+    /// closes with whatever replies arrived.
+    pub round_deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            recv_timeout: Duration::from_secs(2),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(500),
+            backoff_factor: 2.0,
+            round_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A tight schedule for tests and simulations: short windows so rounds
+    /// stalled by dead devices close in tens of milliseconds.
+    pub fn fast() -> Self {
+        RetryPolicy {
+            recv_timeout: Duration::from_millis(60),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(30),
+            backoff_factor: 2.0,
+            round_deadline: Duration::from_millis(400),
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of range; called by the trainers on
+    /// entry.
+    pub fn validate(&self) {
+        assert!(self.recv_timeout > Duration::ZERO, "recv_timeout must be positive");
+        assert!(self.backoff_factor >= 1.0, "backoff_factor must be >= 1");
+        assert!(
+            self.round_deadline >= self.recv_timeout,
+            "round_deadline must cover at least one gather window"
+        );
+    }
+}
+
+/// Quorum and eviction policy for fault-tolerant distributed training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTolerance {
+    /// Fraction of live devices whose replies let a gather round close
+    /// early, in `(0, 1]`. `1.0` waits for the whole roster (up to the
+    /// retry budget), reproducing the synchronous Algorithm 2.
+    pub quorum_fraction: f64,
+    /// Per-round retry/timeout/backoff schedule.
+    pub retry: RetryPolicy,
+    /// Consecutive missed rounds after which a device is evicted from the
+    /// roster (its link is treated as permanently dead and `T` is rescaled).
+    pub evict_after: u32,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        FaultTolerance { quorum_fraction: 1.0, retry: RetryPolicy::default(), evict_after: 2 }
+    }
+}
+
+impl FaultTolerance {
+    /// Tight windows for tests and simulations.
+    pub fn fast() -> Self {
+        FaultTolerance { retry: RetryPolicy::fast(), ..FaultTolerance::default() }
+    }
+
+    /// Returns a copy with a different quorum fraction.
+    #[must_use]
+    pub fn with_quorum(mut self, quorum_fraction: f64) -> Self {
+        self.quorum_fraction = quorum_fraction;
+        self
+    }
+
+    /// Replies required from `alive` live devices before a round may close
+    /// early (always at least one).
+    pub fn required_replies(&self, alive: usize) -> usize {
+        let required = (self.quorum_fraction * alive as f64).ceil();
+        let required = if required.is_finite() && required >= 1.0 {
+            // Explicit rounding above makes the cast exact for any roster
+            // size a simulation can hold.
+            required as usize
+        } else {
+            1
+        };
+        required.clamp(1, alive.max(1))
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of range; called by the trainers on
+    /// entry.
+    pub fn validate(&self) {
+        assert!(
+            self.quorum_fraction > 0.0 && self.quorum_fraction <= 1.0,
+            "quorum_fraction must be in (0,1], got {}",
+            self.quorum_fraction
+        );
+        assert!(self.evict_after > 0, "evict_after must be positive");
+        self.retry.validate();
+    }
+}
 
 /// Hyperparameters shared by the centralized and distributed trainers.
 ///
@@ -140,6 +268,38 @@ mod tests {
     fn default_is_valid() {
         PlosConfig::default().validate();
         PlosConfig::fast().validate();
+        FaultTolerance::default().validate();
+        FaultTolerance::fast().validate();
+    }
+
+    #[test]
+    fn required_replies_rounds_up_and_stays_positive() {
+        let ft = FaultTolerance::default().with_quorum(0.75);
+        assert_eq!(ft.required_replies(4), 3);
+        assert_eq!(ft.required_replies(8), 6);
+        assert_eq!(ft.required_replies(1), 1);
+        assert_eq!(ft.required_replies(0), 1, "a zero roster still demands one reply");
+        let all = FaultTolerance::default();
+        assert_eq!(all.required_replies(5), 5, "quorum 1.0 waits for everyone");
+        let tiny = FaultTolerance::default().with_quorum(0.01);
+        assert_eq!(tiny.required_replies(3), 1, "quorum never drops below one reply");
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum_fraction must be in")]
+    fn zero_quorum_rejected() {
+        FaultTolerance::default().with_quorum(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "round_deadline must cover")]
+    fn short_round_deadline_rejected() {
+        RetryPolicy {
+            recv_timeout: Duration::from_secs(1),
+            round_deadline: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        }
+        .validate();
     }
 
     #[test]

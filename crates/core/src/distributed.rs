@@ -12,24 +12,74 @@
 //! * when the objective `L` stops improving the server either advances CCCP
 //!   (`CccpAdvance`, devices re-linearize around their own `w_t`) or sends
 //!   `Shutdown`.
+//!
+//! # Fault tolerance
+//!
+//! Real fleets drop, delay, duplicate and corrupt frames, and phones vanish
+//! mid-round. The server therefore never blocks on a single device:
+//!
+//! * every gather runs under a [`RetryPolicy`] — an initial window, bounded
+//!   re-broadcasts with exponential backoff, and a hard round deadline;
+//! * a round may close early once [`FaultTolerance::quorum_fraction`] of the
+//!   live roster replied; stragglers keep their previous `(w_t, v_t, ξ_t)`
+//!   (carry-forward) and rejoin next round;
+//! * a device that misses [`FaultTolerance::evict_after`] consecutive rounds
+//!   (or whose link reports `Disconnected`) is evicted; survivors are told
+//!   the new cohort size via `RosterUpdate` so they rescale `κ = λ/T` — and
+//!   with it the `Σ_k γ_kt ≤ T/2λ` dual cap — while the server shrinks every
+//!   `T`-dependent denominator of Eq. (23)/(24);
+//! * training then completes with [`DistributedReport::degraded`] set
+//!   instead of hanging or panicking.
+//!
+//! Faults are injected deterministically through a [`FaultPlan`]
+//! ([`DistributedPlos::fit_with_faults`]); the zero plan is a transparent
+//! pass-through, so [`DistributedPlos::fit`] is bit-identical to the
+//! fault-free synchronous protocol.
 
-use crate::config::PlosConfig;
+use crate::config::{FaultTolerance, PlosConfig};
 use crate::error::CoreError;
 use crate::local::LocalSolver;
 use crate::model::PersonalizedModel;
 use crate::problem;
 use parking_lot::Mutex;
 use plos_linalg::Vector;
-use plos_net::{star, Endpoint, Message, TrafficStats};
+use plos_net::{star, Endpoint, FaultPlan, FaultyEndpoint, Message, TrafficStats, TransportError};
 use plos_opt::History;
 use plos_sensing::dataset::MultiUserDataset;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
+#[cfg(doc)]
+use crate::config::RetryPolicy;
+
+/// How long one poll of an outstanding link blocks during a gather sweep.
+/// Small enough that retry/deadline checks stay responsive, large enough
+/// that an idle sweep does not spin.
+const POLL_SLICE: Duration = Duration::from_millis(2);
+
+/// Device-side wait between checks for server messages. Purely a wake-up
+/// cadence: a timeout just loops, so the value only bounds how quickly a
+/// device notices the server hung up.
+const CLIENT_IDLE: Duration = Duration::from_millis(50);
+
 /// The distributed trainer.
 #[derive(Debug, Clone)]
 pub struct DistributedPlos {
     config: PlosConfig,
+    fault_tolerance: FaultTolerance,
+}
+
+/// One gather round's attendance, as seen by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundParticipation {
+    /// Protocol round number (0 is the initialization round).
+    pub round: u32,
+    /// Devices whose update was accepted this round.
+    pub replied: usize,
+    /// Devices still on the roster when the round closed.
+    pub alive: usize,
+    /// Re-broadcasts the retry policy fired this round.
+    pub retries: u32,
 }
 
 /// Everything the paper's Sec. VI-E experiments measure about a distributed
@@ -54,6 +104,21 @@ pub struct DistributedReport {
     pub server_compute: Duration,
     /// End-to-end wall-clock time of the run.
     pub wall_clock: Duration,
+    /// True when any round closed without the full live roster, or any
+    /// device was evicted — i.e. the run needed the fault-tolerance
+    /// machinery rather than the pure synchronous protocol.
+    pub degraded: bool,
+    /// Devices evicted from the roster (missed rounds or dead links),
+    /// in eviction order.
+    pub evicted: Vec<usize>,
+    /// Per-round attendance, one entry per gather round.
+    pub participation: Vec<RoundParticipation>,
+    /// Frames that violated the protocol (misattributed updates, unexpected
+    /// message kinds) and were discarded.
+    pub protocol_errors: u64,
+    /// Stale frames (late replies to closed rounds, duplicates) that were
+    /// discarded by their `round` tag.
+    pub late_discards: u64,
 }
 
 impl DistributedReport {
@@ -73,6 +138,19 @@ impl DistributedReport {
         self.per_user_traffic.iter().map(TrafficStats::total_kb).sum::<f64>()
             / self.per_user_traffic.len() as f64
     }
+
+    /// Mean fraction of the live roster that replied per round (1.0 for a
+    /// fault-free run).
+    pub fn participation_rate(&self) -> f64 {
+        if self.participation.is_empty() {
+            return 1.0;
+        }
+        self.participation
+            .iter()
+            .map(|p| if p.alive == 0 { 0.0 } else { p.replied as f64 / p.alive as f64 })
+            .sum::<f64>()
+            / self.participation.len() as f64
+    }
 }
 
 /// What each device thread hands back when it shuts down.
@@ -81,34 +159,293 @@ struct ClientOutcome {
     compute: Duration,
 }
 
+/// Server-side view of the device roster: the fault-wrapped links plus the
+/// liveness bookkeeping that drives quorum gathers, retries and eviction.
+struct Fleet<'a> {
+    links: Vec<FaultyEndpoint<'a>>,
+    alive: Vec<bool>,
+    /// Consecutive rounds each device has missed.
+    missed: Vec<u32>,
+    ft: FaultTolerance,
+    evicted: Vec<usize>,
+    participation: Vec<RoundParticipation>,
+    protocol_errors: u64,
+    late_discards: u64,
+    /// Set when an eviction changed the cohort size and the survivors have
+    /// not been told yet.
+    roster_dirty: bool,
+}
+
+impl<'a> Fleet<'a> {
+    fn new(links: Vec<FaultyEndpoint<'a>>, ft: FaultTolerance) -> Self {
+        let n = links.len();
+        Fleet {
+            links,
+            alive: vec![true; n],
+            missed: vec![0; n],
+            ft,
+            evicted: Vec::new(),
+            participation: Vec::new(),
+            protocol_errors: 0,
+            late_discards: 0,
+            roster_dirty: false,
+        }
+    }
+
+    fn is_alive(&self, t: usize) -> bool {
+        self.alive.get(t).copied().unwrap_or(false)
+    }
+
+    fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Removes a device from the roster permanently.
+    fn evict(&mut self, t: usize) {
+        if let Some(alive) = self.alive.get_mut(t) {
+            if *alive {
+                *alive = false;
+                self.evicted.push(t);
+                self.roster_dirty = true;
+            }
+        }
+    }
+
+    /// Sends to one live device; a dead link evicts it on the spot.
+    fn send_to(&mut self, t: usize, message: &Message) {
+        if !self.is_alive(t) {
+            return;
+        }
+        let failed = match self.links.get_mut(t) {
+            Some(link) => link.send(message).is_err(),
+            None => false,
+        };
+        if failed {
+            self.evict(t);
+        }
+    }
+
+    /// Sends one message per live device.
+    fn send_alive(&mut self, make: &dyn Fn(usize) -> Message) {
+        for t in 0..self.links.len() {
+            if self.is_alive(t) {
+                let message = make(t);
+                self.send_to(t, &message);
+            }
+        }
+    }
+
+    /// If evictions changed the cohort size, tells the survivors the new
+    /// `T` so they rescale `κ = λ/T` (and the `Σ_k γ_kt ≤ T/2λ` dual cap).
+    fn publish_roster(&mut self) {
+        while self.roster_dirty {
+            self.roster_dirty = false;
+            let t_count = self.alive_count() as u32;
+            // Publishing can itself reveal dead links, re-dirtying the
+            // roster; the loop converges because evictions are monotone.
+            self.send_alive(&move |_t| Message::RosterUpdate { t_count });
+        }
+    }
+
+    /// Best-effort shutdown broadcast; failures are irrelevant because the
+    /// endpoints drop right after and disconnect every survivor.
+    fn shutdown(&mut self) {
+        for (link, &alive) in self.links.iter_mut().zip(&self.alive) {
+            if alive {
+                let _ = link.send(&Message::Shutdown);
+            }
+        }
+    }
+
+    /// One quorum gather: collects `ClientUpdate`s for `round` into `sink`
+    /// under the retry policy. The round closes when the whole live roster
+    /// replied, or the quorum is met after the initial window, or the round
+    /// deadline expires. Devices that stay silent accumulate a strike and
+    /// are evicted after `evict_after` consecutive misses.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Transport`] when every device disconnected, and
+    /// [`CoreError::QuorumLost`] when the round closed with zero usable
+    /// replies — with no fresh state at all the ADMM iteration cannot
+    /// advance, so retrying at the next round would only loop forever.
+    fn gather(
+        &mut self,
+        round: u32,
+        rebroadcast: &dyn Fn(usize) -> Message,
+        sink: &mut dyn FnMut(usize, Vector, Vector, f64),
+    ) -> Result<(), CoreError> {
+        let t_count = self.links.len();
+        let mut replied = vec![false; t_count];
+        let mut replies = 0usize;
+        let started = Instant::now();
+        let first_window = started + self.ft.retry.recv_timeout;
+        let deadline = started + self.ft.retry.round_deadline;
+        let mut window_ends = first_window;
+        let mut backoff = self.ft.retry.backoff_base;
+        let mut retries = 0u32;
+
+        loop {
+            let alive = self.alive_count();
+            if alive == 0 {
+                return Err(CoreError::Transport {
+                    detail: format!("every device disconnected before round {round} closed"),
+                });
+            }
+            let required = self.ft.required_replies(alive);
+            let outstanding: Vec<usize> = (0..t_count)
+                .filter(|&t| self.is_alive(t) && !replied.get(t).copied().unwrap_or(true))
+                .collect();
+            let now = Instant::now();
+            if outstanding.is_empty()
+                || now >= deadline
+                || (replies >= required && now >= first_window)
+            {
+                break;
+            }
+            if now >= window_ends && retries < self.ft.retry.max_retries {
+                retries += 1;
+                for &t in &outstanding {
+                    let message = rebroadcast(t);
+                    self.send_to(t, &message);
+                }
+                window_ends = Instant::now() + backoff;
+                backoff = backoff.mul_f64(self.ft.retry.backoff_factor);
+            }
+            for &t in &outstanding {
+                if !self.is_alive(t) {
+                    continue;
+                }
+                let Some(link) = self.links.get_mut(t) else { continue };
+                let received = link.recv_timeout(POLL_SLICE);
+                match received {
+                    Ok(Message::ClientUpdate { round: r, user, w_t, v_t, xi_t }) => {
+                        if r != round || replied.get(t).copied().unwrap_or(false) {
+                            // A late reply to a closed round, or a duplicate:
+                            // discard by tag, never merge.
+                            self.late_discards += 1;
+                        } else if user as usize != t {
+                            // An update attributed to the wrong device used
+                            // to be a hard assert; now it is a counted,
+                            // recoverable protocol error.
+                            self.protocol_errors += 1;
+                        } else {
+                            if let Some(slot) = replied.get_mut(t) {
+                                *slot = true;
+                            }
+                            replies += 1;
+                            sink(t, w_t, v_t, xi_t);
+                        }
+                    }
+                    Ok(_) => self.protocol_errors += 1,
+                    // A corrupted frame surfaced as a codec error; the retry
+                    // layer re-broadcasts, the device recomputes.
+                    Err(TransportError::Timeout | TransportError::Codec(_)) => {}
+                    Err(TransportError::Disconnected) => self.evict(t),
+                }
+            }
+        }
+
+        let alive = self.alive_count();
+        self.participation.push(RoundParticipation { round, replied: replies, alive, retries });
+        if replies == 0 {
+            return Err(CoreError::QuorumLost {
+                round,
+                alive,
+                required: self.ft.required_replies(alive),
+            });
+        }
+        // Strike accounting: a reply clears the count, a miss adds one, and
+        // `evict_after` consecutive misses remove the device for good.
+        let mut to_evict = Vec::new();
+        for (t, replied_t) in replied.iter().enumerate() {
+            if !self.is_alive(t) {
+                continue;
+            }
+            let Some(strikes) = self.missed.get_mut(t) else { continue };
+            if *replied_t {
+                *strikes = 0;
+            } else {
+                *strikes += 1;
+                if *strikes >= self.ft.evict_after {
+                    to_evict.push(t);
+                }
+            }
+        }
+        for t in to_evict {
+            self.evict(t);
+        }
+        Ok(())
+    }
+}
+
 impl DistributedPlos {
-    /// Creates a trainer.
+    /// Creates a trainer with the default (fully synchronous, quorum `1.0`)
+    /// fault tolerance.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: PlosConfig) -> Self {
         config.validate();
-        DistributedPlos { config }
+        DistributedPlos { config, fault_tolerance: FaultTolerance::default() }
+    }
+
+    /// Replaces the fault-tolerance policy (quorum fraction, retry schedule,
+    /// eviction threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    #[must_use]
+    pub fn with_fault_tolerance(mut self, fault_tolerance: FaultTolerance) -> Self {
+        fault_tolerance.validate();
+        self.fault_tolerance = fault_tolerance;
+        self
     }
 
     /// Trains over the simulated device network and returns the model plus
-    /// the measurement report.
+    /// the measurement report. Equivalent to [`DistributedPlos::fit_with_faults`]
+    /// with the zero [`FaultPlan`] — the fault layer is a transparent
+    /// pass-through, so results are bit-identical to the plain synchronous
+    /// protocol.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::EmptyDataset`] when the dataset has no users.
-    /// Local solve failures on a device degrade that device to the consensus
-    /// update instead of aborting the protocol.
-    // Allowed: the slot map is created with one entry per device index and
-    // the network runs each device closure exactly once per index, so the
-    // take-once expect cannot fail.
-    #[allow(clippy::expect_used)]
+    /// See [`DistributedPlos::fit_with_faults`].
     pub fn fit(
         &self,
         dataset: &MultiUserDataset,
     ) -> Result<(PersonalizedModel, DistributedReport), CoreError> {
+        self.fit_with_faults(dataset, &FaultPlan::none())
+    }
+
+    /// Trains under injected network faults: `plan` seeds per-link drop,
+    /// delay, duplication, reordering, corruption and permanent-death
+    /// processes, while the trainer's [`FaultTolerance`] policy keeps the
+    /// protocol alive around them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDataset`] when the dataset has no users,
+    /// [`CoreError::Protocol`] for an invalid fault plan,
+    /// [`CoreError::Transport`] when the whole fleet disconnected, and
+    /// [`CoreError::QuorumLost`] when a gather round ended with zero usable
+    /// replies. Local solve failures on a device degrade that device to the
+    /// consensus update instead of aborting the protocol.
+    // Allowed: the slot map is created with one entry per device index and
+    // the network runs each device closure exactly once per index, so the
+    // take-once expect cannot fail.
+    #[allow(clippy::expect_used)]
+    pub fn fit_with_faults(
+        &self,
+        dataset: &MultiUserDataset,
+        plan: &FaultPlan,
+    ) -> Result<(PersonalizedModel, DistributedReport), CoreError> {
         let started = Instant::now();
+        plan.validate().map_err(|detail| CoreError::Protocol {
+            detail: format!("invalid fault plan: {detail}"),
+        })?;
         let prepared = problem::prepare(dataset, self.config.bias);
         let t_count = prepared.users.len();
         if t_count == 0 {
@@ -136,7 +473,7 @@ impl DistributedPlos {
         let network = star(t_count);
         let config = self.config.clone();
         let (server_out, client_outs) = network.run_clients(
-            |server_ends| self.server_loop(server_ends, dim, t_count),
+            |server_ends| self.server_loop(server_ends, dim, t_count, plan),
             |t, endpoint| {
                 let solver = slots.lock().get_mut(t).and_then(Option::take);
                 let solver = solver.expect("each device slot is taken exactly once");
@@ -144,7 +481,7 @@ impl DistributedPlos {
             },
         );
 
-        let (model, mut report) = server_out;
+        let (model, mut report) = server_out?;
         report.per_user_traffic = client_outs.iter().map(|c| c.stats).collect();
         report.per_user_compute = client_outs.iter().map(|c| c.compute).collect();
         report.wall_clock = started.elapsed();
@@ -152,7 +489,8 @@ impl DistributedPlos {
     }
 
     /// The device thread: answer broadcasts with local solves until
-    /// shutdown.
+    /// shutdown. Timeouts and corrupted frames just keep it listening — the
+    /// server's retry layer re-broadcasts anything that mattered.
     fn client_loop(
         _config: &PlosConfig,
         user: usize,
@@ -162,7 +500,7 @@ impl DistributedPlos {
         let user = user as u32;
         let mut compute = Duration::ZERO;
         loop {
-            match endpoint.recv() {
+            match endpoint.recv_timeout(CLIENT_IDLE) {
                 Ok(Message::Broadcast { round, w0, u_t }) => {
                     if round == 0 {
                         // Init round: contribute a local hyperplane if this
@@ -228,49 +566,55 @@ impl DistributedPlos {
                         break;
                     }
                 }
-                // Devices never receive peer updates; treat as protocol
-                // violation and stop.
-                Ok(Message::ClientUpdate { .. }) | Ok(Message::Shutdown) | Err(_) => break,
+                // The cohort shrank: rescale every T-dependent quantity,
+                // notably κ = λ/T in the local objective.
+                Ok(Message::RosterUpdate { t_count }) => {
+                    solver.set_cohort_size(t_count as usize);
+                }
+                // Devices never receive peer updates; drop the stray frame
+                // rather than dying on a protocol hiccup.
+                Ok(Message::ClientUpdate { .. }) => {}
+                // Nothing from the server yet, or a frame corrupted in
+                // flight: keep listening, the retry layer re-broadcasts.
+                Err(TransportError::Timeout | TransportError::Codec(_)) => {}
+                Ok(Message::Shutdown) | Err(TransportError::Disconnected) => break,
             }
         }
         ClientOutcome { stats: endpoint.stats(), compute }
     }
 
     /// The server thread: initialization, CCCP × ADMM driving, shutdown.
-    // Allowed: the in-process star network keeps every link alive for the
-    // whole run (clients only exit after `Shutdown`), messages on a link
-    // arrive in order, and the per-user buffers below are sized `t_count`
-    // with `t` ranging over the same `t_count` endpoints — so the channel
-    // expects, protocol panics and `t`-indexed accesses cannot fire.
-    #[allow(clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    /// Every gather is a quorum round under the retry policy; every
+    /// `T`-dependent scalar of Eq. (23)/(24) tracks the live cohort size.
     fn server_loop(
         &self,
         ends: &[Endpoint],
         dim: usize,
         t_count: usize,
-    ) -> (PersonalizedModel, DistributedReport) {
+        plan: &FaultPlan,
+    ) -> Result<(PersonalizedModel, DistributedReport), CoreError> {
+        let mut fleet = Fleet::new(plan.wrap_links(ends), self.fault_tolerance.clone());
         let mut server_compute = Duration::ZERO;
 
         // ---- Initialization round: average provider hyperplanes. ----
         let zero = Vector::zeros(dim);
-        for end in ends {
-            end.send(&Message::Broadcast { round: 0, w0: zero.clone(), u_t: zero.clone() })
-                .expect("client alive during init");
-        }
+        let init = |_t: usize| Message::Broadcast { round: 0, w0: zero.clone(), u_t: zero.clone() };
+        fleet.send_alive(&init);
+        let mut w_inits = vec![Vector::zeros(dim); t_count];
+        fleet.gather(0, &init, &mut |t, w_t, _v_t, _xi_t| {
+            if let Some(slot) = w_inits.get_mut(t) {
+                *slot = w_t;
+            }
+        })?;
+        fleet.publish_roster();
+
+        let t0 = Instant::now();
         let mut w0 = Vector::zeros(dim);
         let mut contributors = 0usize;
-        for (t, end) in ends.iter().enumerate() {
-            match end.recv().expect("init reply") {
-                Message::ClientUpdate { user, w_t, .. } => {
-                    assert_eq!(user as usize, t, "init reply attributed to the wrong device");
-                    let t0 = Instant::now();
-                    if w_t.norm() > 0.0 {
-                        w0 += &w_t;
-                        contributors += 1;
-                    }
-                    server_compute += t0.elapsed();
-                }
-                other => panic!("unexpected init reply: {other:?}"),
+        for w_init in &w_inits {
+            if w_init.norm() > 0.0 {
+                w0 += w_init;
+                contributors += 1;
             }
         }
         if contributors > 0 {
@@ -285,13 +629,10 @@ impl DistributedPlos {
                 w0.scale_mut(1.0 / n);
             }
         }
+        server_compute += t0.elapsed();
 
         // ---- CCCP × ADMM ----
-        let kappa = self.config.lambda / t_count as f64;
         let rho = self.config.rho;
-        let sqrt_2t = (2.0 * t_count as f64).sqrt();
-        let sqrt_t = (t_count as f64).sqrt();
-
         let mut us = vec![Vector::zeros(dim); t_count];
         let mut w_ts = vec![Vector::zeros(dim); t_count];
         let mut v_ts = vec![Vector::zeros(dim); t_count];
@@ -306,50 +647,62 @@ impl DistributedPlos {
         for cccp_round in 0..self.config.max_cccp_rounds {
             cccp_rounds += 1;
             if cccp_round > 0 {
-                for end in ends {
-                    end.send(&Message::CccpAdvance { cccp_round: cccp_round as u32 })
-                        .expect("client alive");
-                }
+                fleet.send_alive(&|_t| Message::CccpAdvance { cccp_round: cccp_round as u32 });
+                fleet.publish_roster();
             }
             for _ in 0..self.config.max_admm_iters {
                 round += 1;
                 admm_iterations += 1;
-                // Scatter.
-                for (t, end) in ends.iter().enumerate() {
-                    end.send(&Message::Broadcast { round, w0: w0.clone(), u_t: us[t].clone() })
-                        .expect("client alive");
-                }
-                // Gather (links are 1:1, so order per link is guaranteed).
-                for (t, end) in ends.iter().enumerate() {
-                    match end.recv().expect("client update") {
-                        Message::ClientUpdate { round: r, user, w_t, v_t, xi_t } => {
-                            assert_eq!(r, round, "client answered the wrong round");
-                            assert_eq!(user as usize, t, "update attributed to the wrong device");
-                            w_ts[t] = w_t;
-                            v_ts[t] = v_t;
-                            xi_ts[t] = xi_t;
-                        }
-                        other => panic!("unexpected message: {other:?}"),
+                // Scatter; the same closure serves the retry re-broadcasts.
+                let scatter = |t: usize| Message::Broadcast {
+                    round,
+                    w0: w0.clone(),
+                    u_t: us.get(t).cloned().unwrap_or_else(|| Vector::zeros(dim)),
+                };
+                fleet.send_alive(&scatter);
+                // Quorum gather; a straggler's slot keeps its previous
+                // (w_t, v_t, ξ_t) — the carry-forward state.
+                fleet.gather(round, &scatter, &mut |t, w_t, v_t, xi_t| {
+                    if let (Some(w), Some(v), Some(xi)) =
+                        (w_ts.get_mut(t), v_ts.get_mut(t), xi_ts.get_mut(t))
+                    {
+                        *w = w_t;
+                        *v = v_t;
+                        *xi = xi_t;
                     }
-                }
-                // Eq. (23): closed-form z- and u-updates.
+                })?;
+                fleet.publish_roster();
+
+                // Eq. (23): closed-form z- and u-updates over the live
+                // cohort; every T-dependent scalar uses the shrunk size.
                 let t0 = Instant::now();
+                let cohort = fleet.alive_count() as f64;
                 let mut w0_new = Vector::zeros(dim);
-                for t in 0..t_count {
-                    w0_new += &w_ts[t];
-                    w0_new -= &v_ts[t];
-                    w0_new += &us[t];
+                for (t, ((w_t, v_t), u_t)) in w_ts.iter().zip(&v_ts).zip(&us).enumerate() {
+                    if !fleet.is_alive(t) {
+                        continue;
+                    }
+                    w0_new += w_t;
+                    w0_new -= v_t;
+                    w0_new += u_t;
                 }
-                w0_new.scale_mut(rho / (2.0 + t_count as f64 * rho));
+                w0_new.scale_mut(rho / (2.0 + cohort * rho));
                 // Eq. (24): residuals.
+                let sqrt_2t = (2.0 * cohort).sqrt();
+                let sqrt_t = cohort.sqrt();
                 let dual_residual = rho * sqrt_2t * w0_new.distance(&w0);
                 let mut primal_sq = 0.0;
-                for t in 0..t_count {
-                    let mut delta = w_ts[t].clone();
+                for (t, (w_t, v_t)) in w_ts.iter().zip(&v_ts).enumerate() {
+                    if !fleet.is_alive(t) {
+                        continue;
+                    }
+                    let mut delta = w_t.clone();
                     delta -= &w0_new;
-                    delta -= &v_ts[t];
+                    delta -= v_t;
                     primal_sq += delta.norm_squared();
-                    us[t] += &delta;
+                    if let Some(u_t) = us.get_mut(t) {
+                        *u_t += &delta;
+                    }
                 }
                 w0 = w0_new;
                 server_compute += t0.elapsed();
@@ -361,10 +714,22 @@ impl DistributedPlos {
                 }
             }
 
-            // Objective L (Eq. 23, third line).
+            // Objective L (Eq. 23, third line), over the live cohort.
+            let kappa = self.config.lambda / fleet.alive_count() as f64;
             let objective = w0.norm_squared()
-                + kappa * v_ts.iter().map(Vector::norm_squared).sum::<f64>()
-                + xi_ts.iter().sum::<f64>();
+                + kappa
+                    * v_ts
+                        .iter()
+                        .enumerate()
+                        .filter(|(t, _)| fleet.is_alive(*t))
+                        .map(|(_, v_t)| v_t.norm_squared())
+                        .sum::<f64>()
+                + xi_ts
+                    .iter()
+                    .enumerate()
+                    .filter(|(t, _)| fleet.is_alive(*t))
+                    .map(|(_, xi_t)| *xi_t)
+                    .sum::<f64>();
             history.push(objective);
             if history.converged(self.config.cccp_tol) {
                 converged = true;
@@ -376,46 +741,69 @@ impl DistributedPlos {
         // block updates (same messages, still only model parameters). ----
         for _ in 0..self.config.refine_rounds {
             round += 1;
-            for end in ends {
-                end.send(&Message::Refine { round, w0: w0.clone() }).expect("client alive");
-            }
-            for (t, end) in ends.iter().enumerate() {
-                match end.recv().expect("refine reply") {
-                    Message::ClientUpdate { round: r, user, w_t, v_t, xi_t } => {
-                        assert_eq!(r, round, "client answered the wrong refine round");
-                        assert_eq!(
-                            user as usize, t,
-                            "refine update attributed to the wrong device"
-                        );
-                        w_ts[t] = w_t;
-                        v_ts[t] = v_t;
-                        xi_ts[t] = xi_t;
-                    }
-                    other => panic!("unexpected message: {other:?}"),
+            let refine = |_t: usize| Message::Refine { round, w0: w0.clone() };
+            fleet.send_alive(&refine);
+            fleet.gather(round, &refine, &mut |t, w_t, v_t, xi_t| {
+                if let (Some(w), Some(v), Some(xi)) =
+                    (w_ts.get_mut(t), v_ts.get_mut(t), xi_ts.get_mut(t))
+                {
+                    *w = w_t;
+                    *v = v_t;
+                    *xi = xi_t;
                 }
-            }
+            })?;
+            fleet.publish_roster();
+
             let t0 = Instant::now();
+            let cohort = fleet.alive_count() as f64;
             let mut mean = Vector::zeros(dim);
-            for w_t in &w_ts {
+            for (t, w_t) in w_ts.iter().enumerate() {
+                if !fleet.is_alive(t) {
+                    continue;
+                }
                 mean += w_t;
             }
-            mean.scale_mut(1.0 / t_count as f64);
+            mean.scale_mut(1.0 / cohort);
             w0 = mean.scaled(self.config.lambda / (1.0 + self.config.lambda));
             server_compute += t0.elapsed();
             // xi_ts now carry true local losses, so this is the true
             // objective in the problem-(3) scale.
+            let kappa = self.config.lambda / cohort;
             let objective = w0.norm_squared()
-                + kappa * w_ts.iter().map(|w_t| w_t.distance_squared(&w0)).sum::<f64>()
-                + xi_ts.iter().sum::<f64>();
+                + kappa
+                    * w_ts
+                        .iter()
+                        .enumerate()
+                        .filter(|(t, _)| fleet.is_alive(*t))
+                        .map(|(_, w_t)| w_t.distance_squared(&w0))
+                        .sum::<f64>()
+                + xi_ts
+                    .iter()
+                    .enumerate()
+                    .filter(|(t, _)| fleet.is_alive(*t))
+                    .map(|(_, xi_t)| *xi_t)
+                    .sum::<f64>();
             history.push(objective);
         }
 
-        for end in ends {
-            let _ = end.send(&Message::Shutdown);
-        }
+        fleet.shutdown();
 
-        // Personalized hyperplanes are exactly the devices' final w_t.
-        let biases: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
+        // Personalized hyperplanes are exactly the devices' final w_t. A
+        // device evicted before it ever reported one falls back to the
+        // global model (zero bias).
+        let biases: Vec<Vector> =
+            w_ts.iter()
+                .enumerate()
+                .map(|(t, w_t)| {
+                    if fleet.is_alive(t) || w_t.norm() > 0.0 {
+                        w_t - &w0
+                    } else {
+                        Vector::zeros(dim)
+                    }
+                })
+                .collect();
+        let degraded =
+            !fleet.evicted.is_empty() || fleet.participation.iter().any(|p| p.replied < p.alive);
         let model = PersonalizedModel::new(w0, biases, self.config.bias);
         let report = DistributedReport {
             per_user_traffic: Vec::new(), // filled by fit()
@@ -426,8 +814,13 @@ impl DistributedPlos {
             per_user_compute: Vec::new(), // filled by fit()
             server_compute,
             wall_clock: Duration::ZERO, // filled by fit()
+            degraded,
+            evicted: fleet.evicted.clone(),
+            participation: fleet.participation.clone(),
+            protocol_errors: fleet.protocol_errors,
+            late_discards: fleet.late_discards,
         };
-        (model, report)
+        Ok((model, report))
     }
 }
 
@@ -470,6 +863,20 @@ mod tests {
         assert!(report.admm_iterations > 0);
         assert_eq!(report.per_user_traffic.len(), 4);
         assert_eq!(report.per_user_compute.len(), 4);
+    }
+
+    #[test]
+    fn fault_free_run_is_not_degraded() {
+        let data = dataset(3, 2);
+        let (_, report) = DistributedPlos::new(PlosConfig::fast()).fit(&data).unwrap();
+        assert!(!report.degraded);
+        assert!(report.evicted.is_empty());
+        assert_eq!(report.protocol_errors, 0);
+        assert_eq!(report.late_discards, 0);
+        assert!(!report.participation.is_empty());
+        assert!(report.participation.iter().all(|p| p.replied == 3 && p.alive == 3));
+        assert!(report.participation.iter().all(|p| p.retries == 0));
+        assert_eq!(report.participation_rate(), 1.0);
     }
 
     #[test]
@@ -540,5 +947,27 @@ mod tests {
         assert!(report.max_client_compute() >= Duration::ZERO);
         assert!(report.mean_user_kb() > 0.0);
         assert!(report.wall_clock > Duration::ZERO);
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_gracefully() {
+        let data = dataset(2, 1);
+        let plan = FaultPlan::none().with_drop(1.5);
+        let err =
+            DistributedPlos::new(PlosConfig::fast()).fit_with_faults(&data, &plan).unwrap_err();
+        assert!(matches!(err, CoreError::Protocol { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn dead_device_degrades_but_completes() {
+        let data = dataset(4, 3);
+        let plan = FaultPlan::seeded(11).with_dead_link(3, 0);
+        let trainer = DistributedPlos::new(PlosConfig::fast())
+            .with_fault_tolerance(FaultTolerance::fast().with_quorum(0.7));
+        let (model, report) = trainer.fit_with_faults(&data, &plan).unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.evicted, vec![3]);
+        assert_eq!(model.num_users(), 4, "evicted devices still get a model");
+        assert!(model.personalized_hyperplane(3).is_finite());
     }
 }

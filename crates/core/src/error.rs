@@ -1,6 +1,7 @@
 //! Error type shared by the fallible trainers in this crate.
 
 use plos_ml::error::MlError;
+use plos_net::TransportError;
 use plos_opt::error::OptError;
 use std::fmt;
 
@@ -14,6 +15,27 @@ pub enum CoreError {
     Ml(MlError),
     /// The dataset has no users, so there is nothing to train.
     EmptyDataset,
+    /// The distributed transport failed irrecoverably (every retry and
+    /// timeout budget exhausted, or the whole fleet disconnected).
+    Transport {
+        /// Human-readable description of the underlying transport failure.
+        detail: String,
+    },
+    /// A device violated the wire protocol in a way retries cannot repair.
+    Protocol {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A gather round closed without a single usable reply, so the ADMM
+    /// state can no longer advance.
+    QuorumLost {
+        /// The ADMM round that failed to gather.
+        round: u32,
+        /// Devices still on the roster when the round closed.
+        alive: usize,
+        /// Replies required by the configured quorum fraction.
+        required: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +44,13 @@ impl fmt::Display for CoreError {
             CoreError::Opt(e) => write!(f, "{e}"),
             CoreError::Ml(e) => write!(f, "{e}"),
             CoreError::EmptyDataset => write!(f, "dataset has no users"),
+            CoreError::Transport { detail } => write!(f, "transport failure: {detail}"),
+            CoreError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            CoreError::QuorumLost { round, alive, required } => write!(
+                f,
+                "quorum lost in round {round}: no usable replies from {alive} live devices \
+                 ({required} required)"
+            ),
         }
     }
 }
@@ -31,8 +60,17 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Opt(e) => Some(e),
             CoreError::Ml(e) => Some(e),
-            CoreError::EmptyDataset => None,
+            CoreError::EmptyDataset
+            | CoreError::Transport { .. }
+            | CoreError::Protocol { .. }
+            | CoreError::QuorumLost { .. } => None,
         }
+    }
+}
+
+impl From<TransportError> for CoreError {
+    fn from(e: TransportError) -> Self {
+        CoreError::Transport { detail: e.to_string() }
     }
 }
 
@@ -65,6 +103,9 @@ mod tests {
             CoreError::Opt(OptError::NonFinite { what: "warm start" }),
             CoreError::Ml(MlError::Empty { what: "samples" }),
             CoreError::EmptyDataset,
+            CoreError::Transport { detail: "peer disconnected".into() },
+            CoreError::Protocol { detail: "update attributed to device 3 on link 1".into() },
+            CoreError::QuorumLost { round: 7, alive: 4, required: 3 },
         ];
         for c in cases {
             assert!(!format!("{c}").is_empty());
@@ -79,5 +120,11 @@ mod tests {
         assert!(o.source().is_some());
         let m = CoreError::from(MlError::BadLabel { index: 3 });
         assert!(m.source().is_some());
+    }
+
+    #[test]
+    fn transport_errors_convert() {
+        let e = CoreError::from(plos_net::TransportError::Timeout);
+        assert_eq!(e, CoreError::Transport { detail: "receive timed out".into() });
     }
 }

@@ -63,8 +63,8 @@ pub mod prox;
 
 pub use asynchronous::{AsyncDistributedPlos, AsyncSpec};
 pub use centralized::CentralizedPlos;
-pub use config::PlosConfig;
-pub use distributed::{DistributedPlos, DistributedReport};
+pub use config::{FaultTolerance, PlosConfig, RetryPolicy};
+pub use distributed::{DistributedPlos, DistributedReport, RoundParticipation};
 pub use error::CoreError;
 pub use model::PersonalizedModel;
 pub use multiclass::{MulticlassModel, MulticlassPlos};

@@ -85,6 +85,21 @@ impl LocalSolver {
         self.working_set.clear();
     }
 
+    /// Rescales the cohort size `T` after the server evicted dead devices
+    /// (`RosterUpdate`), so `κ = λ/T` — and with it the `Σ_k γ_kt ≤ T/2λ`
+    /// dual cap — matches the devices actually left in the consensus.
+    /// Ignores zero (a roster can never be empty while this device is in it).
+    pub fn set_cohort_size(&mut self, t_count: usize) {
+        if t_count > 0 {
+            self.t_count = t_count;
+        }
+    }
+
+    /// Current cohort size `T` used in `κ = λ/T`.
+    pub fn cohort_size(&self) -> usize {
+        self.t_count
+    }
+
     /// Number of constraints currently in the device working set.
     pub fn working_set_len(&self) -> usize {
         self.working_set.len()
@@ -271,6 +286,16 @@ mod tests {
         let w0 = Vector::from(vec![50.0, 0.0]);
         let update = solver.solve(&w0, &Vector::zeros(2)).unwrap();
         assert!(update.xi_t < 1e-6, "xi = {}", update.xi_t);
+    }
+
+    #[test]
+    fn cohort_rescale_updates_t_and_ignores_zero() {
+        let mut solver = LocalSolver::new(labeled_user(), config(), 4);
+        assert_eq!(solver.cohort_size(), 4);
+        solver.set_cohort_size(3);
+        assert_eq!(solver.cohort_size(), 3);
+        solver.set_cohort_size(0);
+        assert_eq!(solver.cohort_size(), 3, "zero roster must be ignored");
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   byte/message counters;
 //! * [`node`] — star-topology construction and a scoped-thread client
 //!   runner;
+//! * [`fault`] — deterministic, seed-driven fault injection
+//!   (drop/delay/duplicate/reorder/corrupt/dead-link) wrapped around the
+//!   transport, so the fault-tolerant server can be exercised under
+//!   reproducible chaos;
 //! * [`metrics`] — traffic snapshots and an energy model (J/byte + J/flop);
 //! * [`cost`] — device compute profiles (server vs smartphone) used to
 //!   rescale measured wall-clock into device-equivalent running time
@@ -28,6 +32,7 @@
 
 pub mod codec;
 pub mod cost;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod node;
@@ -36,8 +41,9 @@ pub mod transport;
 
 pub use codec::CodecError;
 pub use cost::DeviceProfile;
+pub use fault::{DeadLink, FaultPlan, FaultStats, FaultyEndpoint, LinkFaults};
 pub use message::Message;
 pub use metrics::{EnergyModel, TrafficStats};
 pub use node::{star, StarNetwork};
 pub use sim::LinkModel;
-pub use transport::Endpoint;
+pub use transport::{Endpoint, TransportError};

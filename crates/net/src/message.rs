@@ -53,6 +53,13 @@ pub enum Message {
     },
     /// Server → user: training finished, terminate.
     Shutdown,
+    /// Server → user: the cohort shrank (devices were evicted after
+    /// permanent failures); rescale every `T`-dependent quantity — notably
+    /// the `Σ_k γ_kt ≤ T/2λ` dual cap via `κ = λ/T` — to the new size.
+    RosterUpdate {
+        /// Number of devices still participating.
+        t_count: u32,
+    },
 }
 
 const TAG_BROADCAST: u8 = 1;
@@ -60,6 +67,7 @@ const TAG_CLIENT_UPDATE: u8 = 2;
 const TAG_CCCP_ADVANCE: u8 = 3;
 const TAG_SHUTDOWN: u8 = 4;
 const TAG_REFINE: u8 = 5;
+const TAG_ROSTER_UPDATE: u8 = 6;
 
 impl Message {
     /// Encodes the message to its wire representation.
@@ -92,6 +100,10 @@ impl Message {
             }
             Message::Shutdown => {
                 buf.put_u8(TAG_SHUTDOWN);
+            }
+            Message::RosterUpdate { t_count } => {
+                buf.put_u8(TAG_ROSTER_UPDATE);
+                buf.put_u32_le(*t_count);
             }
         }
         buf.freeze()
@@ -130,6 +142,7 @@ impl Message {
                 w0: codec::get_vector(&mut bytes)?,
             }),
             TAG_SHUTDOWN => Ok(Message::Shutdown),
+            TAG_ROSTER_UPDATE => Ok(Message::RosterUpdate { t_count: codec::get_u32(&mut bytes)? }),
             other => Err(CodecError::UnknownTag(other)),
         }
     }
@@ -146,6 +159,7 @@ impl Message {
             Message::CccpAdvance { .. } => 4,
             Message::Refine { w0, .. } => 4 + codec::vector_wire_len(w0),
             Message::Shutdown => 0,
+            Message::RosterUpdate { .. } => 4,
         }
     }
 }
@@ -186,6 +200,7 @@ mod tests {
         round_trip(Message::CccpAdvance { cccp_round: 2 });
         round_trip(Message::Shutdown);
         round_trip(Message::Refine { round: 3, w0: Vector::from(vec![1.0, -0.5]) });
+        round_trip(Message::RosterUpdate { t_count: 11 });
     }
 
     #[test]

@@ -11,12 +11,15 @@
 pub struct TrafficStats {
     /// Bytes written to the link.
     pub bytes_sent: u64,
-    /// Bytes read from the link.
+    /// Bytes read from the link (successfully decoded frames only).
     pub bytes_received: u64,
     /// Messages written to the link.
     pub messages_sent: u64,
-    /// Messages read from the link.
+    /// Messages read from the link (successfully decoded frames only).
     pub messages_received: u64,
+    /// Frames that arrived but failed to decode (corruption, truncation,
+    /// version skew). Excluded from the byte/message counters above.
+    pub decode_failures: u64,
 }
 
 impl TrafficStats {
@@ -42,6 +45,7 @@ impl TrafficStats {
             bytes_received: self.bytes_received + other.bytes_received,
             messages_sent: self.messages_sent + other.messages_sent,
             messages_received: self.messages_received + other.messages_received,
+            decode_failures: self.decode_failures + other.decode_failures,
         }
     }
 }
@@ -88,6 +92,7 @@ mod tests {
             bytes_received: 2048,
             messages_sent: 3,
             messages_received: 4,
+            ..Default::default()
         };
         assert_eq!(s.total_bytes(), 3072);
         assert_eq!(s.total_messages(), 7);
@@ -101,12 +106,14 @@ mod tests {
             bytes_received: 2,
             messages_sent: 3,
             messages_received: 4,
+            ..Default::default()
         };
         let b = TrafficStats {
             bytes_sent: 10,
             bytes_received: 20,
             messages_sent: 30,
             messages_received: 40,
+            ..Default::default()
         };
         let m = a.merged(&b);
         assert_eq!(
@@ -115,7 +122,8 @@ mod tests {
                 bytes_sent: 11,
                 bytes_received: 22,
                 messages_sent: 33,
-                messages_received: 44
+                messages_received: 44,
+                ..Default::default()
             }
         );
     }

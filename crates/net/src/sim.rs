@@ -67,6 +67,7 @@ mod tests {
             bytes_received: 500_000,
             messages_sent: 3,
             messages_received: 1,
+            ..Default::default()
         };
         let t = link.total_time(&traffic);
         // 4 messages x 5 ms + 1 MB / 1 MB/s = 20 ms + 1 s.
@@ -86,6 +87,7 @@ mod tests {
             bytes_received: 10_000,
             messages_sent: 10,
             messages_received: 10,
+            ..Default::default()
         };
         assert!(LinkModel::wifi().total_time(&traffic) < LinkModel::lte().total_time(&traffic));
     }

@@ -57,6 +57,7 @@ struct Counters {
     bytes_received: AtomicU64,
     messages_sent: AtomicU64,
     messages_received: AtomicU64,
+    decode_failures: AtomicU64,
 }
 
 /// One end of a bidirectional, counted, in-process link.
@@ -99,8 +100,7 @@ impl Endpoint {
     /// codec error for malformed bytes.
     pub fn recv(&self) -> Result<Message, TransportError> {
         let bytes = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
-        self.account_received(&bytes);
-        Ok(Message::decode(bytes)?)
+        self.decode_counted(bytes)
     }
 
     /// Like [`Endpoint::recv`] but gives up after `timeout`.
@@ -109,17 +109,45 @@ impl Endpoint {
     ///
     /// Adds [`TransportError::Timeout`] to the failure modes of `recv`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, TransportError> {
-        let bytes = self.rx.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => TransportError::Timeout,
-            RecvTimeoutError::Disconnected => TransportError::Disconnected,
-        })?;
-        self.account_received(&bytes);
-        Ok(Message::decode(bytes)?)
+        let bytes = self.recv_bytes_timeout(timeout)?;
+        self.decode_counted(bytes)
     }
 
-    fn account_received(&self, bytes: &Bytes) {
-        self.counters.bytes_received.fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        self.counters.messages_received.fetch_add(1, Ordering::Relaxed);
+    /// Sends pre-encoded (possibly corrupted) bytes. Fault-injection hook:
+    /// counters still see the frame, exactly like a real NIC would.
+    pub(crate) fn send_bytes(&self, bytes: Bytes) -> Result<(), TransportError> {
+        let len = bytes.len() as u64;
+        self.tx.send(bytes).map_err(|_| TransportError::Disconnected)?;
+        self.counters.bytes_sent.fetch_add(len, Ordering::Relaxed);
+        self.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pulls one raw frame without decoding or accounting it.
+    /// Fault-injection hook: the fault layer decides the frame's fate first.
+    pub(crate) fn recv_bytes_timeout(&self, timeout: Duration) -> Result<Bytes, TransportError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+
+    /// Decodes a frame, counting it as received traffic only when the decode
+    /// succeeds; malformed frames bump `decode_failures` instead, so corrupt
+    /// traffic never inflates [`TrafficStats`].
+    pub(crate) fn decode_counted(&self, bytes: Bytes) -> Result<Message, TransportError> {
+        let len = bytes.len() as u64;
+        match Message::decode(bytes) {
+            Ok(message) => {
+                self.counters.bytes_received.fetch_add(len, Ordering::Relaxed);
+                self.counters.messages_received.fetch_add(1, Ordering::Relaxed);
+                Ok(message)
+            }
+            Err(e) => {
+                self.counters.decode_failures.fetch_add(1, Ordering::Relaxed);
+                Err(TransportError::Codec(e))
+            }
+        }
     }
 
     /// Snapshot of this endpoint's traffic counters.
@@ -129,6 +157,7 @@ impl Endpoint {
             bytes_received: self.counters.bytes_received.load(Ordering::Relaxed),
             messages_sent: self.counters.messages_sent.load(Ordering::Relaxed),
             messages_received: self.counters.messages_received.load(Ordering::Relaxed),
+            decode_failures: self.counters.decode_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -206,6 +235,24 @@ mod tests {
         a.send(&original).unwrap();
         assert_eq!(a.recv().unwrap(), original);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_frames_count_as_decode_failures_not_traffic() {
+        let (a, b) = Endpoint::pair();
+        a.send_bytes(Bytes::from(vec![0xFF, 0xFF, 0xFF])).unwrap();
+        let err = b.recv().unwrap_err();
+        assert!(matches!(err, TransportError::Codec(_)));
+        let stats = b.stats();
+        assert_eq!(stats.messages_received, 0, "corrupt frame must not count as received");
+        assert_eq!(stats.bytes_received, 0, "corrupt bytes must not inflate traffic");
+        assert_eq!(stats.decode_failures, 1);
+        // A good frame afterwards is counted normally.
+        a.send(&Message::Shutdown).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::Shutdown);
+        let stats = b.stats();
+        assert_eq!(stats.messages_received, 1);
+        assert_eq!(stats.decode_failures, 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Project-specific static analysis, run as `cargo run -p xtask -- lint`.
 //!
 //! Complements the `[workspace.lints]` table in the root `Cargo.toml` with
-//! invariants clippy cannot express. Five rules, all textual and
+//! invariants clippy cannot express. Six rules, all textual and
 //! zero-dependency so the gate works offline:
 //!
 //! 1. **std-sync** — no `std::sync::Mutex`/`RwLock` in first-party library
@@ -21,6 +21,12 @@
 //! 5. **allow-justification** — every `#[allow(...)]` (and file-level
 //!    `#![allow(...)]`/`cfg_attr` variant) is immediately preceded by a
 //!    `//` comment justifying the suppression.
+//! 6. **endpoint-recv** — in library code that talks to the transport
+//!    (references `plos_net`) outside `crates/net` itself, no bare
+//!    blocking `recv()` and no `expect` chained onto a send/recv: every
+//!    wait runs under a timeout (`recv_timeout` + `RetryPolicy`) and every
+//!    transport failure propagates as `CoreError::Transport`, so a dead
+//!    device can never hang or panic a trainer.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -142,6 +148,9 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
     let in_net = rel_path.starts_with("crates/net/");
     let in_exec = rel_path.starts_with("crates/exec/");
     let in_sensing = rel_path.starts_with("crates/sensing/");
+    // Rule 6 applies to transport consumers: library files that reference
+    // the net crate but live outside it.
+    let talks_to_transport = !in_net && text.contains("plos_net");
 
     // Banned-pattern fragments are concatenated at use sites so this file
     // never contains them verbatim (the linter must pass itself).
@@ -149,6 +158,10 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
     let std_rwlock = ["std::sync::", "RwLock"].concat();
     let spawn = ["thread::", "spawn"].concat();
     let scope = ["thread::", "scope"].concat();
+    let recv_call = [".re", "cv"].concat();
+    let bare_recv = [&recv_call, "()"].concat();
+    let send_call = [".se", "nd("].concat();
+    let expect_call = [".expe", "ct("].concat();
 
     for (idx, raw) in lines.iter().enumerate() {
         let line = raw.trim_start();
@@ -215,6 +228,33 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
                               (.round()/.floor()/.ceil()) before casting"
                         .to_string(),
                 });
+            }
+            // Rule 6: transport waits are timeout-driven and fallible
+            // outside crates/net.
+            if talks_to_transport {
+                if line.contains(&bare_recv) {
+                    out.push(Violation {
+                        path: path.to_path_buf(),
+                        line: lineno,
+                        rule: "endpoint-recv",
+                        message: "bare blocking recv() on the transport; use \
+                                  recv_timeout under a RetryPolicy so a dead \
+                                  device cannot hang the trainer"
+                            .to_string(),
+                    });
+                }
+                if (line.contains(&send_call) || line.contains(&recv_call))
+                    && line.contains(&expect_call)
+                {
+                    out.push(Violation {
+                        path: path.to_path_buf(),
+                        line: lineno,
+                        rule: "endpoint-recv",
+                        message: "expect on a transport send/recv; propagate \
+                                  CoreError::Transport instead of panicking"
+                            .to_string(),
+                    });
+                }
             }
         }
 

@@ -56,9 +56,11 @@ pub use plos_sensing as sensing;
 pub mod prelude {
     pub use plos_core::baselines::{AllBaseline, GroupBaseline, SingleBaseline};
     pub use plos_core::{
-        CentralizedPlos, DistributedPlos, DistributedReport, PersonalizedModel, PlosConfig,
+        CentralizedPlos, DistributedPlos, DistributedReport, FaultTolerance, PersonalizedModel,
+        PlosConfig, RetryPolicy, RoundParticipation,
     };
     pub use plos_linalg::{Matrix, Vector};
+    pub use plos_net::{DeadLink, FaultPlan};
     pub use plos_sensing::dataset::{LabelMask, MultiUserDataset, UserData};
     pub use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
 }
