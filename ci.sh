@@ -30,6 +30,23 @@ cargo test -q --test parallel_parity
 echo "==> PLOS_FAULT_SEED=2024 cargo test -q --test fault_tolerance"
 PLOS_FAULT_SEED=2024 cargo test -q --test fault_tolerance
 
+# Trace parity: telemetry must not perturb training. The same seeded runs,
+# once dark and once under PLOS_TRACE, must print bit-identical model
+# digests — and the traced run must actually produce the per-iteration
+# events the observability layer promises (DESIGN.md §9).
+echo "==> trace parity (PLOS_TRACE on/off, bit-identical models)"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo build -q --release -p plos-bench --bin trace_parity
+./target/release/trace_parity > "$trace_tmp/dark.txt"
+PLOS_TRACE="$trace_tmp/trace.jsonl" ./target/release/trace_parity > "$trace_tmp/lit.txt"
+diff "$trace_tmp/dark.txt" "$trace_tmp/lit.txt"
+test -s "$trace_tmp/trace.jsonl"
+for event in cccp_round cutting_round admm_round qp_solve span; do
+    grep -q "\"event\":\"$event\"" "$trace_tmp/trace.jsonl" \
+        || { echo "trace missing $event events"; exit 1; }
+done
+
 echo "==> cargo test -q --features strict-invariants"
 cargo test -q --features strict-invariants
 

@@ -5,13 +5,19 @@
 //! under increasingly hostile link conditions and printing accuracy,
 //! participation, and eviction counts per point. All plans share one seed,
 //! so the injected schedule — and the whole table — is reproducible.
+//!
+//! Besides the table, the suite writes `results/BENCH_chaos.json` built
+//! from `plos-obs` trace events (`chaos_scenario`, one per row) so the
+//! fault-tolerance numbers are machine-readable with the same parser that
+//! reads `PLOS_TRACE` JSONL streams.
 
 use std::time::Duration;
 
-use plos_bench::RunOptions;
+use plos_bench::{emit_event, render_suite_json, results_path, RunOptions};
 use plos_core::eval::{plos_predictions, score_predictions};
-use plos_core::{CoreError, DistributedPlos, FaultTolerance, PlosConfig, RetryPolicy};
+use plos_core::{DistributedPlos, FaultTolerance, PlosConfig, RetryPolicy};
 use plos_net::FaultPlan;
+use plos_obs::Event;
 use plos_sensing::dataset::LabelMask;
 use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
 
@@ -33,7 +39,7 @@ fn sweep_policy() -> FaultTolerance {
     .with_quorum(0.75)
 }
 
-fn main() -> Result<(), CoreError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
     let users = if opts.quick { 4 } else { 8 };
     let spec = SyntheticSpec {
@@ -69,6 +75,7 @@ fn main() -> Result<(), CoreError> {
         "{:>16} {:>10} {:>14} {:>9} {:>10}",
         "scenario", "accuracy", "participation", "evicted", "degraded"
     );
+    let mut events: Vec<Event> = Vec::new();
     for (name, plan) in &scenarios {
         let (model, report) = trainer.fit_with_faults(&data, plan)?;
         let acc = score_predictions(&data, &plos_predictions(&model, &data));
@@ -82,6 +89,39 @@ fn main() -> Result<(), CoreError> {
             report.evicted.len(),
             report.degraded
         );
+        events.push(Event {
+            name: "chaos_scenario",
+            fields: vec![
+                ("scenario", (*name).into()),
+                ("accuracy", overall.into()),
+                ("participation_rate", report.participation_rate().into()),
+                ("admm_rounds", report.admm_iterations.into()),
+                ("evicted", report.evicted.len().into()),
+                ("degraded", report.degraded.into()),
+                ("converged", report.converged.into()),
+                ("protocol_errors", report.protocol_errors.into()),
+                ("late_discards", report.late_discards.into()),
+            ],
+        });
     }
+
+    let header = Event {
+        name: "chaos_suite",
+        fields: vec![
+            ("quick", opts.quick.into()),
+            ("seed", opts.seed.into()),
+            ("users", users.into()),
+            ("quorum", 0.75.into()),
+        ],
+    };
+    for e in std::iter::once(&header).chain(&events) {
+        emit_event(e);
+    }
+    let out = results_path("BENCH_chaos.json");
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&out, render_suite_json(&header, &events))?;
+    println!("\nwrote {}", out.display());
     Ok(())
 }

@@ -4,13 +4,15 @@
 //! three individual binaries but 3× cheaper, since they share the sweep.
 //!
 //! Besides the human-readable tables on stdout, the suite writes a
-//! machine-readable `results/BENCH_scale.json` (per-phase wall-clock,
-//! thread count used, dataset sizes) so perf regressions can be tracked
-//! without scraping the text output.
+//! machine-readable `results/BENCH_scale.json` built from `plos-obs` trace
+//! events (`scale_point`, one per sweep position), so perf regressions can
+//! be tracked with the same parser that reads `PLOS_TRACE` JSONL streams.
 
-use plos_bench::{run_scale_point, scale_sweep, RunOptions, ScalePoint};
-use std::fmt::Write as _;
-use std::path::PathBuf;
+use plos_bench::{
+    emit_event, render_suite_json, results_path, run_scale_point, scale_sweep, RunOptions,
+    ScalePoint,
+};
+use plos_obs::Event;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -53,62 +55,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{:>8} {:>14.2} {:>10}", p.users, p.kb_per_user, p.admm_iterations);
     }
 
-    let json = render_json(&opts, threads, total_wall_clock_s, &points);
-    let out = json_output_path();
+    let header = Event {
+        name: "scale_suite",
+        fields: vec![
+            ("quick", opts.quick.into()),
+            ("trials", opts.trials.into()),
+            ("seed", opts.seed.into()),
+            ("threads", threads.into()),
+            ("total_wall_clock_s", total_wall_clock_s.into()),
+        ],
+    };
+    let events: Vec<Event> = points.iter().map(point_event).collect();
+    for e in std::iter::once(&header).chain(&events) {
+        emit_event(e);
+    }
+    let out = results_path("BENCH_scale.json");
     if let Some(dir) = out.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    std::fs::write(&out, json)?;
+    std::fs::write(&out, render_suite_json(&header, &events))?;
     println!("\nwrote {}", out.display());
     Ok(())
 }
 
-/// `results/BENCH_scale.json` next to the existing `results/*.txt`, resolved
-/// from the workspace root so the suite can run from any directory.
-fn json_output_path() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let root = manifest
-        .parent()
-        .and_then(std::path::Path::parent)
-        .map_or(manifest.clone(), std::path::Path::to_path_buf);
-    root.join("results").join("BENCH_scale.json")
-}
-
-/// Hand-rolled JSON (the workspace is dependency-free; there is no serde).
-/// All emitted floats come from accuracies and elapsed timers, so they are
-/// finite and `{}` formatting yields valid JSON numbers.
-fn render_json(
-    opts: &RunOptions,
-    threads: usize,
-    total_wall_clock_s: f64,
-    points: &[ScalePoint],
-) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"suite\": \"scale\",");
-    let _ = writeln!(s, "  \"quick\": {},", opts.quick);
-    let _ = writeln!(s, "  \"trials\": {},", opts.trials);
-    let _ = writeln!(s, "  \"seed\": {},", opts.seed);
-    let _ = writeln!(s, "  \"threads\": {threads},");
-    let _ = writeln!(s, "  \"total_wall_clock_s\": {total_wall_clock_s},");
-    let _ = writeln!(s, "  \"points\": [");
-    let last = points.len().saturating_sub(1);
-    for (i, p) in points.iter().enumerate() {
-        let _ = writeln!(s, "    {{");
-        let _ = writeln!(s, "      \"users\": {},", p.users);
-        let _ = writeln!(s, "      \"points_per_class\": {},", p.points_per_class);
-        let _ = writeln!(s, "      \"samples_per_user\": {},", 2 * p.points_per_class);
-        let _ = writeln!(s, "      \"acc_centralized\": {},", p.acc_centralized);
-        let _ = writeln!(s, "      \"acc_distributed\": {},", p.acc_distributed);
-        let _ = writeln!(s, "      \"phase_wall_clock_s\": {{");
-        let _ = writeln!(s, "        \"centralized\": {},", p.time_centralized_s);
-        let _ = writeln!(s, "        \"distributed\": {}", p.time_distributed_s);
-        let _ = writeln!(s, "      }},");
-        let _ = writeln!(s, "      \"kb_per_user\": {},", p.kb_per_user);
-        let _ = writeln!(s, "      \"admm_iterations\": {}", p.admm_iterations);
-        let _ = writeln!(s, "    }}{}", if i == last { "" } else { "," });
+/// One `scale_point` trace event per sweep position — the same record shape
+/// whether it lands in `BENCH_scale.json` or a `PLOS_TRACE` JSONL stream.
+fn point_event(p: &ScalePoint) -> Event {
+    Event {
+        name: "scale_point",
+        fields: vec![
+            ("users", p.users.into()),
+            ("points_per_class", p.points_per_class.into()),
+            ("samples_per_user", (2 * p.points_per_class).into()),
+            ("acc_centralized", p.acc_centralized.into()),
+            ("acc_distributed", p.acc_distributed.into()),
+            ("time_centralized_s", p.time_centralized_s.into()),
+            ("time_distributed_s", p.time_distributed_s.into()),
+            ("kb_per_user", p.kb_per_user.into()),
+            ("admm_iterations", p.admm_iterations.into()),
+        ],
     }
-    let _ = writeln!(s, "  ]");
-    let _ = writeln!(s, "}}");
-    s
 }

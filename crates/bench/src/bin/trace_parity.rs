@@ -1,0 +1,60 @@
+//! Trace-parity gate: tracing must not perturb training.
+//!
+//! Runs a seeded centralized fit and a seeded (fault-free) distributed fit
+//! and prints a bit-exact digest of each trained model — the IEEE-754 bit
+//! pattern of every coefficient, FNV-1a folded to one line. `ci.sh` runs
+//! this binary twice, once plain and once under `PLOS_TRACE=<tmp>`, and
+//! diffs the stdout: any divergence means telemetry leaked into the solver
+//! (a clock read feeding a decision, a counter perturbing iteration order)
+//! and fails the build. The traced run's JSONL is then checked for the
+//! per-iteration events the observability layer promises.
+//!
+//! The gate covers deterministic runs only: under fault injection,
+//! wall-clock timing feeds retry/eviction decisions, so bit-parity is not
+//! defined there (see DESIGN.md §9).
+
+use plos_core::{CentralizedPlos, DistributedPlos, PersonalizedModel, PlosConfig};
+use plos_sensing::dataset::LabelMask;
+use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
+
+/// FNV-1a over the IEEE-754 bit patterns of every model coefficient.
+/// Negative zero vs. positive zero, NaN payloads — everything distinguishes.
+fn digest(model: &PersonalizedModel) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut fold = |v: f64| {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for &c in model.global_hyperplane().iter() {
+        fold(c);
+    }
+    for t in 0..model.num_users() {
+        for &c in model.personal_bias(t).iter() {
+            fold(c);
+        }
+    }
+    h
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SyntheticSpec {
+        num_users: 6,
+        points_per_class: 30,
+        max_rotation: std::f64::consts::FRAC_PI_3,
+        flip_prob: 0.05,
+    };
+    let data = generate_synthetic(&spec, 77).mask_labels(&LabelMask::providers(3, 0.2), 5);
+    let config = PlosConfig::fast();
+
+    let central = CentralizedPlos::new(config.clone()).fit(&data)?;
+    println!("centralized {:016x}", digest(&central));
+
+    let (dist, report) = DistributedPlos::new(config).fit(&data)?;
+    println!("distributed {:016x}", digest(&dist));
+    println!("admm_rounds {}", report.admm_iterations);
+    Ok(())
+}

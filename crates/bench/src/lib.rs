@@ -314,6 +314,47 @@ pub fn scale_sweep(opts: &RunOptions) -> Vec<usize> {
     }
 }
 
+/// Resolves `results/<file_name>` from the workspace root so the suites can
+/// run from any directory.
+pub fn results_path(file_name: &str) -> std::path::PathBuf {
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or(manifest.clone(), std::path::Path::to_path_buf);
+    root.join("results").join(file_name)
+}
+
+/// Renders a suite report as one JSON document built entirely from
+/// `plos-obs` trace events: a `"suite"` header event plus an `"events"`
+/// array, each element rendered with the exact JSONL schema a
+/// `PLOS_TRACE` run would stream. Keeping `results/BENCH_*.json` on the
+/// trace schema means one parser (`plos_obs::json`) reads both.
+pub fn render_suite_json(header: &plos_obs::Event, events: &[plos_obs::Event]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"suite\": ");
+    s.push_str(&plos_obs::json::render(header));
+    s.push_str(",\n  \"events\": [\n");
+    let last = events.len().saturating_sub(1);
+    for (i, e) in events.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&plos_obs::json::render(e));
+        if i != last {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Mirrors a prebuilt event into the live trace (if `PLOS_TRACE` is set),
+/// so the suites' summary events land in the JSONL stream alongside the
+/// solver's own per-iteration events.
+pub fn emit_event(event: &plos_obs::Event) {
+    plos_obs::emit(event.name, &event.fields);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +391,28 @@ mod tests {
         let o = RunOptions::default();
         assert_eq!(o.trials, 1);
         assert!(!o.quick);
+    }
+
+    #[test]
+    fn suite_json_round_trips_through_the_trace_parser() {
+        use plos_obs::json::Json;
+        use plos_obs::{Event, Value};
+        let header = Event { name: "scale_suite", fields: vec![("threads", Value::U64(4))] };
+        let events = vec![
+            Event {
+                name: "scale_point",
+                fields: vec![("users", Value::U64(10)), ("acc", Value::F64(0.5))],
+            },
+            Event { name: "scale_point", fields: vec![("users", Value::U64(20))] },
+        ];
+        let doc = render_suite_json(&header, &events);
+        let parsed = plos_obs::json::parse(&doc).unwrap();
+        let suite = parsed.get("suite").unwrap();
+        assert_eq!(suite.get("event").and_then(Json::as_str), Some("scale_suite"));
+        assert_eq!(suite.get("threads").and_then(Json::as_u64), Some(4));
+        let arr = parsed.get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("users").and_then(Json::as_u64), Some(10));
+        assert_eq!(arr[0].get("acc").and_then(Json::as_f64), Some(0.5));
     }
 }

@@ -126,6 +126,7 @@ impl AsyncDistributedPlos {
         &self,
         dataset: &MultiUserDataset,
     ) -> Result<(PersonalizedModel, AsyncReport), CoreError> {
+        let _span = plos_obs::Span::enter("async_fit");
         let prepared = problem::prepare(dataset, self.config.bias);
         let t_count = prepared.users.len();
         if t_count == 0 {
@@ -161,6 +162,16 @@ impl AsyncDistributedPlos {
         report.per_user_traffic = client_outs.iter().map(|c| c.stats).collect();
         report.stale_replies = client_outs.iter().map(|c| c.stale).collect();
         report.fresh_replies = client_outs.iter().map(|c| c.fresh).collect();
+        if plos_obs::enabled() {
+            plos_obs::emit(
+                "async_summary",
+                &[
+                    ("admm_rounds", report.admm_iterations.into()),
+                    ("cccp_rounds", report.cccp_rounds.into()),
+                    ("staleness", report.staleness().into()),
+                ],
+            );
+        }
         Ok((model, report))
     }
 
@@ -362,8 +373,17 @@ impl AsyncDistributedPlos {
                     *u_t += &delta;
                 }
                 w0 = w0_new;
+                let primal_residual = primal_sq.sqrt();
+                plos_obs::emit(
+                    "admm_round",
+                    &[
+                        ("round", round.into()),
+                        ("primal_residual", primal_residual.into()),
+                        ("dual_residual", dual_residual.into()),
+                    ],
+                );
                 if dual_residual <= sqrt_2t * self.config.eps_abs
-                    && primal_sq.sqrt() <= sqrt_t * self.config.eps_abs
+                    && primal_residual <= sqrt_t * self.config.eps_abs
                 {
                     break;
                 }
@@ -372,6 +392,10 @@ impl AsyncDistributedPlos {
                 + kappa * v_ts.iter().map(Vector::norm_squared).sum::<f64>()
                 + xi_ts.iter().sum::<f64>();
             history.push(objective);
+            plos_obs::emit(
+                "cccp_round",
+                &[("round", cccp_rounds.into()), ("objective", objective.into())],
+            );
             if history.converged(self.config.cccp_tol) {
                 break;
             }

@@ -37,6 +37,7 @@ impl AllBaseline {
     ///
     /// See [`AllBaseline::fit`].
     pub fn fit_with(dataset: &MultiUserDataset, params: &SvmParams) -> Result<Self, CoreError> {
+        let _span = plos_obs::Span::enter("all_baseline_fit");
         let mut xs: Vec<Vector> = Vec::new();
         let mut ys: Vec<i8> = Vec::new();
         for user in dataset.users() {

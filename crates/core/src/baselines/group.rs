@@ -59,18 +59,17 @@ impl GroupBaseline {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Ml`] if spectral clustering or any per-group
-    /// SVM / k-means fit fails.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `num_groups` is 0 or exceeds the number of users.
+    /// Returns [`CoreError::InvalidConfig`] if `num_groups` is 0 or exceeds
+    /// the number of users, and [`CoreError::Ml`] if spectral clustering or
+    /// any per-group SVM / k-means fit fails.
     pub fn fit(dataset: &MultiUserDataset, config: &GroupConfig) -> Result<Self, CoreError> {
+        let _span = plos_obs::Span::enter("group_baseline_fit");
         let t_count = dataset.num_users();
-        assert!(
-            config.num_groups >= 1 && config.num_groups <= t_count,
-            "num_groups must be in 1..={t_count}"
-        );
+        if config.num_groups < 1 || config.num_groups > t_count {
+            return Err(CoreError::InvalidConfig {
+                detail: format!("num_groups must be in 1..={t_count}, got {}", config.num_groups),
+            });
+        }
 
         // 1. LSH histograms per user, hashed concurrently (the hyperplanes
         // are fixed by the seed, so output is identical at any pool size).
@@ -132,16 +131,10 @@ impl GroupBaseline {
         self.models.len()
     }
 
-    /// Whether group `g` trained a supervised classifier.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `g` is out of range.
-    // Allowed: documented panicking accessor; out-of-range `g` is a caller
-    // bug, as in slice indexing.
-    #[allow(clippy::indexing_slicing)]
+    /// Whether group `g` trained a supervised classifier. An out-of-range
+    /// `g` names no group and therefore no supervised classifier: `false`.
     pub fn is_supervised(&self, g: usize) -> bool {
-        matches!(self.models[g], GroupModel::Svm(_))
+        matches!(self.models.get(g), Some(GroupModel::Svm(_)))
     }
 
     /// Predictions for every user's full sample set, using that user's group
@@ -260,10 +253,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "num_groups must be in")]
-    fn too_many_groups_panics() {
+    fn bad_num_groups_is_an_error_not_a_panic() {
         let d = rotated_cohort();
-        let cfg = GroupConfig { num_groups: 100, ..Default::default() };
-        let _ = GroupBaseline::fit(&d, &cfg);
+        for bad in [0, 100] {
+            let cfg = GroupConfig { num_groups: bad, ..Default::default() };
+            let err = GroupBaseline::fit(&d, &cfg).unwrap_err();
+            assert!(
+                matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("num_groups")),
+                "num_groups {bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_group_is_not_supervised() {
+        let d = rotated_cohort();
+        let group = GroupBaseline::fit(&d, &GroupConfig::default()).unwrap();
+        assert!(!group.is_supervised(usize::MAX));
     }
 }

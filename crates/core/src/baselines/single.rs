@@ -51,6 +51,7 @@ impl SingleBaseline {
         params: &SvmParams,
         seed: u64,
     ) -> Result<Self, CoreError> {
+        let _span = plos_obs::Span::enter("single_baseline_fit");
         // Users train independently (that is the whole point of *Single*),
         // so fit them concurrently; per-user k-means seeds depend only on
         // `t`, and results return in user order, so the trained model is
@@ -84,16 +85,10 @@ impl SingleBaseline {
         self.models.len()
     }
 
-    /// Whether user `t` trained a supervised model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `t` is out of range.
-    // Allowed: documented panicking accessor; out-of-range `t` is a caller
-    // bug, as in slice indexing.
-    #[allow(clippy::indexing_slicing)]
+    /// Whether user `t` trained a supervised model. An out-of-range `t`
+    /// names no user and therefore no supervised model: `false`.
     pub fn is_supervised(&self, t: usize) -> bool {
-        matches!(self.models[t], LocalModel::Svm(_))
+        matches!(self.models.get(t), Some(LocalModel::Svm(_)))
     }
 
     /// Predictions for every user's full sample set.

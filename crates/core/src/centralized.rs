@@ -88,6 +88,7 @@ impl CentralizedPlos {
     // construction.
     #[allow(clippy::indexing_slicing)]
     pub fn fit_detailed(&self, dataset: &MultiUserDataset) -> Result<CentralizedFit, CoreError> {
+        let _span = plos_obs::Span::enter("centralized_fit");
         let prepared = problem::prepare(dataset, self.config.bias);
         let t_count = prepared.users.len();
         let dim = prepared.dim;
@@ -132,9 +133,10 @@ impl CentralizedPlos {
                     return (state.clone(), 0.0);
                 }
             };
-            for _round in 0..self.config.max_cutting_rounds {
+            for round in 0..self.config.max_cutting_rounds {
                 cutting_rounds += 1;
                 let mut any_added = false;
+                let mut max_violation = 0.0_f64;
                 // Per-user most-violated-constraint search (Eq. 14) is
                 // independent given the current iterate — fan it out, then
                 // install the findings in user order.
@@ -149,12 +151,21 @@ impl CentralizedPlos {
                     )
                 });
                 for (t, (constraint, violation)) in searched.into_iter().enumerate() {
+                    max_violation = max_violation.max(violation);
                     if violation > self.config.eps {
                         solver.add_constraint(t, constraint);
                         constraints_added += 1;
                         any_added = true;
                     }
                 }
+                plos_obs::emit(
+                    "cutting_round",
+                    &[
+                        ("round", (round + 1).into()),
+                        ("working_set", solver.num_constraints().into()),
+                        ("max_violation", max_violation.into()),
+                    ],
+                );
                 if !any_added {
                     break;
                 }
@@ -223,7 +234,12 @@ impl CentralizedPlos {
             mean.scale_mut(1.0 / t_count as f64);
             w0 = mean.scaled(self.config.lambda / (1.0 + self.config.lambda));
             let vs: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
-            history.push(problem::objective(&prepared, &w0, &vs, &self.config));
+            let objective = problem::objective(&prepared, &w0, &vs, &self.config);
+            history.push(objective);
+            plos_obs::emit(
+                "refine_round",
+                &[("round", (round + 1).into()), ("objective", objective.into())],
+            );
         }
         let vs: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
 

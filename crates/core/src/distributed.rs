@@ -82,6 +82,17 @@ pub struct RoundParticipation {
     pub retries: u32,
 }
 
+/// One ADMM round's Eq. (24) residual norms, as computed by the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmmResiduals {
+    /// Protocol round number (matches [`RoundParticipation::round`]).
+    pub round: u32,
+    /// Primal residual norm `√(Σ‖u⁺ − u‖²)` over the live cohort.
+    pub primal: f64,
+    /// Dual residual norm `ρ·√(2T)·‖w0⁺ − w0‖`.
+    pub dual: f64,
+}
+
 /// Everything the paper's Sec. VI-E experiments measure about a distributed
 /// run.
 #[derive(Debug, Clone)]
@@ -119,6 +130,10 @@ pub struct DistributedReport {
     /// Stale frames (late replies to closed rounds, duplicates) that were
     /// discarded by their `round` tag.
     pub late_discards: u64,
+    /// Eq. (24) residual norms after every ADMM round, across all CCCP
+    /// rounds, in protocol-round order. Mirrors the `admm_round` trace
+    /// events exactly.
+    pub residuals: Vec<AdmmResiduals>,
 }
 
 impl DistributedReport {
@@ -202,12 +217,21 @@ impl<'a> Fleet<'a> {
 
     /// Removes a device from the roster permanently.
     fn evict(&mut self, t: usize) {
-        if let Some(alive) = self.alive.get_mut(t) {
-            if *alive {
+        let newly_evicted = match self.alive.get_mut(t) {
+            Some(alive) if *alive => {
                 *alive = false;
-                self.evicted.push(t);
-                self.roster_dirty = true;
+                true
             }
+            _ => false,
+        };
+        if newly_evicted {
+            self.evicted.push(t);
+            self.roster_dirty = true;
+            plos_obs::emit(
+                "eviction",
+                &[("device", t.into()), ("alive", self.alive_count().into())],
+            );
+            plos_obs::counter_add("distributed.evictions", 1);
         }
     }
 
@@ -442,6 +466,7 @@ impl DistributedPlos {
         dataset: &MultiUserDataset,
         plan: &FaultPlan,
     ) -> Result<(PersonalizedModel, DistributedReport), CoreError> {
+        let _span = plos_obs::Span::enter("distributed_fit");
         let started = Instant::now();
         plan.validate().map_err(|detail| CoreError::Protocol {
             detail: format!("invalid fault plan: {detail}"),
@@ -485,6 +510,29 @@ impl DistributedPlos {
         report.per_user_traffic = client_outs.iter().map(|c| c.stats).collect();
         report.per_user_compute = client_outs.iter().map(|c| c.compute).collect();
         report.wall_clock = started.elapsed();
+        if plos_obs::enabled() {
+            // One summary event unifying the client-side traffic counters
+            // with the fault-tolerance counters of this run.
+            let total = report
+                .per_user_traffic
+                .iter()
+                .fold(TrafficStats::default(), |acc, s| acc.merged(s));
+            plos_obs::emit(
+                "traffic_summary",
+                &[
+                    ("bytes_sent", total.bytes_sent.into()),
+                    ("bytes_received", total.bytes_received.into()),
+                    ("bytes_discarded", total.bytes_discarded.into()),
+                    ("messages_sent", total.messages_sent.into()),
+                    ("messages_received", total.messages_received.into()),
+                    ("decode_failures", total.decode_failures.into()),
+                    ("protocol_errors", report.protocol_errors.into()),
+                    ("late_discards", report.late_discards.into()),
+                    ("evicted", report.evicted.len().into()),
+                    ("participation_rate", report.participation_rate().into()),
+                ],
+            );
+        }
         Ok((model, report))
     }
 
@@ -643,6 +691,7 @@ impl DistributedPlos {
         let mut round = 0u32;
         let mut converged = false;
         let mut cccp_rounds = 0usize;
+        let mut residuals: Vec<AdmmResiduals> = Vec::new();
 
         for cccp_round in 0..self.config.max_cccp_rounds {
             cccp_rounds += 1;
@@ -707,8 +756,30 @@ impl DistributedPlos {
                 w0 = w0_new;
                 server_compute += t0.elapsed();
 
+                let primal_residual = primal_sq.sqrt();
+                residuals.push(AdmmResiduals {
+                    round,
+                    primal: primal_residual,
+                    dual: dual_residual,
+                });
+                if plos_obs::enabled() {
+                    let part = fleet.participation.last().copied();
+                    plos_obs::emit(
+                        "admm_round",
+                        &[
+                            ("round", round.into()),
+                            ("primal_residual", primal_residual.into()),
+                            ("dual_residual", dual_residual.into()),
+                            ("replied", part.map_or(0, |p| p.replied).into()),
+                            ("alive", part.map_or(0, |p| p.alive).into()),
+                            ("retries", part.map_or(0, |p| p.retries).into()),
+                        ],
+                    );
+                    plos_obs::counter_add("distributed.admm_rounds", 1);
+                }
+
                 if dual_residual <= sqrt_2t * self.config.eps_abs
-                    && primal_sq.sqrt() <= sqrt_t * self.config.eps_abs
+                    && primal_residual <= sqrt_t * self.config.eps_abs
                 {
                     break;
                 }
@@ -731,6 +802,10 @@ impl DistributedPlos {
                     .map(|(_, xi_t)| *xi_t)
                     .sum::<f64>();
             history.push(objective);
+            plos_obs::emit(
+                "cccp_round",
+                &[("round", cccp_rounds.into()), ("objective", objective.into())],
+            );
             if history.converged(self.config.cccp_tol) {
                 converged = true;
                 break;
@@ -739,7 +814,7 @@ impl DistributedPlos {
 
         // ---- Refinement: multi-start per-device re-solve + closed-form w0
         // block updates (same messages, still only model parameters). ----
-        for _ in 0..self.config.refine_rounds {
+        for refine_round in 0..self.config.refine_rounds {
             round += 1;
             let refine = |_t: usize| Message::Refine { round, w0: w0.clone() };
             fleet.send_alive(&refine);
@@ -784,6 +859,10 @@ impl DistributedPlos {
                     .map(|(_, xi_t)| *xi_t)
                     .sum::<f64>();
             history.push(objective);
+            plos_obs::emit(
+                "refine_round",
+                &[("round", (refine_round + 1).into()), ("objective", objective.into())],
+            );
         }
 
         fleet.shutdown();
@@ -819,6 +898,7 @@ impl DistributedPlos {
             participation: fleet.participation.clone(),
             protocol_errors: fleet.protocol_errors,
             late_discards: fleet.late_discards,
+            residuals,
         };
         Ok((model, report))
     }

@@ -15,6 +15,12 @@ pub enum CoreError {
     Ml(MlError),
     /// The dataset has no users, so there is nothing to train.
     EmptyDataset,
+    /// A configuration value is out of range for the dataset it was applied
+    /// to (e.g. more groups than users).
+    InvalidConfig {
+        /// Human-readable description of the bad value.
+        detail: String,
+    },
     /// The distributed transport failed irrecoverably (every retry and
     /// timeout budget exhausted, or the whole fleet disconnected).
     Transport {
@@ -44,6 +50,7 @@ impl fmt::Display for CoreError {
             CoreError::Opt(e) => write!(f, "{e}"),
             CoreError::Ml(e) => write!(f, "{e}"),
             CoreError::EmptyDataset => write!(f, "dataset has no users"),
+            CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
             CoreError::Transport { detail } => write!(f, "transport failure: {detail}"),
             CoreError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
             CoreError::QuorumLost { round, alive, required } => write!(
@@ -61,6 +68,7 @@ impl std::error::Error for CoreError {
             CoreError::Opt(e) => Some(e),
             CoreError::Ml(e) => Some(e),
             CoreError::EmptyDataset
+            | CoreError::InvalidConfig { .. }
             | CoreError::Transport { .. }
             | CoreError::Protocol { .. }
             | CoreError::QuorumLost { .. } => None,
@@ -103,6 +111,7 @@ mod tests {
             CoreError::Opt(OptError::NonFinite { what: "warm start" }),
             CoreError::Ml(MlError::Empty { what: "samples" }),
             CoreError::EmptyDataset,
+            CoreError::InvalidConfig { detail: "num_groups 100 exceeds 6 users".into() },
             CoreError::Transport { detail: "peer disconnected".into() },
             CoreError::Protocol { detail: "update attributed to device 3 on link 1".into() },
             CoreError::QuorumLost { round: 7, alive: 4, required: 3 },

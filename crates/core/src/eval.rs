@@ -118,6 +118,7 @@ pub fn compare_methods(
     dataset: &MultiUserDataset,
     config: &EvalConfig,
 ) -> Result<MethodScores, CoreError> {
+    let _span = plos_obs::Span::enter("compare_methods");
     let plos_model = CentralizedPlos::new(config.plos.clone()).fit(dataset)?;
     let plos = score_predictions(dataset, &plos_predictions(&plos_model, dataset));
 
@@ -157,6 +158,7 @@ pub fn select_lambda(
     base: &PlosConfig,
     max_folds: usize,
 ) -> Result<f64, CoreError> {
+    let _span = plos_obs::Span::enter("select_lambda");
     assert!(!candidates.is_empty(), "need at least one lambda candidate");
     let providers = dataset.providers();
     assert!(!providers.is_empty(), "cross-validation needs at least one provider");

@@ -64,7 +64,7 @@ pub mod prox;
 pub use asynchronous::{AsyncDistributedPlos, AsyncSpec};
 pub use centralized::CentralizedPlos;
 pub use config::{FaultTolerance, PlosConfig, RetryPolicy};
-pub use distributed::{DistributedPlos, DistributedReport, RoundParticipation};
+pub use distributed::{AdmmResiduals, DistributedPlos, DistributedReport, RoundParticipation};
 pub use error::CoreError;
 pub use model::PersonalizedModel;
 pub use multiclass::{MulticlassModel, MulticlassPlos};

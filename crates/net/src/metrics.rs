@@ -20,17 +20,22 @@ pub struct TrafficStats {
     /// Frames that arrived but failed to decode (corruption, truncation,
     /// version skew). Excluded from the byte/message counters above.
     pub decode_failures: u64,
+    /// Bytes of frames that arrived but failed to decode. The radio spent
+    /// energy receiving them, so the energy model counts them as rx bytes
+    /// even though they never became messages.
+    pub bytes_discarded: u64,
 }
 
 impl TrafficStats {
-    /// Total bytes moved in either direction.
+    /// Total bytes moved in either direction (saturating: long chaos runs
+    /// must never wrap counters into nonsense telemetry).
     pub fn total_bytes(&self) -> u64 {
-        self.bytes_sent + self.bytes_received
+        self.bytes_sent.saturating_add(self.bytes_received)
     }
 
-    /// Total messages moved in either direction.
+    /// Total messages moved in either direction (saturating).
     pub fn total_messages(&self) -> u64 {
-        self.messages_sent + self.messages_received
+        self.messages_sent.saturating_add(self.messages_received)
     }
 
     /// Total traffic in kilobytes (the unit of Fig. 13).
@@ -38,14 +43,15 @@ impl TrafficStats {
         self.total_bytes() as f64 / 1024.0
     }
 
-    /// Component-wise sum of two snapshots.
+    /// Component-wise saturating sum of two snapshots.
     pub fn merged(&self, other: &TrafficStats) -> TrafficStats {
         TrafficStats {
-            bytes_sent: self.bytes_sent + other.bytes_sent,
-            bytes_received: self.bytes_received + other.bytes_received,
-            messages_sent: self.messages_sent + other.messages_sent,
-            messages_received: self.messages_received + other.messages_received,
-            decode_failures: self.decode_failures + other.decode_failures,
+            bytes_sent: self.bytes_sent.saturating_add(other.bytes_sent),
+            bytes_received: self.bytes_received.saturating_add(other.bytes_received),
+            messages_sent: self.messages_sent.saturating_add(other.messages_sent),
+            messages_received: self.messages_received.saturating_add(other.messages_received),
+            decode_failures: self.decode_failures.saturating_add(other.decode_failures),
+            bytes_discarded: self.bytes_discarded.saturating_add(other.bytes_discarded),
         }
     }
 }
@@ -74,9 +80,13 @@ impl EnergyModel {
     }
 
     /// Energy in joules for a traffic snapshot plus `flops` of computation.
+    ///
+    /// Discarded bytes (frames corrupted in flight) are charged at the rx
+    /// rate: the radio received them even though the codec threw them away.
     pub fn energy_joules(&self, traffic: &TrafficStats, flops: f64) -> f64 {
+        let rx_bytes = traffic.bytes_received as f64 + traffic.bytes_discarded as f64;
         traffic.bytes_sent as f64 * self.joules_per_byte_tx
-            + traffic.bytes_received as f64 * self.joules_per_byte_rx
+            + rx_bytes * self.joules_per_byte_rx
             + flops * self.joules_per_flop
     }
 }
@@ -135,6 +145,44 @@ mod tests {
         let traffic = TrafficStats { bytes_sent: 3, bytes_received: 4, ..Default::default() };
         // 3*2 + 4*1 + 10*0.5 = 15
         assert_eq!(model.energy_joules(&traffic, 10.0), 15.0);
+    }
+
+    #[test]
+    fn energy_charges_discarded_bytes_at_rx_rate() {
+        // A corrupted frame costs the radio the same joules as a clean one;
+        // excluding it under-counted Fig. 13's overhead numbers.
+        let model =
+            EnergyModel { joules_per_byte_tx: 2.0, joules_per_byte_rx: 1.0, joules_per_flop: 0.0 };
+        let traffic = TrafficStats {
+            bytes_sent: 3,
+            bytes_received: 4,
+            bytes_discarded: 5,
+            ..Default::default()
+        };
+        // 3*2 + (4+5)*1 = 15
+        assert_eq!(model.energy_joules(&traffic, 0.0), 15.0);
+    }
+
+    #[test]
+    fn totals_and_merge_saturate_instead_of_wrapping() {
+        let near_max = TrafficStats {
+            bytes_sent: u64::MAX - 10,
+            bytes_received: 100,
+            messages_sent: u64::MAX,
+            messages_received: 1,
+            decode_failures: u64::MAX,
+            bytes_discarded: u64::MAX - 1,
+        };
+        assert_eq!(near_max.total_bytes(), u64::MAX);
+        assert_eq!(near_max.total_messages(), u64::MAX);
+        let merged = near_max.merged(&near_max);
+        assert_eq!(merged.bytes_sent, u64::MAX);
+        assert_eq!(merged.messages_sent, u64::MAX);
+        assert_eq!(merged.decode_failures, u64::MAX);
+        assert_eq!(merged.bytes_discarded, u64::MAX);
+        // Small components still add exactly.
+        assert_eq!(merged.messages_received, 2);
+        assert_eq!(merged.bytes_received, 200);
     }
 
     #[test]

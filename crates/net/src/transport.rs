@@ -58,6 +58,7 @@ struct Counters {
     messages_sent: AtomicU64,
     messages_received: AtomicU64,
     decode_failures: AtomicU64,
+    bytes_discarded: AtomicU64,
 }
 
 /// One end of a bidirectional, counted, in-process link.
@@ -144,7 +145,10 @@ impl Endpoint {
                 Ok(message)
             }
             Err(e) => {
+                // The radio still received these bytes — the energy model
+                // must see them even though they never became a message.
                 self.counters.decode_failures.fetch_add(1, Ordering::Relaxed);
+                self.counters.bytes_discarded.fetch_add(len, Ordering::Relaxed);
                 Err(TransportError::Codec(e))
             }
         }
@@ -158,6 +162,7 @@ impl Endpoint {
             messages_sent: self.counters.messages_sent.load(Ordering::Relaxed),
             messages_received: self.counters.messages_received.load(Ordering::Relaxed),
             decode_failures: self.counters.decode_failures.load(Ordering::Relaxed),
+            bytes_discarded: self.counters.bytes_discarded.load(Ordering::Relaxed),
         }
     }
 }
@@ -247,6 +252,7 @@ mod tests {
         assert_eq!(stats.messages_received, 0, "corrupt frame must not count as received");
         assert_eq!(stats.bytes_received, 0, "corrupt bytes must not inflate traffic");
         assert_eq!(stats.decode_failures, 1);
+        assert_eq!(stats.bytes_discarded, 3, "the radio still received the corrupt bytes");
         // A good frame afterwards is counted normally.
         a.send(&Message::Shutdown).unwrap();
         assert_eq!(b.recv().unwrap(), Message::Shutdown);

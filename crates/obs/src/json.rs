@@ -1,0 +1,513 @@
+//! Minimal hand-rolled JSON: rendering for the JSONL trace sink and a
+//! recursive-descent parser for reading traces back (tests, bench reports).
+//!
+//! This is deliberately not a general JSON library — it covers exactly the
+//! subset the trace schema emits: flat-ish objects, arrays, strings with
+//! escapes, integers, floats, booleans, and null. Non-finite floats render
+//! as `null` (JSON has no NaN/Infinity).
+
+use crate::{Event, Value};
+
+/// Renders one event as a single-line JSON object:
+/// `{"event":"<name>","k1":v1,...}`.
+pub fn render(event: &Event) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"event\":");
+    render_str(event.name, &mut out);
+    for (key, value) in &event.fields {
+        out.push(',');
+        render_str(key, &mut out);
+        out.push(':');
+        render_value(value, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders an arbitrary key/value list (no `"event"` key) as one JSON
+/// object. Used by the bench suites for report headers.
+pub fn render_object(fields: &[(&str, Value)]) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_str(key, &mut out);
+        out.push(':');
+        render_value(value, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders one [`Value`] into `out`.
+pub fn render_value(value: &Value, out: &mut String) {
+    use std::fmt::Write as _;
+    match value {
+        // Writing into a String cannot fail; the Results are vacuous.
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => render_f64(*v, out),
+        Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Value::Str(s) => render_str(s, out),
+    }
+}
+
+/// Renders a float. Rust's `Display` for `f64` produces the shortest
+/// decimal that round-trips, which is exactly what a trace needs; NaN and
+/// infinities become `null`.
+pub fn render_f64(v: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // Keep floats syntactically floats so the parser round-trips the
+        // numeric type: `1` parses as integer, `1.0` as float.
+        if needs_float_marker(out) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// True when the rendered buffer's trailing number token has no `.` or `e`
+/// (i.e. `Display` printed an integer-valued float like `3`).
+fn needs_float_marker(out: &str) -> bool {
+    let tail: &str = out
+        .rfind(|c: char| !(c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-'))
+        .and_then(|i| out.get(i + 1..))
+        .unwrap_or(out);
+    !tail.is_empty() && !tail.contains(['.', 'e', 'E'])
+}
+
+/// Renders a JSON string with escapes.
+pub fn render_str(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also what non-finite floats render as).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer without sign, fraction, or exponent.
+    U64(u64),
+    /// Negative integer without fraction or exponent.
+    I64(i64),
+    /// Any other number.
+    F64(f64),
+    /// String (escapes resolved).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; key order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String contents.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: what was expected and the byte offset where parsing
+/// stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What the parser was looking for.
+    pub expected: &'static str,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document. Trailing whitespace is allowed; trailing
+/// non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError { expected: "end of input", at: p.pos });
+    }
+    Ok(value)
+}
+
+/// Parses a JSONL trace: one JSON object per non-empty line.
+///
+/// # Errors
+///
+/// Returns the first line's [`ParseError`] (offset is within that line).
+pub fn parse_jsonl(input: &str) -> Result<Vec<Json>, ParseError> {
+    let mut out = Vec::new();
+    for line in input.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse(line)?);
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, expected: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError { expected, at: self.pos })
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &'static str) -> Result<(), ParseError> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(())
+        } else {
+            Err(ParseError { expected: word, at: self.pos })
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_keyword("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.eat_keyword("null").map(|()| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(ParseError { expected: "value", at: self.pos }),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'{', "'{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Json::Obj(members)),
+                _ => return Err(ParseError { expected: "',' or '}'", at: self.pos }),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(ParseError { expected: "',' or ']'", at: self.pos }),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(ParseError { expected: "4 hex digits", at: self.pos })?;
+                        self.pos += 4;
+                        // Surrogate pairs are out of scope for the trace
+                        // schema; lone surrogates map to the replacement
+                        // character rather than failing the whole trace.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(ParseError { expected: "escape", at: self.pos }),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Re-decode the UTF-8 sequence starting one byte back.
+                    let start = self.pos - 1;
+                    let rest = self
+                        .bytes
+                        .get(start..)
+                        .and_then(|r| std::str::from_utf8(r).ok())
+                        .ok_or(ParseError { expected: "utf-8", at: start })?;
+                    let c =
+                        rest.chars().next().ok_or(ParseError { expected: "char", at: start })?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+                None => return Err(ParseError { expected: "closing '\"'", at: self.pos }),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|t| std::str::from_utf8(t).ok())
+            .ok_or(ParseError { expected: "number", at: start })?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>().map(Json::F64).map_err(|_| ParseError { expected: "number", at: start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_value_kinds() {
+        let event = Event {
+            name: "kinds",
+            fields: vec![
+                ("u", Value::U64(42)),
+                ("i", Value::I64(-7)),
+                ("f", Value::F64(0.125)),
+                ("whole", Value::F64(3.0)),
+                ("b", Value::Bool(false)),
+                ("s", Value::Str("a\"b\\c\nd".into())),
+                ("nan", Value::F64(f64::NAN)),
+            ],
+        };
+        assert_eq!(
+            render(&event),
+            "{\"event\":\"kinds\",\"u\":42,\"i\":-7,\"f\":0.125,\"whole\":3.0,\
+             \"b\":false,\"s\":\"a\\\"b\\\\c\\nd\",\"nan\":null}"
+        );
+    }
+
+    #[test]
+    fn parses_what_it_renders() {
+        let event = Event {
+            name: "rt",
+            fields: vec![
+                ("round", Value::U64(3)),
+                ("objective", Value::F64(-12.515625)),
+                ("converged", Value::Bool(true)),
+                ("label", Value::Str("drop 5%".into())),
+            ],
+        };
+        let parsed = parse(&render(&event)).unwrap();
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("rt"));
+        assert_eq!(parsed.get("round").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("objective").and_then(Json::as_f64), Some(-12.515625));
+        assert_eq!(parsed.get("converged"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("label").and_then(Json::as_str), Some("drop 5%"));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &v in
+            &[0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.2250738585072014e-308, 12345.678901]
+        {
+            let mut s = String::new();
+            render_f64(v, &mut s);
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} rendered as {s}");
+        }
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let mut s = String::new();
+        render_f64(7.0, &mut s);
+        assert_eq!(s, "7.0");
+        assert_eq!(parse(&s).unwrap(), Json::F64(7.0));
+        let mut neg = String::new();
+        render_f64(-4.0, &mut neg);
+        assert_eq!(neg, "-4.0");
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse("{\"points\":[{\"n\":1},{\"n\":2}],\"ok\":true,\"none\":null}").unwrap();
+        let points = doc.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].get("n").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("none"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parses_negative_and_exponent_numbers() {
+        assert_eq!(parse("-5").unwrap(), Json::I64(-5));
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::U64(u64::MAX));
+        assert_eq!(parse("2.5e-3").unwrap(), Json::F64(0.0025));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{}extra").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "tab\there \"quoted\" back\\slash\nnewline \u{1}ctl unicode \u{3b1}";
+        let mut rendered = String::new();
+        render_str(original, &mut rendered);
+        assert_eq!(parse(&rendered).unwrap(), Json::Str(original.to_string()));
+    }
+
+    #[test]
+    fn jsonl_parses_line_by_line() {
+        let text = "{\"event\":\"a\",\"n\":1}\n\n{\"event\":\"b\",\"n\":2}\n";
+        let docs = parse_jsonl(text).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[1].get("n").and_then(Json::as_u64), Some(2));
+    }
+}

@@ -137,6 +137,14 @@ impl ConsensusAdmm {
             z = z_new;
 
             history.push(problem.objective(&xs, &z));
+            plos_obs::emit(
+                "admm_round",
+                &[
+                    ("round", iterations.into()),
+                    ("primal_residual", primal_residual.into()),
+                    ("dual_residual", dual_residual.into()),
+                ],
+            );
 
             if dual_residual <= sqrt_2t * self.eps_abs && primal_residual <= sqrt_t * self.eps_abs {
                 converged = true;

@@ -55,6 +55,10 @@ impl Cccp {
             let (next, objective) = step(&state);
             state = next;
             history.push(objective);
+            plos_obs::emit(
+                "cccp_round",
+                &[("round", history.len().into()), ("objective", objective.into())],
+            );
             if history.converged(self.tol) {
                 converged = true;
                 break;

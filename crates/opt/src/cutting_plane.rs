@@ -70,14 +70,27 @@ impl CuttingPlane {
             rounds += 1;
             let sol = solve(&working_sets);
             let mut any_added = false;
+            let mut added = 0_usize;
+            let mut max_violation = 0.0_f64;
             for (g, ws) in working_sets.iter_mut().enumerate() {
                 if let Some((constraint, violation)) = most_violated(&sol, g) {
+                    max_violation = max_violation.max(violation);
                     if violation > self.eps {
                         ws.push(constraint);
                         any_added = true;
+                        added += 1;
                     }
                 }
             }
+            plos_obs::emit(
+                "cutting_round",
+                &[
+                    ("round", rounds.into()),
+                    ("working_set", working_sets.iter().map(Vec::len).sum::<usize>().into()),
+                    ("added", added.into()),
+                    ("max_violation", max_violation.into()),
+                ],
+            );
             if !any_added || rounds >= self.max_rounds {
                 let total_constraints = working_sets.iter().map(Vec::len).sum();
                 let report =

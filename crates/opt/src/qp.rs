@@ -73,6 +73,9 @@ pub struct QpSolution {
     pub sweeps: usize,
     /// Whether the tolerance was reached within the sweep budget.
     pub converged: bool,
+    /// Coordinates a pairwise (SMO) move lifted back off the shrunk set —
+    /// how often the liblinear-style shrinking heuristic guessed wrong.
+    pub shrink_reactivations: u64,
 }
 
 impl GroupedQp {
@@ -227,6 +230,7 @@ impl GroupedQp {
 
         let mut sweeps = 0;
         let mut converged = false;
+        let mut shrink_reactivations = 0_u64;
         while sweeps < opts.max_sweeps {
             sweeps += 1;
             let full_sweep = verifying;
@@ -312,6 +316,7 @@ impl GroupedQp {
                             max_delta = max_delta.max(delta.abs());
                             // A pair move can lift a shrunk coordinate off
                             // its bound; put both back in the working set.
+                            shrink_reactivations += u64::from(!active[i]) + u64::from(!active[j]);
                             active[i] = true;
                             active[j] = true;
                             pinned_sweeps[i] = 0;
@@ -346,7 +351,17 @@ impl GroupedQp {
         );
         #[cfg(feature = "strict-invariants")]
         debug_assert!(objective.is_finite(), "QP objective is not finite at the returned point");
-        Ok(QpSolution { gamma, objective, sweeps, converged })
+        plos_obs::emit(
+            "qp_solve",
+            &[
+                ("dim", n.into()),
+                ("sweeps", sweeps.into()),
+                ("converged", converged.into()),
+                ("shrink_reactivations", shrink_reactivations.into()),
+                ("objective", objective.into()),
+            ],
+        );
+        Ok(QpSolution { gamma, objective, sweeps, converged, shrink_reactivations })
     }
 
     /// Applies `gamma[i] += delta` and keeps `grad = Q·γ − b` consistent.

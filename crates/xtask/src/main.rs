@@ -1,7 +1,7 @@
 //! Project-specific static analysis, run as `cargo run -p xtask -- lint`.
 //!
 //! Complements the `[workspace.lints]` table in the root `Cargo.toml` with
-//! invariants clippy cannot express. Six rules, all textual and
+//! invariants clippy cannot express. Seven rules, all textual and
 //! zero-dependency so the gate works offline:
 //!
 //! 1. **std-sync** — no `std::sync::Mutex`/`RwLock` in first-party library
@@ -27,6 +27,10 @@
 //!    wait runs under a timeout (`recv_timeout` + `RetryPolicy`) and every
 //!    transport failure propagates as `CoreError::Transport`, so a dead
 //!    device can never hang or panic a trainer.
+//! 7. **no-stdout** — no `println!`/`eprintln!` in library crates; all
+//!    diagnostics flow through `plos-obs` (structured, switchable,
+//!    bit-parity-safe). Binaries (`src/bin/`) and the figure harness
+//!    `crates/bench` print tables by design and are exempt.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -162,6 +166,13 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
     let bare_recv = [&recv_call, "()"].concat();
     let send_call = [".se", "nd("].concat();
     let expect_call = [".expe", "ct("].concat();
+    let println_call = ["print", "ln!("].concat();
+    let eprintln_call = ["eprint", "ln!("].concat();
+
+    // Rule 7 scope: library code, excluding binary entry points and the
+    // figure harness (both print tables to stdout by design).
+    let stdout_banned =
+        is_library && !rel_path.contains("/bin/") && !rel_path.starts_with("crates/bench/");
 
     for (idx, raw) in lines.iter().enumerate() {
         let line = raw.trim_start();
@@ -256,6 +267,19 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
                     });
                 }
             }
+        }
+
+        // Rule 7: library crates never print; telemetry goes through
+        // plos-obs so it can be disabled without touching solver output.
+        if stdout_banned && (line.contains(&println_call) || line.contains(&eprintln_call)) {
+            out.push(Violation {
+                path: path.to_path_buf(),
+                line: lineno,
+                rule: "no-stdout",
+                message: "println!/eprintln! in a library crate; emit a plos-obs \
+                          event or counter instead"
+                    .to_string(),
+            });
         }
 
         // Rule 5: every allow carries a justification comment (all

@@ -24,6 +24,9 @@
 //! * [`exec`] — deterministic fork-join runtime: the scoped thread pool the
 //!   solver hot paths fan out on (`PLOS_THREADS` override, bit-identical
 //!   results across pool sizes).
+//! * [`obs`] — zero-dependency telemetry: spans, counters, gauges, and
+//!   per-iteration solver trace events, streamed as JSONL when
+//!   `PLOS_TRACE=<path>` is set and free (one atomic load) when not.
 //! * [`opt`] — optimization substrate: grouped QP solver, cutting-plane,
 //!   CCCP, and consensus-ADMM drivers.
 //! * [`linalg`] — dense vectors/matrices, Cholesky, Jacobi eigensolver.
@@ -49,6 +52,7 @@ pub use plos_exec as exec;
 pub use plos_linalg as linalg;
 pub use plos_ml as ml;
 pub use plos_net as net;
+pub use plos_obs as obs;
 pub use plos_opt as opt;
 pub use plos_sensing as sensing;
 
@@ -56,8 +60,8 @@ pub use plos_sensing as sensing;
 pub mod prelude {
     pub use plos_core::baselines::{AllBaseline, GroupBaseline, SingleBaseline};
     pub use plos_core::{
-        CentralizedPlos, DistributedPlos, DistributedReport, FaultTolerance, PersonalizedModel,
-        PlosConfig, RetryPolicy, RoundParticipation,
+        AdmmResiduals, CentralizedPlos, DistributedPlos, DistributedReport, FaultTolerance,
+        PersonalizedModel, PlosConfig, RetryPolicy, RoundParticipation,
     };
     pub use plos_linalg::{Matrix, Vector};
     pub use plos_net::{DeadLink, FaultPlan};
