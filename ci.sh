@@ -47,6 +47,20 @@ for event in cccp_round cutting_round admm_round qp_solve span; do
         || { echo "trace missing $event events"; exit 1; }
 done
 
+# Resume parity: a run killed at every checkpoint seam and resumed from
+# disk must reproduce the uninterrupted model bit for bit, for both the
+# centralized (CCCP) and distributed (ADMM) trainers (DESIGN.md §10).
+echo "==> resume parity (kill at every checkpoint seam, bit-identical models)"
+cargo build -q --release -p plos-bench --bin resume_parity
+./target/release/resume_parity
+
+# Golden models: retrain every method at the pinned seeds and diff the
+# digests against tests/fixtures/golden_digests.json, so silent numerical
+# drift fails here instead of shipping. (Also part of `cargo test -q`;
+# repeated explicitly so a drift is named in the CI log.)
+echo "==> golden model digests"
+cargo test -q --test golden_models
+
 echo "==> cargo test -q --features strict-invariants"
 cargo test -q --features strict-invariants
 

@@ -13,31 +13,16 @@
 //! wall-clock timing feeds retry/eviction decisions, so bit-parity is not
 //! defined there (see DESIGN.md §9).
 
+use plos_ckpt::model_digest;
 use plos_core::{CentralizedPlos, DistributedPlos, PersonalizedModel, PlosConfig};
 use plos_sensing::dataset::LabelMask;
 use plos_sensing::synthetic::{generate_synthetic, SyntheticSpec};
 
-/// FNV-1a over the IEEE-754 bit patterns of every model coefficient.
+/// FNV-1a over the IEEE-754 bit patterns of every model coefficient —
+/// the canonical fold shared with `resume_parity` and the golden fixtures.
 /// Negative zero vs. positive zero, NaN payloads — everything distinguishes.
 fn digest(model: &PersonalizedModel) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    let mut fold = |v: f64| {
-        for byte in v.to_bits().to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-    };
-    for &c in model.global_hyperplane().iter() {
-        fold(c);
-    }
-    for t in 0..model.num_users() {
-        for &c in model.personal_bias(t).iter() {
-            fold(c);
-        }
-    }
-    h
+    model_digest(model.global_hyperplane(), model.personal_biases())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,144 @@
+//! Typed failure modes for checkpoint encode/decode and storage.
+//!
+//! Every way a checkpoint can be unusable — truncated file, flipped bit,
+//! foreign magic, future format version, wrong solver context — maps to a
+//! distinct variant so callers can distinguish "no checkpoint yet" from
+//! "checkpoint present but damaged" and react without panicking.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the checkpoint layer.
+///
+/// All variants are data-only (`Clone + PartialEq`) so tests can assert on
+/// exact failure modes and solvers can park them for later reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// An underlying filesystem operation failed (open, write, rename).
+    Io {
+        /// Human-readable description of the failed operation.
+        detail: String,
+    },
+    /// The byte stream ended before a declared field could be read.
+    Truncated {
+        /// Which field was being decoded when the stream ran out.
+        what: &'static str,
+        /// Bytes the field required.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The file does not start with the `PLOSCKPT` magic bytes.
+    BadMagic,
+    /// The format version is outside the range this build can read.
+    UnsupportedVersion {
+        /// Version recorded in the file header.
+        found: u16,
+        /// Oldest version this build still decodes.
+        min: u16,
+        /// Newest version this build understands.
+        max: u16,
+    },
+    /// A stored FNV-1a digest does not match the recomputed one.
+    DigestMismatch {
+        /// `"section"` or `"file"` — which digest failed.
+        what: &'static str,
+        /// Section tag for section digests; `0` for the file trailer.
+        tag: u16,
+    },
+    /// A section the decoder requires is absent from the file.
+    MissingSection {
+        /// Tag of the missing section.
+        tag: u16,
+    },
+    /// The bytes are structurally inconsistent (duplicate section, trailing
+    /// garbage, impossible length, non-boolean flag, ...).
+    Malformed {
+        /// What exactly was inconsistent.
+        detail: String,
+    },
+    /// The checkpoint decodes cleanly but describes a different kind of
+    /// state than the caller asked for.
+    WrongKind {
+        /// Kind byte recorded in the file.
+        found: u8,
+        /// Kind byte the caller expected.
+        expected: u8,
+    },
+    /// The checkpoint belongs to a different run configuration (dataset
+    /// shape or solver hyper-parameters changed since it was written).
+    ContextMismatch {
+        /// What differed between the checkpoint and the live run.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io { detail } => write!(f, "checkpoint io error: {detail}"),
+            CkptError::Truncated {
+                what,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "checkpoint truncated while reading {what}: needed {needed} bytes, {remaining} remaining"
+            ),
+            CkptError::BadMagic => write!(f, "not a PLOS checkpoint (bad magic)"),
+            CkptError::UnsupportedVersion { found, min, max } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads {min}..={max})"
+            ),
+            CkptError::DigestMismatch { what, tag } => {
+                write!(f, "checkpoint {what} digest mismatch (tag {tag})")
+            }
+            CkptError::MissingSection { tag } => {
+                write!(f, "checkpoint missing required section (tag {tag})")
+            }
+            CkptError::Malformed { detail } => write!(f, "malformed checkpoint: {detail}"),
+            CkptError::WrongKind { found, expected } => write!(
+                f,
+                "checkpoint holds state kind {found}, expected kind {expected}"
+            ),
+            CkptError::ContextMismatch { detail } => {
+                write!(f, "checkpoint context mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CkptError {}
+
+#[cfg(test)]
+mod tests {
+    // Unit tests assert by panicking on failure; the workspace-wide
+    // panic-free lint set is for library code paths, so tests opt back in.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<CkptError> = vec![
+            CkptError::Io { detail: "disk full".into() },
+            CkptError::Truncated { what: "u64", needed: 8, remaining: 3 },
+            CkptError::BadMagic,
+            CkptError::UnsupportedVersion { found: 9, min: 1, max: 1 },
+            CkptError::DigestMismatch { what: "section", tag: 3 },
+            CkptError::MissingSection { tag: 2 },
+            CkptError::Malformed { detail: "trailing bytes".into() },
+            CkptError::WrongKind { found: 4, expected: 3 },
+            CkptError::ContextMismatch { detail: "t_count 5 vs 6".into() },
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CkptError::BadMagic, CkptError::BadMagic);
+        assert_ne!(CkptError::MissingSection { tag: 1 }, CkptError::MissingSection { tag: 2 });
+    }
+}

@@ -1,0 +1,809 @@
+//! Checkpointable state mirrors and their section-level codecs.
+//!
+//! The solver crates convert their private working state into these plain
+//! data structs; this module owns the byte layout. Each state kind encodes
+//! into a [`CheckpointFile`] with a fixed set of tagged sections:
+//!
+//! | tag | section  | contents                                        |
+//! |-----|----------|-------------------------------------------------|
+//! | 1   | CONTEXT  | kind byte + run fingerprint                     |
+//! | 2   | META     | phase, counters, flags, scalars                 |
+//! | 3   | MODEL    | w0 and per-user vector blocks                   |
+//! | 4   | HISTORY  | objective history (+ residuals, distributed)    |
+//! | 5   | ROSTER   | liveness, strikes, evictions, participation     |
+//! | 6   | LOG      | current-round broadcast replay log              |
+//! | 7   | DUAL     | cutting-plane working set + warm start          |
+//!
+//! Privacy note: none of these sections ever carry device-local training
+//! data. The distributed state holds only quantities the server already
+//! received over the wire (consensus iterates, duals, slacks, anchors).
+
+use crate::error::CkptError;
+use crate::frame::CheckpointFile;
+use crate::wire::{Reader, Writer};
+use plos_linalg::Vector;
+
+/// Section tag: kind byte + fingerprint.
+pub const SEC_CONTEXT: u16 = 1;
+/// Section tag: phase, counters, scalars.
+pub const SEC_META: u16 = 2;
+/// Section tag: model vectors.
+pub const SEC_MODEL: u16 = 3;
+/// Section tag: objective history and residuals.
+pub const SEC_HISTORY: u16 = 4;
+/// Section tag: fleet roster (distributed only).
+pub const SEC_ROSTER: u16 = 5;
+/// Section tag: broadcast replay log (distributed only).
+pub const SEC_LOG: u16 = 6;
+/// Section tag: dual-solver working set.
+pub const SEC_DUAL: u16 = 7;
+
+/// Kind byte: a finished [`ModelState`].
+pub const KIND_MODEL: u8 = 1;
+/// Kind byte: a [`DualState`].
+pub const KIND_DUAL: u8 = 2;
+/// Kind byte: a [`CentralizedState`].
+pub const KIND_CENTRALIZED: u8 = 3;
+/// Kind byte: a [`DistributedState`].
+pub const KIND_DISTRIBUTED: u8 = 4;
+
+fn context_section(kind: u8, fingerprint: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(kind);
+    w.put_u64(fingerprint);
+    w.into_bytes()
+}
+
+fn read_context(file: &CheckpointFile, expected: u8) -> Result<u64, CkptError> {
+    let mut r = Reader::new(file.section(SEC_CONTEXT)?);
+    let kind = r.get_u8("context kind")?;
+    if kind != expected {
+        return Err(CkptError::WrongKind { found: kind, expected });
+    }
+    let fingerprint = r.get_u64("context fingerprint")?;
+    r.finish("context section")?;
+    Ok(fingerprint)
+}
+
+fn put_vectors(w: &mut Writer, vs: &[Vector]) {
+    w.put_usize(vs.len());
+    for v in vs {
+        w.put_vector(v);
+    }
+}
+
+fn get_vectors(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<Vector>, CkptError> {
+    // Each vector costs at least its 8-byte length prefix.
+    let len = r.get_len(8, what)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r.get_vector(what)?);
+    }
+    Ok(out)
+}
+
+fn put_bools(w: &mut Writer, vs: &[bool]) {
+    w.put_usize(vs.len());
+    for &v in vs {
+        w.put_bool(v);
+    }
+}
+
+fn get_bools(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<bool>, CkptError> {
+    let len = r.get_len(1, what)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r.get_bool(what)?);
+    }
+    Ok(out)
+}
+
+/// A finished personalized model: global hyperplane, per-user biases, and
+/// the optional bias-augmentation constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelState {
+    /// Structural fingerprint of the run that produced the model.
+    pub fingerprint: u64,
+    /// Global hyperplane `w0` (feature space, possibly bias-augmented).
+    pub w0: Vector,
+    /// Per-user biases `v_t`, one per user.
+    pub biases: Vec<Vector>,
+    /// Bias augmentation constant, if the model was trained with one.
+    pub bias_aug: Option<f64>,
+}
+
+impl ModelState {
+    /// Serializes into a framed checkpoint.
+    #[must_use]
+    pub fn encode(&self) -> CheckpointFile {
+        let mut file = CheckpointFile::new();
+        file.push_section(SEC_CONTEXT, context_section(KIND_MODEL, self.fingerprint));
+        let mut meta = Writer::new();
+        meta.put_opt_f64(self.bias_aug);
+        file.push_section(SEC_META, meta.into_bytes());
+        let mut model = Writer::new();
+        model.put_vector(&self.w0);
+        put_vectors(&mut model, &self.biases);
+        file.push_section(SEC_MODEL, model.into_bytes());
+        file
+    }
+
+    /// Reconstructs from a verified checkpoint file.
+    pub fn decode(file: &CheckpointFile) -> Result<Self, CkptError> {
+        let fingerprint = read_context(file, KIND_MODEL)?;
+        let mut meta = Reader::new(file.section(SEC_META)?);
+        let bias_aug = meta.get_opt_f64("bias_aug")?;
+        meta.finish("meta section")?;
+        let mut model = Reader::new(file.section(SEC_MODEL)?);
+        let w0 = model.get_vector("w0")?;
+        let biases = get_vectors(&mut model, "biases")?;
+        model.finish("model section")?;
+        Ok(ModelState { fingerprint, w0, biases, bias_aug })
+    }
+}
+
+/// One cutting-plane constraint owned by a user: aggregated direction `s`
+/// and offset `c` (Eq. 13–14), plus whether it is a hard balance row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualEntry {
+    /// Index of the user that owns the constraint.
+    pub owner: usize,
+    /// Aggregated constraint direction.
+    pub s: Vector,
+    /// Constraint offset.
+    pub c: f64,
+    /// True for hard (balance) constraints exempt from the box cap.
+    pub hard: bool,
+}
+
+/// The structured dual solver's resumable state: working set and warm
+/// start. The Gram matrix is *not* stored — it is recomputed entry by
+/// entry on restore, which is deterministic and keeps files small.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualState {
+    /// Structural fingerprint of the owning run.
+    pub fingerprint: u64,
+    /// Regularization trade-off λ.
+    pub lambda: f64,
+    /// Number of users in the cohort.
+    pub t_count: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Working-set constraints in insertion order.
+    pub entries: Vec<DualEntry>,
+    /// Warm-start multipliers, one per entry.
+    pub warm: Vec<f64>,
+}
+
+impl DualState {
+    /// Serializes into a framed checkpoint.
+    #[must_use]
+    pub fn encode(&self) -> CheckpointFile {
+        let mut file = CheckpointFile::new();
+        file.push_section(SEC_CONTEXT, context_section(KIND_DUAL, self.fingerprint));
+        let mut meta = Writer::new();
+        meta.put_f64(self.lambda);
+        meta.put_usize(self.t_count);
+        meta.put_usize(self.dim);
+        file.push_section(SEC_META, meta.into_bytes());
+        let mut dual = Writer::new();
+        dual.put_usize(self.entries.len());
+        for entry in &self.entries {
+            dual.put_usize(entry.owner);
+            dual.put_vector(&entry.s);
+            dual.put_f64(entry.c);
+            dual.put_bool(entry.hard);
+        }
+        dual.put_f64s(&self.warm);
+        file.push_section(SEC_DUAL, dual.into_bytes());
+        file
+    }
+
+    /// Reconstructs from a verified checkpoint file.
+    pub fn decode(file: &CheckpointFile) -> Result<Self, CkptError> {
+        let fingerprint = read_context(file, KIND_DUAL)?;
+        let mut meta = Reader::new(file.section(SEC_META)?);
+        let lambda = meta.get_f64("lambda")?;
+        let t_count = meta.get_usize("t_count")?;
+        let dim = meta.get_usize("dim")?;
+        meta.finish("meta section")?;
+        let mut dual = Reader::new(file.section(SEC_DUAL)?);
+        // Each entry costs at least owner + vector-len + c + hard bytes.
+        let n = dual.get_len(8 + 8 + 8 + 1, "dual entries")?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let owner = dual.get_usize("entry owner")?;
+            let s = dual.get_vector("entry direction")?;
+            let c = dual.get_f64("entry offset")?;
+            let hard = dual.get_bool("entry hard flag")?;
+            entries.push(DualEntry { owner, s, c, hard });
+        }
+        let warm = dual.get_f64s("warm start")?;
+        dual.finish("dual section")?;
+        if warm.len() != entries.len() {
+            return Err(CkptError::Malformed {
+                detail: format!(
+                    "warm start has {} multipliers for {} entries",
+                    warm.len(),
+                    entries.len()
+                ),
+            });
+        }
+        Ok(DualState { fingerprint, lambda, t_count, dim, entries, warm })
+    }
+}
+
+/// Which outer phase a centralized run was in when checkpointed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CentralizedPhase {
+    /// Inside the CCCP outer loop; `vectors` holds per-user biases `v_t`.
+    Cccp,
+    /// Inside refinement; `vectors` holds per-user hyperplanes `w_t`, and
+    /// the payload counts completed refine rounds.
+    Refine {
+        /// Refinement rounds already completed.
+        rounds_done: u32,
+    },
+}
+
+/// Mid-run state of the centralized CCCP solver, written after each outer
+/// round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralizedState {
+    /// Structural fingerprint of the run (dataset shape + config).
+    pub fingerprint: u64,
+    /// Outer phase and phase-local progress.
+    pub phase: CentralizedPhase,
+    /// Current global hyperplane `w0`.
+    pub w0: Vector,
+    /// Phase-dependent per-user vectors (see [`CentralizedPhase`]).
+    pub vectors: Vec<Vector>,
+    /// Objective value after every completed outer round.
+    pub history: Vec<f64>,
+    /// CCCP rounds completed.
+    pub cccp_rounds: u32,
+    /// Whether the CCCP loop reached its convergence tolerance.
+    pub cccp_converged: bool,
+    /// Cutting-plane inner rounds completed so far (reporting only).
+    pub cutting_rounds: u64,
+    /// Constraints added so far (reporting only).
+    pub constraints_added: u64,
+}
+
+impl CentralizedState {
+    /// Serializes into a framed checkpoint.
+    #[must_use]
+    pub fn encode(&self) -> CheckpointFile {
+        let mut file = CheckpointFile::new();
+        file.push_section(SEC_CONTEXT, context_section(KIND_CENTRALIZED, self.fingerprint));
+        let mut meta = Writer::new();
+        match self.phase {
+            CentralizedPhase::Cccp => {
+                meta.put_u8(0);
+                meta.put_u32(0);
+            }
+            CentralizedPhase::Refine { rounds_done } => {
+                meta.put_u8(1);
+                meta.put_u32(rounds_done);
+            }
+        }
+        meta.put_u32(self.cccp_rounds);
+        meta.put_bool(self.cccp_converged);
+        meta.put_u64(self.cutting_rounds);
+        meta.put_u64(self.constraints_added);
+        file.push_section(SEC_META, meta.into_bytes());
+        let mut model = Writer::new();
+        model.put_vector(&self.w0);
+        put_vectors(&mut model, &self.vectors);
+        file.push_section(SEC_MODEL, model.into_bytes());
+        let mut hist = Writer::new();
+        hist.put_f64s(&self.history);
+        file.push_section(SEC_HISTORY, hist.into_bytes());
+        file
+    }
+
+    /// Reconstructs from a verified checkpoint file.
+    pub fn decode(file: &CheckpointFile) -> Result<Self, CkptError> {
+        let fingerprint = read_context(file, KIND_CENTRALIZED)?;
+        let mut meta = Reader::new(file.section(SEC_META)?);
+        let phase_byte = meta.get_u8("phase")?;
+        let rounds_done = meta.get_u32("refine rounds done")?;
+        let phase = match phase_byte {
+            0 => CentralizedPhase::Cccp,
+            1 => CentralizedPhase::Refine { rounds_done },
+            other => {
+                return Err(CkptError::Malformed {
+                    detail: format!("unknown centralized phase byte {other}"),
+                })
+            }
+        };
+        let cccp_rounds = meta.get_u32("cccp_rounds")?;
+        let cccp_converged = meta.get_bool("cccp_converged")?;
+        let cutting_rounds = meta.get_u64("cutting_rounds")?;
+        let constraints_added = meta.get_u64("constraints_added")?;
+        meta.finish("meta section")?;
+        let mut model = Reader::new(file.section(SEC_MODEL)?);
+        let w0 = model.get_vector("w0")?;
+        let vectors = get_vectors(&mut model, "per-user vectors")?;
+        model.finish("model section")?;
+        let mut hist = Reader::new(file.section(SEC_HISTORY)?);
+        let history = hist.get_f64s("objective history")?;
+        hist.finish("history section")?;
+        Ok(CentralizedState {
+            fingerprint,
+            phase,
+            w0,
+            vectors,
+            history,
+            cccp_rounds,
+            cccp_converged,
+            cutting_rounds,
+            constraints_added,
+        })
+    }
+}
+
+/// Which phase a distributed run was in when checkpointed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistributedPhase {
+    /// Inside the ADMM consensus loop of some CCCP round.
+    Admm,
+    /// Inside post-consensus refinement.
+    Refine {
+        /// Refinement rounds already completed.
+        rounds_done: u32,
+    },
+}
+
+/// One recorded participation round, mirrored from the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParticipationRecord {
+    /// Communication round number.
+    pub round: u32,
+    /// Devices that replied.
+    pub replied: u64,
+    /// Devices alive at the start of the round.
+    pub alive: u64,
+    /// Retries spent this round.
+    pub retries: u64,
+}
+
+/// One broadcast the server sent during the current CCCP round, kept so a
+/// resumed server can replay the round to rebuild device-side solver state
+/// bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastRecord {
+    /// Original communication round number of the broadcast.
+    pub round: u32,
+    /// Consensus iterate `w0` sent that round.
+    pub w0: Vector,
+    /// Per-user scaled duals `u_t` sent that round.
+    pub us: Vec<Vector>,
+}
+
+/// Mid-run state of the distributed ADMM server, written after each ADMM
+/// iteration and each refinement round. Server-side quantities only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedState {
+    /// Structural fingerprint of the run (cohort shape + config).
+    pub fingerprint: u64,
+    /// Phase and phase-local progress.
+    pub phase: DistributedPhase,
+    /// Last communication round number used.
+    pub round: u32,
+    /// Zero-based index of the current CCCP round.
+    pub cccp_round: u32,
+    /// ADMM iterations completed inside the current CCCP round.
+    pub iters_done: u32,
+    /// True once the current CCCP round's ADMM loop has finished (residual
+    /// break or iteration budget) and only the objective push remains.
+    pub inner_done: bool,
+    /// Total ADMM iterations across all CCCP rounds.
+    pub admm_iterations: u64,
+    /// CCCP rounds completed (incremented at round entry).
+    pub cccp_rounds: u32,
+    /// Whether the CCCP history reached its convergence tolerance.
+    pub converged: bool,
+    /// Current consensus iterate `w0`.
+    pub w0: Vector,
+    /// Per-user scaled duals `u_t`.
+    pub us: Vec<Vector>,
+    /// Last per-user hyperplanes `w_t` received.
+    pub w_ts: Vec<Vector>,
+    /// Last per-user biases `v_t` received.
+    pub v_ts: Vec<Vector>,
+    /// Last per-user slack totals ξ_t received.
+    pub xi_ts: Vec<f64>,
+    /// Per-user CCCP anchors: each device's `w_t` at the start of the
+    /// current CCCP round (what its linearization signs derive from).
+    pub anchors: Vec<Vector>,
+    /// Broadcasts of the current CCCP round, oldest first.
+    pub log: Vec<BroadcastRecord>,
+    /// Device liveness flags.
+    pub alive: Vec<bool>,
+    /// Consecutive missed-round strikes per device.
+    pub missed: Vec<u32>,
+    /// Devices evicted so far, in eviction order.
+    pub evicted: Vec<u64>,
+    /// Per-round participation records.
+    pub participation: Vec<ParticipationRecord>,
+    /// Malformed-reply count.
+    pub protocol_errors: u64,
+    /// Late/duplicate replies discarded.
+    pub late_discards: u64,
+    /// Objective value after every completed CCCP round.
+    pub history: Vec<f64>,
+    /// Per-ADMM-iteration residuals: (round, primal, dual).
+    pub residuals: Vec<(u32, f64, f64)>,
+}
+
+impl DistributedState {
+    /// Serializes into a framed checkpoint.
+    #[must_use]
+    pub fn encode(&self) -> CheckpointFile {
+        let mut file = CheckpointFile::new();
+        file.push_section(SEC_CONTEXT, context_section(KIND_DISTRIBUTED, self.fingerprint));
+        let mut meta = Writer::new();
+        match self.phase {
+            DistributedPhase::Admm => {
+                meta.put_u8(0);
+                meta.put_u32(0);
+            }
+            DistributedPhase::Refine { rounds_done } => {
+                meta.put_u8(1);
+                meta.put_u32(rounds_done);
+            }
+        }
+        meta.put_u32(self.round);
+        meta.put_u32(self.cccp_round);
+        meta.put_u32(self.iters_done);
+        meta.put_bool(self.inner_done);
+        meta.put_u64(self.admm_iterations);
+        meta.put_u32(self.cccp_rounds);
+        meta.put_bool(self.converged);
+        meta.put_u64(self.protocol_errors);
+        meta.put_u64(self.late_discards);
+        file.push_section(SEC_META, meta.into_bytes());
+
+        let mut model = Writer::new();
+        model.put_vector(&self.w0);
+        put_vectors(&mut model, &self.us);
+        put_vectors(&mut model, &self.w_ts);
+        put_vectors(&mut model, &self.v_ts);
+        model.put_f64s(&self.xi_ts);
+        put_vectors(&mut model, &self.anchors);
+        file.push_section(SEC_MODEL, model.into_bytes());
+
+        let mut log = Writer::new();
+        log.put_usize(self.log.len());
+        for rec in &self.log {
+            log.put_u32(rec.round);
+            log.put_vector(&rec.w0);
+            put_vectors(&mut log, &rec.us);
+        }
+        file.push_section(SEC_LOG, log.into_bytes());
+
+        let mut roster = Writer::new();
+        put_bools(&mut roster, &self.alive);
+        roster.put_usize(self.missed.len());
+        for &m in &self.missed {
+            roster.put_u32(m);
+        }
+        roster.put_u64s(&self.evicted);
+        roster.put_usize(self.participation.len());
+        for p in &self.participation {
+            roster.put_u32(p.round);
+            roster.put_u64(p.replied);
+            roster.put_u64(p.alive);
+            roster.put_u64(p.retries);
+        }
+        file.push_section(SEC_ROSTER, roster.into_bytes());
+
+        let mut hist = Writer::new();
+        hist.put_f64s(&self.history);
+        hist.put_usize(self.residuals.len());
+        for &(round, primal, dual) in &self.residuals {
+            hist.put_u32(round);
+            hist.put_f64(primal);
+            hist.put_f64(dual);
+        }
+        file.push_section(SEC_HISTORY, hist.into_bytes());
+        file
+    }
+
+    /// Reconstructs from a verified checkpoint file.
+    pub fn decode(file: &CheckpointFile) -> Result<Self, CkptError> {
+        let fingerprint = read_context(file, KIND_DISTRIBUTED)?;
+        let mut meta = Reader::new(file.section(SEC_META)?);
+        let phase_byte = meta.get_u8("phase")?;
+        let rounds_done = meta.get_u32("refine rounds done")?;
+        let phase = match phase_byte {
+            0 => DistributedPhase::Admm,
+            1 => DistributedPhase::Refine { rounds_done },
+            other => {
+                return Err(CkptError::Malformed {
+                    detail: format!("unknown distributed phase byte {other}"),
+                })
+            }
+        };
+        let round = meta.get_u32("round")?;
+        let cccp_round = meta.get_u32("cccp_round")?;
+        let iters_done = meta.get_u32("iters_done")?;
+        let inner_done = meta.get_bool("inner_done")?;
+        let admm_iterations = meta.get_u64("admm_iterations")?;
+        let cccp_rounds = meta.get_u32("cccp_rounds")?;
+        let converged = meta.get_bool("converged")?;
+        let protocol_errors = meta.get_u64("protocol_errors")?;
+        let late_discards = meta.get_u64("late_discards")?;
+        meta.finish("meta section")?;
+
+        let mut model = Reader::new(file.section(SEC_MODEL)?);
+        let w0 = model.get_vector("w0")?;
+        let us = get_vectors(&mut model, "duals")?;
+        let w_ts = get_vectors(&mut model, "hyperplanes")?;
+        let v_ts = get_vectors(&mut model, "biases")?;
+        let xi_ts = model.get_f64s("slacks")?;
+        let anchors = get_vectors(&mut model, "anchors")?;
+        model.finish("model section")?;
+
+        let mut log_r = Reader::new(file.section(SEC_LOG)?);
+        let log_len = log_r.get_len(4 + 8 + 8, "broadcast log")?;
+        let mut log = Vec::with_capacity(log_len);
+        for _ in 0..log_len {
+            let rec_round = log_r.get_u32("log round")?;
+            let rec_w0 = log_r.get_vector("log w0")?;
+            let rec_us = get_vectors(&mut log_r, "log duals")?;
+            log.push(BroadcastRecord { round: rec_round, w0: rec_w0, us: rec_us });
+        }
+        log_r.finish("log section")?;
+
+        let mut roster = Reader::new(file.section(SEC_ROSTER)?);
+        let alive = get_bools(&mut roster, "alive flags")?;
+        let missed_len = roster.get_len(4, "missed strikes")?;
+        let mut missed = Vec::with_capacity(missed_len);
+        for _ in 0..missed_len {
+            missed.push(roster.get_u32("missed strikes")?);
+        }
+        let evicted = roster.get_u64s("evicted roster")?;
+        let part_len = roster.get_len(4 + 8 + 8 + 8, "participation")?;
+        let mut participation = Vec::with_capacity(part_len);
+        for _ in 0..part_len {
+            participation.push(ParticipationRecord {
+                round: roster.get_u32("participation round")?,
+                replied: roster.get_u64("participation replied")?,
+                alive: roster.get_u64("participation alive")?,
+                retries: roster.get_u64("participation retries")?,
+            });
+        }
+        roster.finish("roster section")?;
+
+        let mut hist = Reader::new(file.section(SEC_HISTORY)?);
+        let history = hist.get_f64s("objective history")?;
+        let res_len = hist.get_len(4 + 8 + 8, "residuals")?;
+        let mut residuals = Vec::with_capacity(res_len);
+        for _ in 0..res_len {
+            let r = hist.get_u32("residual round")?;
+            let primal = hist.get_f64("primal residual")?;
+            let dual = hist.get_f64("dual residual")?;
+            residuals.push((r, primal, dual));
+        }
+        hist.finish("history section")?;
+
+        let state = DistributedState {
+            fingerprint,
+            phase,
+            round,
+            cccp_round,
+            iters_done,
+            inner_done,
+            admm_iterations,
+            cccp_rounds,
+            converged,
+            w0,
+            us,
+            w_ts,
+            v_ts,
+            xi_ts,
+            anchors,
+            log,
+            alive,
+            missed,
+            evicted,
+            participation,
+            protocol_errors,
+            late_discards,
+            history,
+            residuals,
+        };
+        state.validate()?;
+        Ok(state)
+    }
+
+    /// Cross-field consistency: every per-user collection must agree on
+    /// the cohort size.
+    fn validate(&self) -> Result<(), CkptError> {
+        let t = self.us.len();
+        let lens = [
+            ("w_ts", self.w_ts.len()),
+            ("v_ts", self.v_ts.len()),
+            ("xi_ts", self.xi_ts.len()),
+            ("anchors", self.anchors.len()),
+            ("alive", self.alive.len()),
+            ("missed", self.missed.len()),
+        ];
+        for (name, len) in lens {
+            if len != t {
+                return Err(CkptError::Malformed {
+                    detail: format!("cohort size disagreement: us has {t}, {name} has {len}"),
+                });
+            }
+        }
+        for rec in &self.log {
+            if rec.us.len() != t {
+                return Err(CkptError::Malformed {
+                    detail: format!(
+                        "broadcast record round {} has {} duals for cohort of {t}",
+                        rec.round,
+                        rec.us.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Unit tests assert by panicking on failure; the workspace-wide
+    // panic-free lint set is for library code paths, so tests opt back in.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn vec2(a: f64, b: f64) -> Vector {
+        Vector::from(vec![a, b])
+    }
+
+    fn sample_distributed() -> DistributedState {
+        DistributedState {
+            fingerprint: 0x1234_5678_9abc_def0,
+            phase: DistributedPhase::Admm,
+            round: 7,
+            cccp_round: 1,
+            iters_done: 3,
+            inner_done: false,
+            admm_iterations: 9,
+            cccp_rounds: 2,
+            converged: false,
+            w0: vec2(0.5, -0.5),
+            us: vec![vec2(0.1, 0.2), vec2(-0.3, 0.0)],
+            w_ts: vec![vec2(1.0, 2.0), vec2(3.0, 4.0)],
+            v_ts: vec![vec2(0.0, -0.0), vec2(f64::MAX, f64::MIN)],
+            xi_ts: vec![0.25, 1e-300],
+            anchors: vec![vec2(9.0, 8.0), Vector::zeros(2)],
+            log: vec![BroadcastRecord {
+                round: 6,
+                w0: vec2(0.4, -0.4),
+                us: vec![vec2(0.0, 0.1), vec2(0.2, 0.3)],
+            }],
+            alive: vec![true, false],
+            missed: vec![0, 3],
+            evicted: vec![1],
+            participation: vec![ParticipationRecord { round: 6, replied: 1, alive: 2, retries: 4 }],
+            protocol_errors: 2,
+            late_discards: 1,
+            history: vec![10.0, 7.5],
+            residuals: vec![(6, 0.9, 0.8), (7, 0.5, 0.4)],
+        }
+    }
+
+    #[test]
+    fn model_state_round_trips() {
+        let state = ModelState {
+            fingerprint: 42,
+            w0: vec2(1.5, -2.5),
+            biases: vec![vec2(0.0, -0.0), vec2(f64::MIN_POSITIVE, f64::MAX)],
+            bias_aug: Some(1.0),
+        };
+        let bytes = state.encode().encode();
+        let back = ModelState::decode(&CheckpointFile::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn model_state_zero_users_round_trips() {
+        let state =
+            ModelState { fingerprint: 0, w0: Vector::zeros(0), biases: Vec::new(), bias_aug: None };
+        let bytes = state.encode().encode();
+        let back = ModelState::decode(&CheckpointFile::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn dual_state_round_trips() {
+        let state = DualState {
+            fingerprint: 7,
+            lambda: 0.5,
+            t_count: 3,
+            dim: 2,
+            entries: vec![
+                DualEntry { owner: 0, s: vec2(1.0, -1.0), c: 0.9, hard: true },
+                DualEntry { owner: 2, s: vec2(-0.25, 0.75), c: -1.5, hard: false },
+            ],
+            warm: vec![0.1, 0.0],
+        };
+        let bytes = state.encode().encode();
+        let back = DualState::decode(&CheckpointFile::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn dual_state_empty_working_set_round_trips() {
+        let state = DualState {
+            fingerprint: 7,
+            lambda: 0.5,
+            t_count: 1,
+            dim: 4,
+            entries: Vec::new(),
+            warm: Vec::new(),
+        };
+        let bytes = state.encode().encode();
+        let back = DualState::decode(&CheckpointFile::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn centralized_state_round_trips_both_phases() {
+        for phase in [CentralizedPhase::Cccp, CentralizedPhase::Refine { rounds_done: 2 }] {
+            let state = CentralizedState {
+                fingerprint: 99,
+                phase,
+                w0: vec2(0.1, 0.2),
+                vectors: vec![vec2(1.0, -1.0)],
+                history: vec![5.0, 4.0, 3.999],
+                cccp_rounds: 3,
+                cccp_converged: true,
+                cutting_rounds: 17,
+                constraints_added: 23,
+            };
+            let bytes = state.encode().encode();
+            let back = CentralizedState::decode(&CheckpointFile::decode(&bytes).unwrap()).unwrap();
+            assert_eq!(back, state);
+        }
+    }
+
+    #[test]
+    fn distributed_state_round_trips() {
+        let state = sample_distributed();
+        let bytes = state.encode().encode();
+        let back = DistributedState::decode(&CheckpointFile::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn wrong_kind_is_typed() {
+        let model = ModelState {
+            fingerprint: 1,
+            w0: vec2(1.0, 2.0),
+            biases: vec![vec2(0.0, 0.0)],
+            bias_aug: None,
+        };
+        let file = model.encode();
+        assert_eq!(
+            DistributedState::decode(&file).unwrap_err(),
+            CkptError::WrongKind { found: KIND_MODEL, expected: KIND_DISTRIBUTED }
+        );
+    }
+
+    #[test]
+    fn cohort_size_disagreement_rejected() {
+        let mut state = sample_distributed();
+        state.xi_ts.push(0.0);
+        let bytes = state.encode().encode();
+        assert!(matches!(
+            DistributedState::decode(&CheckpointFile::decode(&bytes).unwrap()),
+            Err(CkptError::Malformed { .. })
+        ));
+    }
+}

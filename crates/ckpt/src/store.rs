@@ -1,0 +1,182 @@
+//! Atomic on-disk checkpoint store.
+//!
+//! Each checkpoint is one file, `<name>.ckpt`, inside a store directory.
+//! Saves go through a temp file plus rename so a crash mid-write leaves
+//! either the previous complete checkpoint or none — never a torn file
+//! (the framing digests would catch a torn file anyway, but atomicity
+//! means a resume never has to fall back past the latest good snapshot).
+
+use crate::error::CkptError;
+use crate::frame::CheckpointFile;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory-backed checkpoint store.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Creates a store rooted at `dir`. The directory is created lazily on
+    /// first save.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Store { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path a named checkpoint lives at.
+    #[must_use]
+    pub fn path_for(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.ckpt"))
+    }
+
+    /// Atomically writes a checkpoint under `name`, replacing any previous
+    /// one, and emits a `checkpoint` trace event. Returns the byte size.
+    pub fn save(&self, name: &str, file: &CheckpointFile) -> Result<usize, CkptError> {
+        let bytes = file.encode();
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| CkptError::Io { detail: format!("create {}: {e}", self.dir.display()) })?;
+        let final_path = self.path_for(name);
+        let tmp_path = self.dir.join(format!("{name}.ckpt.tmp"));
+        {
+            let mut tmp = fs::File::create(&tmp_path).map_err(|e| CkptError::Io {
+                detail: format!("create {}: {e}", tmp_path.display()),
+            })?;
+            tmp.write_all(&bytes).map_err(|e| CkptError::Io {
+                detail: format!("write {}: {e}", tmp_path.display()),
+            })?;
+            tmp.sync_all().map_err(|e| CkptError::Io {
+                detail: format!("sync {}: {e}", tmp_path.display()),
+            })?;
+        }
+        fs::rename(&tmp_path, &final_path).map_err(|e| CkptError::Io {
+            detail: format!("rename {} -> {}: {e}", tmp_path.display(), final_path.display()),
+        })?;
+        plos_obs::emit(
+            "checkpoint",
+            &[
+                ("file", name.to_string().into()),
+                ("bytes", bytes.len().into()),
+                ("sections", file.section_count().into()),
+            ],
+        );
+        Ok(bytes.len())
+    }
+
+    /// Removes a named checkpoint, typically after a run completes so the
+    /// next run starts fresh. Removing a checkpoint that does not exist is
+    /// not an error.
+    pub fn remove(&self, name: &str) -> Result<(), CkptError> {
+        let path = self.path_for(name);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(CkptError::Io { detail: format!("remove {}: {e}", path.display()) }),
+        }
+    }
+
+    /// Loads and verifies a named checkpoint.
+    ///
+    /// Returns `Ok(None)` when no checkpoint exists (a fresh run), and a
+    /// typed error when one exists but cannot be read or fails
+    /// verification — a damaged checkpoint is never silently ignored.
+    pub fn load(&self, name: &str) -> Result<Option<CheckpointFile>, CkptError> {
+        let path = self.path_for(name);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(CkptError::Io { detail: format!("read {}: {e}", path.display()) })
+            }
+        };
+        CheckpointFile::decode(&bytes).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Unit tests assert by panicking on failure; the workspace-wide
+    // panic-free lint set is for library code paths, so tests opt back in.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("plos-ckpt-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let store = Store::new(&dir);
+        let mut file = CheckpointFile::new();
+        file.push_section(1, vec![1, 2, 3]);
+        let bytes = store.save("state", &file).unwrap();
+        assert!(bytes > 0);
+        let back = store.load("state").unwrap().unwrap();
+        assert_eq!(back, file);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let dir = tmpdir("missing");
+        let store = Store::new(&dir);
+        assert_eq!(store.load("nope").unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_file_is_a_typed_error_not_none() {
+        let dir = tmpdir("corrupt");
+        let store = Store::new(&dir);
+        let mut file = CheckpointFile::new();
+        file.push_section(1, vec![9; 16]);
+        store.save("state", &file).unwrap();
+        let path = store.path_for("state");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load("state").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_and_tolerates_missing() {
+        let dir = tmpdir("remove");
+        let store = Store::new(&dir);
+        let mut file = CheckpointFile::new();
+        file.push_section(1, vec![5]);
+        store.save("state", &file).unwrap();
+        store.remove("state").unwrap();
+        assert_eq!(store.load("state").unwrap(), None);
+        store.remove("state").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_replaces_previous_checkpoint() {
+        let dir = tmpdir("replace");
+        let store = Store::new(&dir);
+        let mut first = CheckpointFile::new();
+        first.push_section(1, vec![1]);
+        store.save("state", &first).unwrap();
+        let mut second = CheckpointFile::new();
+        second.push_section(1, vec![2, 2]);
+        store.save("state", &second).unwrap();
+        assert_eq!(store.load("state").unwrap().unwrap(), second);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

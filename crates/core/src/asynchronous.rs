@@ -266,6 +266,23 @@ impl AsyncDistributedPlos {
                 Ok(Message::RosterUpdate { t_count }) => {
                     solver.set_cohort_size(t_count as usize);
                 }
+                // The async server never checkpoints (only the synchronous
+                // protocol guarantees resumable state), but a shared client
+                // must still honor the repositioning message.
+                Ok(Message::Restore { round, t_count, w_t }) => {
+                    solver.restore(w_t, t_count as usize);
+                    last = None; // the anchor changed; a cached reply is stale
+                    let reply = Message::ClientUpdate {
+                        round,
+                        user: t as u32,
+                        w_t: Vector::zeros(0),
+                        v_t: Vector::zeros(0),
+                        xi_t: 0.0,
+                    };
+                    if endpoint.send(&reply).is_err() {
+                        break;
+                    }
+                }
                 // Devices never receive peer updates; drop the stray frame.
                 Ok(Message::ClientUpdate { .. }) => {}
                 // Nothing from the server yet: keep listening.

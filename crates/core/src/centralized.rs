@@ -13,11 +13,13 @@
 //! block structure; the global SVM used to initialize `w'⁽⁰⁾` comes from
 //! `plos-ml`.
 
+use crate::checkpoint::{self, CheckpointPolicy};
 use crate::config::PlosConfig;
 use crate::dual::DualSolver;
 use crate::error::CoreError;
 use crate::model::PersonalizedModel;
 use crate::problem::{self, Prepared};
+use plos_ckpt::{CentralizedPhase, CentralizedState, CkptError, KIND_CENTRALIZED};
 use plos_linalg::Vector;
 use plos_ml::svm::{LinearSvm, SvmParams};
 use plos_opt::{Cccp, History};
@@ -28,6 +30,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct CentralizedPlos {
     config: PlosConfig,
+    ckpt: Option<CheckpointPolicy>,
 }
 
 /// Detailed training output: the model plus convergence diagnostics.
@@ -55,6 +58,37 @@ struct CccpState {
     signs: Vec<Vec<f64>>,
 }
 
+/// Where a checkpointed run re-enters `fit_detailed`.
+enum ResumePoint {
+    /// No (usable) checkpoint: run from the top.
+    Fresh,
+    /// Continue the CCCP outer loop from a mid-run snapshot.
+    MidCccp(Box<CentralizedState>),
+    /// CCCP finished; continue refinement from a mid-run snapshot.
+    MidRefine(Box<CentralizedState>, u32),
+}
+
+/// Shape check on a restored snapshot: the fingerprint already binds the
+/// cohort and dimension, so a mismatch here means a buggy writer, but the
+/// trainer still refuses to index out of bounds on corrupt input.
+fn validate_restored(st: &CentralizedState, t_count: usize, dim: usize) -> Result<(), CoreError> {
+    if st.vectors.len() != t_count
+        || st.w0.len() != dim
+        || st.vectors.iter().any(|v| v.len() != dim)
+    {
+        return Err(CkptError::Malformed {
+            detail: format!(
+                "centralized checkpoint shape disagrees with the dataset \
+                 ({} vectors, dim {}; expected {t_count} of dim {dim})",
+                st.vectors.len(),
+                st.w0.len()
+            ),
+        }
+        .into());
+    }
+    Ok(())
+}
+
 impl CentralizedPlos {
     /// Creates a trainer.
     ///
@@ -63,7 +97,17 @@ impl CentralizedPlos {
     /// Panics if the configuration is invalid.
     pub fn new(config: PlosConfig) -> Self {
         config.validate();
-        CentralizedPlos { config }
+        CentralizedPlos { config, ckpt: None }
+    }
+
+    /// Returns a copy that checkpoints after every CCCP and refinement
+    /// round under `policy`, and resumes from an existing snapshot with
+    /// bit-parity. Without this (or the `PLOS_CKPT_DIR` environment
+    /// variable) the trainer never touches the filesystem.
+    #[must_use]
+    pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> Self {
+        self.ckpt = Some(policy);
+        self
     }
 
     /// Trains on a masked multi-user dataset, returning the personalized
@@ -97,108 +141,119 @@ impl CentralizedPlos {
         // so training output is bit-identical at any pool size.
         let pool = plos_exec::Pool::current();
 
-        // Initialization of w'(0): a global SVM over all observed labels
-        // gives the sign pattern CCCP linearizes around first.
-        let w0_init = self.initial_hyperplane(&prepared)?;
-        let init_signs: Vec<Vec<f64>> =
-            pool.par_map(&prepared.users, |_t, u| problem::compute_signs(u, &w0_init));
-        let init =
-            CccpState { w0: w0_init, vs: vec![Vector::zeros(dim); t_count], signs: init_signs };
+        // Checkpoint policy: explicit builder setting first, `PLOS_CKPT_DIR`
+        // fallback. A valid snapshot resumes the run; a damaged one is a
+        // typed error, never a silent fresh start.
+        let policy = self.ckpt.clone().or_else(CheckpointPolicy::from_env);
+        let fingerprint = checkpoint::run_fingerprint(KIND_CENTRALIZED, t_count, dim, &self.config);
+        let mut session = policy.as_ref().map(|p| p.session("centralized"));
+        let resume = match &session {
+            Some(sess) => match sess.load()? {
+                Some(file) => {
+                    let st = CentralizedState::decode(&file)?;
+                    checkpoint::check_fingerprint(st.fingerprint, fingerprint)?;
+                    validate_restored(&st, t_count, dim)?;
+                    plos_obs::emit(
+                        "checkpoint_resume",
+                        &[
+                            ("kind", "centralized".into()),
+                            ("cccp_rounds", u64::from(st.cccp_rounds).into()),
+                        ],
+                    );
+                    match st.phase {
+                        CentralizedPhase::Cccp => ResumePoint::MidCccp(Box::new(st)),
+                        CentralizedPhase::Refine { rounds_done } => {
+                            ResumePoint::MidRefine(Box::new(st), rounds_done)
+                        }
+                    }
+                }
+                None => ResumePoint::Fresh,
+            },
+            None => ResumePoint::Fresh,
+        };
 
         let mut cutting_rounds = 0usize;
         let mut constraints_added = 0usize;
 
         let cccp = Cccp { tol: self.config.cccp_tol, max_rounds: self.config.max_cccp_rounds };
-        // The CCCP driver's closure cannot propagate errors; park the first
-        // failure here and report a flat objective so the driver stops at
-        // its convergence check, then surface the error after the run.
-        let mut solve_err: Option<CoreError> = None;
-        let result = cccp.run(init, |state| {
-            if solve_err.is_some() {
-                return (state.clone(), 0.0);
-            }
-            // Fresh working sets: constraints depend on the sign pattern.
-            // The hard class-balance constraints are installed first — they
-            // rule out the degenerate all-on-one-side margin solutions.
-            let mut solver = DualSolver::new(self.config.lambda, t_count, dim);
-            for (t, user) in prepared.users.iter().enumerate() {
-                for k in problem::balance_constraints(user, self.config.balance) {
-                    solver.add_hard_constraint(t, k);
+        let (mut w0, mut w_ts, mut history, cccp_round_count, cccp_converged, refine_start) =
+            match resume {
+                ResumePoint::MidRefine(st, rounds_done) => {
+                    // CCCP already finished when the snapshot was taken; its
+                    // `vectors` hold the per-user hyperplanes mid-refinement.
+                    let st = *st;
+                    cutting_rounds = st.cutting_rounds as usize;
+                    constraints_added = st.constraints_added as usize;
+                    (
+                        st.w0,
+                        st.vectors,
+                        History::from_values(st.history),
+                        st.cccp_rounds as usize,
+                        st.cccp_converged,
+                        rounds_done as usize,
+                    )
                 }
-            }
-            let mut solution = match solver.solve(&self.config.qp) {
-                Ok(s) => s,
-                Err(e) => {
-                    solve_err = Some(e);
-                    return (state.clone(), 0.0);
+                other => {
+                    let (init, prior) = match other {
+                        ResumePoint::MidCccp(st) => {
+                            let st = *st;
+                            cutting_rounds = st.cutting_rounds as usize;
+                            constraints_added = st.constraints_added as usize;
+                            // Signs are not checkpointed: re-derive the
+                            // linearization point exactly as the round closure
+                            // does at the end of every CCCP round.
+                            let signs: Vec<Vec<f64>> = pool.par_map(&prepared.users, |t, u| {
+                                problem::compute_signs(u, &(&st.w0 + &st.vectors[t]))
+                            });
+                            (
+                                CccpState { w0: st.w0, vs: st.vectors, signs },
+                                History::from_values(st.history),
+                            )
+                        }
+                        _ => {
+                            // Initialization of w'(0): a global SVM over all
+                            // observed labels gives the sign pattern CCCP
+                            // linearizes around first.
+                            let w0_init = self.initial_hyperplane(&prepared)?;
+                            let init_signs: Vec<Vec<f64>> = pool
+                                .par_map(&prepared.users, |_t, u| {
+                                    problem::compute_signs(u, &w0_init)
+                                });
+                            (
+                                CccpState {
+                                    w0: w0_init,
+                                    vs: vec![Vector::zeros(dim); t_count],
+                                    signs: init_signs,
+                                },
+                                History::new(),
+                            )
+                        }
+                    };
+                    let result = self.run_cccp_loop(
+                        &cccp,
+                        init,
+                        prior,
+                        &prepared,
+                        fingerprint,
+                        &mut session,
+                        &mut cutting_rounds,
+                        &mut constraints_added,
+                    )?;
+                    let w0 = result.state.w0;
+                    let w_ts: Vec<Vector> = result.state.vs.iter().map(|v| &w0 + v).collect();
+                    let rounds = result.history.len();
+                    (w0, w_ts, result.history, rounds, result.converged, 0usize)
                 }
             };
-            for round in 0..self.config.max_cutting_rounds {
-                cutting_rounds += 1;
-                let mut any_added = false;
-                let mut max_violation = 0.0_f64;
-                // Per-user most-violated-constraint search (Eq. 14) is
-                // independent given the current iterate — fan it out, then
-                // install the findings in user order.
-                let searched = pool.par_map(&prepared.users, |t, user| {
-                    let w_t = &solution.w0 + &solution.vs[t];
-                    problem::most_violated_constraint(
-                        user,
-                        &state.signs[t],
-                        &w_t,
-                        solution.xis[t],
-                        &self.config,
-                    )
-                });
-                for (t, (constraint, violation)) in searched.into_iter().enumerate() {
-                    max_violation = max_violation.max(violation);
-                    if violation > self.config.eps {
-                        solver.add_constraint(t, constraint);
-                        constraints_added += 1;
-                        any_added = true;
-                    }
-                }
-                plos_obs::emit(
-                    "cutting_round",
-                    &[
-                        ("round", (round + 1).into()),
-                        ("working_set", solver.num_constraints().into()),
-                        ("max_violation", max_violation.into()),
-                    ],
-                );
-                if !any_added {
-                    break;
-                }
-                solution = match solver.solve(&self.config.qp) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        solve_err = Some(e);
-                        return (state.clone(), 0.0);
-                    }
-                };
-            }
-
-            // Refresh the linearization point and report the true objective.
-            let new_signs: Vec<Vec<f64>> = pool.par_map(&prepared.users, |t, u| {
-                problem::compute_signs(u, &(&solution.w0 + &solution.vs[t]))
-            });
-            let objective = problem::objective(&prepared, &solution.w0, &solution.vs, &self.config);
-            (CccpState { w0: solution.w0, vs: solution.vs, signs: new_signs }, objective)
-        });
-        if let Some(e) = solve_err {
-            return Err(e);
-        }
-
         // Refinement: block-coordinate descent on the true objective with
         // multi-start per-user CCCP. Each user step exactly minimizes its
         // block `(λ/T)‖w_t − w0‖² + loss_t(w_t)` over the candidate local
         // optima; the w0 step is the closed-form minimizer of
         // `‖w0‖² + (λ/T)Σ‖w_t − w0‖²`, so the objective never increases.
-        let mut w0 = result.state.w0;
-        let mut w_ts: Vec<Vector> = result.state.vs.iter().map(|v| &w0 + v).collect();
-        let mut history = result.history.clone();
+        // A resumed run re-enters at `refine_start`; seeds depend only on
+        // the absolute round index, so the replayed rounds are identical.
         let mu = 2.0 * self.config.lambda / t_count as f64;
-        for round in 0..self.config.refine_rounds {
+        for round in refine_start..self.config.refine_rounds {
             // Within a round every user's block step depends only on the
             // round-start `w0` and its own `w_t`, so the per-user CCCP runs
             // are independent; per-user seeds are derived from (round, t)
@@ -240,18 +295,158 @@ impl CentralizedPlos {
                 "refine_round",
                 &[("round", (round + 1).into()), ("objective", objective.into())],
             );
+            if let Some(sess) = session.as_mut() {
+                let snapshot = CentralizedState {
+                    fingerprint,
+                    phase: CentralizedPhase::Refine { rounds_done: (round + 1) as u32 },
+                    w0: w0.clone(),
+                    vectors: w_ts.clone(),
+                    history: history.values().to_vec(),
+                    cccp_rounds: cccp_round_count as u32,
+                    cccp_converged,
+                    cutting_rounds: cutting_rounds as u64,
+                    constraints_added: constraints_added as u64,
+                };
+                sess.save(&snapshot.encode())?;
+            }
         }
         let vs: Vec<Vector> = w_ts.iter().map(|w_t| w_t - &w0).collect();
 
         let model = PersonalizedModel::new(w0, vs, self.config.bias);
+        // The run completed: drop the snapshot so the next run starts fresh.
+        if let Some(sess) = &session {
+            sess.clear()?;
+        }
         Ok(CentralizedFit {
             model,
-            cccp_rounds: result.history.len(),
+            cccp_rounds: cccp_round_count,
             history,
             cutting_rounds,
             constraints_added,
-            converged: result.converged,
+            converged: cccp_converged,
         })
+    }
+
+    /// The CCCP outer loop with per-round checkpointing. `prior` carries the
+    /// objective history of rounds a previous (interrupted) process already
+    /// completed; with an empty prior this is the uninterrupted path.
+    // Allowed: per-user buffers are indexed by `t` over `prepared.users`,
+    // all sized `t_count` by construction (see `fit_detailed`).
+    #[allow(clippy::indexing_slicing, clippy::too_many_arguments)]
+    fn run_cccp_loop(
+        &self,
+        cccp: &Cccp,
+        init: CccpState,
+        prior: History,
+        prepared: &Prepared,
+        fingerprint: u64,
+        session: &mut Option<crate::checkpoint::CkptSession>,
+        cutting_rounds: &mut usize,
+        constraints_added: &mut usize,
+    ) -> Result<plos_opt::CccpResult<CccpState>, CoreError> {
+        let t_count = prepared.users.len();
+        let dim = prepared.dim;
+        let pool = plos_exec::Pool::current();
+        // The CCCP driver's closure cannot propagate errors; park the first
+        // failure here and report a flat objective so the driver stops at
+        // its convergence check, then surface the error after the run.
+        let mut solve_err: Option<CoreError> = None;
+        let mut saved_history: Vec<f64> = prior.values().to_vec();
+        let result = cccp.run_with_history(init, prior, |state| {
+            if solve_err.is_some() {
+                return (state.clone(), 0.0);
+            }
+            // Fresh working sets: constraints depend on the sign pattern.
+            // The hard class-balance constraints are installed first — they
+            // rule out the degenerate all-on-one-side margin solutions.
+            let mut solver = DualSolver::new(self.config.lambda, t_count, dim);
+            for (t, user) in prepared.users.iter().enumerate() {
+                for k in problem::balance_constraints(user, self.config.balance) {
+                    solver.add_hard_constraint(t, k);
+                }
+            }
+            let mut solution = match solver.solve(&self.config.qp) {
+                Ok(s) => s,
+                Err(e) => {
+                    solve_err = Some(e);
+                    return (state.clone(), 0.0);
+                }
+            };
+            for round in 0..self.config.max_cutting_rounds {
+                *cutting_rounds += 1;
+                let mut any_added = false;
+                let mut max_violation = 0.0_f64;
+                // Per-user most-violated-constraint search (Eq. 14) is
+                // independent given the current iterate — fan it out, then
+                // install the findings in user order.
+                let searched = pool.par_map(&prepared.users, |t, user| {
+                    let w_t = &solution.w0 + &solution.vs[t];
+                    problem::most_violated_constraint(
+                        user,
+                        &state.signs[t],
+                        &w_t,
+                        solution.xis[t],
+                        &self.config,
+                    )
+                });
+                for (t, (constraint, violation)) in searched.into_iter().enumerate() {
+                    max_violation = max_violation.max(violation);
+                    if violation > self.config.eps {
+                        solver.add_constraint(t, constraint);
+                        *constraints_added += 1;
+                        any_added = true;
+                    }
+                }
+                plos_obs::emit(
+                    "cutting_round",
+                    &[
+                        ("round", (round + 1).into()),
+                        ("working_set", solver.num_constraints().into()),
+                        ("max_violation", max_violation.into()),
+                    ],
+                );
+                if !any_added {
+                    break;
+                }
+                solution = match solver.solve(&self.config.qp) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        solve_err = Some(e);
+                        return (state.clone(), 0.0);
+                    }
+                };
+            }
+
+            // Refresh the linearization point and report the true objective.
+            let new_signs: Vec<Vec<f64>> = pool.par_map(&prepared.users, |t, u| {
+                problem::compute_signs(u, &(&solution.w0 + &solution.vs[t]))
+            });
+            let objective = problem::objective(prepared, &solution.w0, &solution.vs, &self.config);
+            saved_history.push(objective);
+            if let Some(sess) = session.as_mut() {
+                let snapshot = CentralizedState {
+                    fingerprint,
+                    phase: CentralizedPhase::Cccp,
+                    w0: solution.w0.clone(),
+                    vectors: solution.vs.clone(),
+                    history: saved_history.clone(),
+                    cccp_rounds: saved_history.len() as u32,
+                    // Convergence is re-derived from the history on resume.
+                    cccp_converged: false,
+                    cutting_rounds: *cutting_rounds as u64,
+                    constraints_added: *constraints_added as u64,
+                };
+                if let Err(e) = sess.save(&snapshot.encode()) {
+                    solve_err = Some(e);
+                    return (state.clone(), 0.0);
+                }
+            }
+            (CccpState { w0: solution.w0, vs: solution.vs, signs: new_signs }, objective)
+        });
+        if let Some(e) = solve_err {
+            return Err(e);
+        }
+        Ok(result)
     }
 
     /// Global-SVM initialization over all observed labels; falls back to a
@@ -433,5 +628,78 @@ mod tests {
         let m1 = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset).unwrap();
         let m2 = CentralizedPlos::new(PlosConfig::fast()).fit(&dataset).unwrap();
         assert_eq!(m1, m2);
+    }
+
+    fn model_bits(model: &PersonalizedModel) -> Vec<u64> {
+        let mut bits: Vec<u64> = model.global_hyperplane().iter().map(|c| c.to_bits()).collect();
+        for v in model.personal_biases() {
+            bits.extend(v.iter().map(|c| c.to_bits()));
+        }
+        bits
+    }
+
+    #[test]
+    fn killed_and_resumed_run_matches_uninterrupted_bit_for_bit() {
+        use crate::checkpoint::CheckpointPolicy;
+        let dataset = small_synthetic(3, 2, 0.3);
+        let config = PlosConfig::fast();
+        let reference = CentralizedPlos::new(config.clone()).fit_detailed(&dataset).unwrap();
+
+        let dir =
+            std::env::temp_dir().join(format!("plos-centralized-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Kill the run after each possible checkpoint count and resume it;
+        // every seam must reproduce the reference model exactly.
+        for kill_after in 1..=2u32 {
+            let killed = CentralizedPlos::new(config.clone())
+                .with_checkpointing(CheckpointPolicy::new(&dir).abort_after(kill_after))
+                .fit_detailed(&dataset);
+            assert!(
+                matches!(killed, Err(CoreError::Interrupted { .. })),
+                "kill switch must fire, got {killed:?}"
+            );
+            let resumed = CentralizedPlos::new(config.clone())
+                .with_checkpointing(CheckpointPolicy::new(&dir))
+                .fit_detailed(&dataset)
+                .unwrap();
+            assert_eq!(
+                model_bits(&resumed.model),
+                model_bits(&reference.model),
+                "resume after {kill_after} checkpoint(s) diverged"
+            );
+            assert_eq!(resumed.history.values(), reference.history.values());
+            assert_eq!(resumed.cccp_rounds, reference.cccp_rounds);
+            assert_eq!(resumed.converged, reference.converged);
+            // Successful completion clears the snapshot for the next seam.
+            assert!(!dir.join("centralized.ckpt").exists());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected_not_ignored() {
+        use crate::checkpoint::CheckpointPolicy;
+        let dataset = small_synthetic(3, 2, 0.3);
+        let dir =
+            std::env::temp_dir().join(format!("plos-centralized-mismatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = PlosConfig::fast();
+        let killed = CentralizedPlos::new(config.clone())
+            .with_checkpointing(CheckpointPolicy::new(&dir).abort_after(1))
+            .fit_detailed(&dataset);
+        assert!(matches!(killed, Err(CoreError::Interrupted { .. })));
+
+        // A different seed is a different run: the stale snapshot must be
+        // refused with a typed error rather than silently resumed.
+        let other = PlosConfig { seed: config.seed + 99, ..config };
+        let resumed = CentralizedPlos::new(other)
+            .with_checkpointing(CheckpointPolicy::new(&dir))
+            .fit_detailed(&dataset);
+        assert!(
+            matches!(resumed, Err(CoreError::Ckpt(_))),
+            "expected a checkpoint context error, got {resumed:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

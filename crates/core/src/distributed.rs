@@ -36,12 +36,17 @@
 //! pass-through, so [`DistributedPlos::fit`] is bit-identical to the
 //! fault-free synchronous protocol.
 
+use crate::checkpoint::{self, CheckpointPolicy, CkptSession};
 use crate::config::{FaultTolerance, PlosConfig};
 use crate::error::CoreError;
 use crate::local::LocalSolver;
 use crate::model::PersonalizedModel;
 use crate::problem;
 use parking_lot::Mutex;
+use plos_ckpt::{
+    BroadcastRecord, CkptError, DistributedPhase, DistributedState, ParticipationRecord,
+    KIND_DISTRIBUTED,
+};
 use plos_linalg::Vector;
 use plos_net::{star, Endpoint, FaultPlan, FaultyEndpoint, Message, TrafficStats, TransportError};
 use plos_opt::History;
@@ -67,6 +72,7 @@ const CLIENT_IDLE: Duration = Duration::from_millis(50);
 pub struct DistributedPlos {
     config: PlosConfig,
     fault_tolerance: FaultTolerance,
+    ckpt: Option<CheckpointPolicy>,
 }
 
 /// One gather round's attendance, as seen by the server.
@@ -281,11 +287,69 @@ impl<'a> Fleet<'a> {
         }
     }
 
+    /// Best-effort shutdown of one device regardless of roster state. Used
+    /// on resume: a device evicted before the checkpoint still has a fresh
+    /// thread waiting in this process, and it must be told to exit.
+    fn shutdown_device(&mut self, t: usize) {
+        if let Some(link) = self.links.get_mut(t) {
+            let _ = link.send(&Message::Shutdown);
+        }
+    }
+
+    /// Adopts the roster a checkpoint recorded: liveness flags, strike
+    /// counts, eviction order and the fault-tolerance counters, so the
+    /// resumed run's report continues the interrupted one's.
+    fn restore_roster(&mut self, state: &DistributedState) {
+        for (flag, &stored) in self.alive.iter_mut().zip(&state.alive) {
+            *flag = stored;
+        }
+        for (strikes, &stored) in self.missed.iter_mut().zip(&state.missed) {
+            *strikes = stored;
+        }
+        self.evicted = state.evicted.iter().map(|&t| t as usize).collect();
+        self.participation = state
+            .participation
+            .iter()
+            .map(|p| RoundParticipation {
+                round: p.round,
+                replied: p.replied as usize,
+                alive: p.alive as usize,
+                retries: p.retries as u32,
+            })
+            .collect();
+        self.protocol_errors = state.protocol_errors;
+        self.late_discards = state.late_discards;
+        self.roster_dirty = false;
+    }
+
+    /// Snapshot of the roster in checkpoint form.
+    fn export_roster(&self) -> (Vec<bool>, Vec<u32>, Vec<u64>, Vec<ParticipationRecord>) {
+        (
+            self.alive.clone(),
+            self.missed.clone(),
+            self.evicted.iter().map(|&t| t as u64).collect(),
+            self.participation
+                .iter()
+                .map(|p| ParticipationRecord {
+                    round: p.round,
+                    replied: p.replied as u64,
+                    alive: p.alive as u64,
+                    retries: u64::from(p.retries),
+                })
+                .collect(),
+        )
+    }
+
     /// One quorum gather: collects `ClientUpdate`s for `round` into `sink`
     /// under the retry policy. The round closes when the whole live roster
     /// replied, or the quorum is met after the initial window, or the round
     /// deadline expires. Devices that stay silent accumulate a strike and
     /// are evicted after `evict_after` consecutive misses.
+    ///
+    /// `record = false` marks a replay gather during checkpoint resume: it
+    /// collects replies under the same retry machinery but leaves the
+    /// participation log and strike counters untouched, because the
+    /// uninterrupted run it reconstructs never had these extra rounds.
     ///
     /// # Errors
     ///
@@ -296,6 +360,7 @@ impl<'a> Fleet<'a> {
     fn gather(
         &mut self,
         round: u32,
+        record: bool,
         rebroadcast: &dyn Fn(usize) -> Message,
         sink: &mut dyn FnMut(usize, Vector, Vector, f64),
     ) -> Result<(), CoreError> {
@@ -371,13 +436,18 @@ impl<'a> Fleet<'a> {
         }
 
         let alive = self.alive_count();
-        self.participation.push(RoundParticipation { round, replied: replies, alive, retries });
+        if record {
+            self.participation.push(RoundParticipation { round, replied: replies, alive, retries });
+        }
         if replies == 0 {
             return Err(CoreError::QuorumLost {
                 round,
                 alive,
                 required: self.ft.required_replies(alive),
             });
+        }
+        if !record {
+            return Ok(());
         }
         // Strike accounting: a reply clears the count, a miss adds one, and
         // `evict_after` consecutive misses remove the device for good.
@@ -403,6 +473,33 @@ impl<'a> Fleet<'a> {
     }
 }
 
+/// Shape checks a decoded distributed checkpoint against this run: the
+/// section digests already guarantee byte integrity and the fingerprint ties
+/// it to the cohort/config, so this guards the residual structural
+/// degrees of freedom (vector lengths) before any arithmetic touches them.
+fn validate_distributed_state(
+    state: &DistributedState,
+    t_count: usize,
+    dim: usize,
+) -> Result<(), CoreError> {
+    let mut ok = state.us.len() == t_count && state.w0.len() == dim;
+    for group in [&state.us, &state.w_ts, &state.v_ts, &state.anchors] {
+        ok &= group.iter().all(|v| v.len() == dim);
+    }
+    for rec in &state.log {
+        ok &= rec.w0.len() == dim && rec.us.iter().all(|v| v.len() == dim);
+    }
+    if ok {
+        Ok(())
+    } else {
+        Err(CoreError::Ckpt(CkptError::Malformed {
+            detail: format!(
+                "checkpoint shape does not match this run (cohort {t_count}, dim {dim})"
+            ),
+        }))
+    }
+}
+
 impl DistributedPlos {
     /// Creates a trainer with the default (fully synchronous, quorum `1.0`)
     /// fault tolerance.
@@ -412,7 +509,21 @@ impl DistributedPlos {
     /// Panics if the configuration is invalid.
     pub fn new(config: PlosConfig) -> Self {
         config.validate();
-        DistributedPlos { config, fault_tolerance: FaultTolerance::default() }
+        DistributedPlos { config, fault_tolerance: FaultTolerance::default(), ckpt: None }
+    }
+
+    /// Enables server-side checkpointing under `policy`: the server snapshots
+    /// its consensus state after every ADMM iteration and refinement round,
+    /// and a later run with the same policy resumes from the snapshot with
+    /// bit-parity (fault-free runs). Only server-held quantities are written —
+    /// device-local training data never reaches the checkpoint.
+    ///
+    /// Without an explicit policy the `PLOS_CKPT_DIR` environment variable is
+    /// consulted (see [`crate::checkpoint::CKPT_DIR_ENV`]).
+    #[must_use]
+    pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> Self {
+        self.ckpt = Some(policy);
+        self
     }
 
     /// Replaces the fault-tolerance policy (quorum fraction, retry schedule,
@@ -478,6 +589,34 @@ impl DistributedPlos {
         }
         let dim = prepared.dim;
 
+        // Checkpointing: explicit policy first, PLOS_CKPT_DIR fallback. The
+        // snapshot is server-side state only; a structural fingerprint ties
+        // it to this cohort shape and configuration.
+        let policy = self.ckpt.clone().or_else(CheckpointPolicy::from_env);
+        let fingerprint = checkpoint::run_fingerprint(KIND_DISTRIBUTED, t_count, dim, &self.config);
+        let mut session = policy.as_ref().map(|p| p.session("distributed"));
+        let resume = match &session {
+            Some(sess) => match sess.load()? {
+                Some(file) => {
+                    let state = DistributedState::decode(&file).map_err(CoreError::Ckpt)?;
+                    checkpoint::check_fingerprint(state.fingerprint, fingerprint)?;
+                    validate_distributed_state(&state, t_count, dim)?;
+                    plos_obs::emit(
+                        "checkpoint_resume",
+                        &[
+                            ("trainer", "distributed".to_string().into()),
+                            ("round", state.round.into()),
+                            ("cccp_round", state.cccp_round.into()),
+                            ("admm_iterations", state.admm_iterations.into()),
+                        ],
+                    );
+                    Some(Box::new(state))
+                }
+                None => None,
+            },
+            None => None,
+        };
+
         // Hand each device thread its own data through a take-once slot map
         // (the closure is shared across threads).
         let slots: Mutex<Vec<Option<LocalSolver>>> = Mutex::new(
@@ -497,8 +636,11 @@ impl DistributedPlos {
 
         let network = star(t_count);
         let config = self.config.clone();
+        let session_ref = &mut session;
         let (server_out, client_outs) = network.run_clients(
-            |server_ends| self.server_loop(server_ends, dim, t_count, plan),
+            |server_ends| {
+                self.server_loop(server_ends, dim, t_count, plan, fingerprint, resume, session_ref)
+            },
             |t, endpoint| {
                 let solver = slots.lock().get_mut(t).and_then(Option::take);
                 let solver = solver.expect("each device slot is taken exactly once");
@@ -619,6 +761,24 @@ impl DistributedPlos {
                 Ok(Message::RosterUpdate { t_count }) => {
                     solver.set_cohort_size(t_count as usize);
                 }
+                // Checkpoint resume: adopt the server's recorded CCCP anchor
+                // and cohort size, then ack so the server knows this device
+                // is repositioned before it replays the interrupted round.
+                // The ack carries empty vectors — it is a liveness signal,
+                // not an update.
+                Ok(Message::Restore { round, t_count, w_t }) => {
+                    solver.restore(w_t, t_count as usize);
+                    let reply = Message::ClientUpdate {
+                        round,
+                        user,
+                        w_t: Vector::zeros(0),
+                        v_t: Vector::zeros(0),
+                        xi_t: 0.0,
+                    };
+                    if endpoint.send(&reply).is_err() {
+                        break;
+                    }
+                }
                 // Devices never receive peer updates; drop the stray frame
                 // rather than dying on a protocol hiccup.
                 Ok(Message::ClientUpdate { .. }) => {}
@@ -631,78 +791,208 @@ impl DistributedPlos {
         ClientOutcome { stats: endpoint.stats(), compute }
     }
 
-    /// The server thread: initialization, CCCP × ADMM driving, shutdown.
-    /// Every gather is a quorum round under the retry policy; every
-    /// `T`-dependent scalar of Eq. (23)/(24) tracks the live cohort size.
+    /// The server thread: initialization (or checkpoint resume), CCCP × ADMM
+    /// driving, shutdown. Every gather is a quorum round under the retry
+    /// policy; every `T`-dependent scalar of Eq. (23)/(24) tracks the live
+    /// cohort size. When `session` is set the consensus state is snapshotted
+    /// after every ADMM iteration and refinement round.
+    // Allowed: the resume/checkpoint plumbing genuinely needs the run
+    // coordinates threaded through, and splitting the protocol driver would
+    // scatter the round/phase invariants across functions.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
     fn server_loop(
         &self,
         ends: &[Endpoint],
         dim: usize,
         t_count: usize,
         plan: &FaultPlan,
+        fingerprint: u64,
+        resume: Option<Box<DistributedState>>,
+        session: &mut Option<CkptSession>,
     ) -> Result<(PersonalizedModel, DistributedReport), CoreError> {
         let mut fleet = Fleet::new(plan.wrap_links(ends), self.fault_tolerance.clone());
         let mut server_compute = Duration::ZERO;
+        let rho = self.config.rho;
 
-        // ---- Initialization round: average provider hyperplanes. ----
-        let zero = Vector::zeros(dim);
-        let init = |_t: usize| Message::Broadcast { round: 0, w0: zero.clone(), u_t: zero.clone() };
-        fleet.send_alive(&init);
-        let mut w_inits = vec![Vector::zeros(dim); t_count];
-        fleet.gather(0, &init, &mut |t, w_t, _v_t, _xi_t| {
-            if let Some(slot) = w_inits.get_mut(t) {
-                *slot = w_t;
-            }
-        })?;
-        fleet.publish_roster();
+        // Consensus state plus loop re-entry coordinates: either a fresh
+        // initialization round, or everything restored from the snapshot.
+        let mut w0;
+        let mut us;
+        let mut w_ts;
+        let mut v_ts;
+        let mut xi_ts;
+        let mut anchors;
+        let mut log: Vec<BroadcastRecord>;
+        let mut history;
+        let mut admm_iterations;
+        let mut round;
+        let mut converged;
+        let mut cccp_rounds;
+        let mut residuals: Vec<AdmmResiduals>;
+        let start_cccp: usize;
+        let resumed_iters: usize;
+        let mut resumed_inner_done = false;
+        let mut resumed_mid_cccp = false;
+        let refine_start: u32;
 
-        let t0 = Instant::now();
-        let mut w0 = Vector::zeros(dim);
-        let mut contributors = 0usize;
-        for w_init in &w_inits {
-            if w_init.norm() > 0.0 {
-                w0 += w_init;
-                contributors += 1;
+        if let Some(state) = resume {
+            let st = *state;
+            fleet.restore_roster(&st);
+            // A fresh thread exists for every device, including ones the
+            // interrupted run already evicted; those must be told to exit or
+            // the join at the end of the run would hang on them.
+            for t in 0..t_count {
+                if !fleet.is_alive(t) {
+                    fleet.shutdown_device(t);
+                }
             }
-        }
-        if contributors > 0 {
-            w0.scale_mut(1.0 / contributors as f64);
+            // Reposition the survivors: each adopts its CCCP anchor and the
+            // checkpointed cohort size, then acks (unrecorded — the
+            // uninterrupted run never had these rounds).
+            let cohort = fleet.alive_count() as u32;
+            let restore_round = st.round;
+            let restore_anchors = st.anchors.clone();
+            let restore = move |t: usize| Message::Restore {
+                round: restore_round,
+                t_count: cohort,
+                w_t: restore_anchors.get(t).cloned().unwrap_or_else(|| Vector::zeros(dim)),
+            };
+            fleet.send_alive(&restore);
+            fleet.gather(restore_round, false, &restore, &mut |_t, _w, _v, _xi| {})?;
+            // Replay the interrupted CCCP round's broadcasts so each device
+            // rebuilds its working set bit for bit. Replies are discarded:
+            // the checkpointed server state is authoritative.
+            for rec in &st.log {
+                let rec_round = rec.round;
+                let rec_w0 = rec.w0.clone();
+                let rec_us = rec.us.clone();
+                let scatter = move |t: usize| Message::Broadcast {
+                    round: rec_round,
+                    w0: rec_w0.clone(),
+                    u_t: rec_us.get(t).cloned().unwrap_or_else(|| Vector::zeros(dim)),
+                };
+                fleet.send_alive(&scatter);
+                fleet.gather(rec_round, false, &scatter, &mut |_t, _w, _v, _xi| {})?;
+            }
+
+            w0 = st.w0;
+            us = st.us;
+            w_ts = st.w_ts;
+            v_ts = st.v_ts;
+            xi_ts = st.xi_ts;
+            anchors = st.anchors;
+            log = st.log;
+            history = History::from_values(st.history);
+            admm_iterations = st.admm_iterations as usize;
+            round = st.round;
+            converged = st.converged;
+            cccp_rounds = st.cccp_rounds as usize;
+            residuals = st
+                .residuals
+                .iter()
+                .map(|&(r, primal, dual)| AdmmResiduals { round: r, primal, dual })
+                .collect();
+            match st.phase {
+                DistributedPhase::Admm => {
+                    start_cccp = st.cccp_round as usize;
+                    resumed_iters = st.iters_done as usize;
+                    resumed_inner_done = st.inner_done;
+                    resumed_mid_cccp = true;
+                    refine_start = 0;
+                }
+                DistributedPhase::Refine { rounds_done } => {
+                    // CCCP finished before the snapshot; skip straight back
+                    // into refinement.
+                    start_cccp = self.config.max_cccp_rounds;
+                    resumed_iters = 0;
+                    refine_start = rounds_done;
+                }
+            }
         } else {
-            // No provider anywhere: deterministic random init, mirroring the
-            // centralized fallback.
-            let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
-            w0 = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let n = w0.norm();
-            if n > 0.0 {
-                w0.scale_mut(1.0 / n);
+            // ---- Initialization round: average provider hyperplanes. ----
+            let zero = Vector::zeros(dim);
+            let init =
+                |_t: usize| Message::Broadcast { round: 0, w0: zero.clone(), u_t: zero.clone() };
+            fleet.send_alive(&init);
+            let mut w_inits = vec![Vector::zeros(dim); t_count];
+            fleet.gather(0, true, &init, &mut |t, w_t, _v_t, _xi_t| {
+                if let Some(slot) = w_inits.get_mut(t) {
+                    *slot = w_t;
+                }
+            })?;
+            fleet.publish_roster();
+
+            let t0 = Instant::now();
+            w0 = Vector::zeros(dim);
+            let mut contributors = 0usize;
+            for w_init in &w_inits {
+                if w_init.norm() > 0.0 {
+                    w0 += w_init;
+                    contributors += 1;
+                }
             }
+            if contributors > 0 {
+                w0.scale_mut(1.0 / contributors as f64);
+            } else {
+                // No provider anywhere: deterministic random init, mirroring
+                // the centralized fallback.
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+                w0 = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let n = w0.norm();
+                if n > 0.0 {
+                    w0.scale_mut(1.0 / n);
+                }
+            }
+            server_compute += t0.elapsed();
+
+            us = vec![Vector::zeros(dim); t_count];
+            w_ts = vec![Vector::zeros(dim); t_count];
+            v_ts = vec![Vector::zeros(dim); t_count];
+            xi_ts = vec![0.0f64; t_count];
+            // CCCP round 0 anchors: devices linearize off the incoming w0
+            // while their own w_t is still zero, and `LocalSolver::restore`
+            // with a zero anchor reproduces exactly that state.
+            anchors = vec![Vector::zeros(dim); t_count];
+            log = Vec::new();
+            history = History::new();
+            admm_iterations = 0usize;
+            round = 0u32;
+            converged = false;
+            cccp_rounds = 0usize;
+            residuals = Vec::new();
+            start_cccp = 0;
+            resumed_iters = 0;
+            refine_start = 0;
         }
-        server_compute += t0.elapsed();
 
         // ---- CCCP × ADMM ----
-        let rho = self.config.rho;
-        let mut us = vec![Vector::zeros(dim); t_count];
-        let mut w_ts = vec![Vector::zeros(dim); t_count];
-        let mut v_ts = vec![Vector::zeros(dim); t_count];
-        let mut xi_ts = vec![0.0f64; t_count];
-
-        let mut history = History::new();
-        let mut admm_iterations = 0usize;
-        let mut round = 0u32;
-        let mut converged = false;
-        let mut cccp_rounds = 0usize;
-        let mut residuals: Vec<AdmmResiduals> = Vec::new();
-
-        for cccp_round in 0..self.config.max_cccp_rounds {
-            cccp_rounds += 1;
-            if cccp_round > 0 {
-                fleet.send_alive(&|_t| Message::CccpAdvance { cccp_round: cccp_round as u32 });
-                fleet.publish_roster();
+        for cccp_round in start_cccp..self.config.max_cccp_rounds {
+            let resumed_round = resumed_mid_cccp && cccp_round == start_cccp;
+            if !resumed_round {
+                cccp_rounds += 1;
+                if cccp_round > 0 {
+                    fleet.send_alive(&|_t| Message::CccpAdvance { cccp_round: cccp_round as u32 });
+                    fleet.publish_roster();
+                    // New linearization: devices re-anchor at their own w_t.
+                    // Record the anchors and start a fresh replay log.
+                    anchors = w_ts.clone();
+                    log.clear();
+                }
             }
-            for _ in 0..self.config.max_admm_iters {
+            let iter_start = if resumed_round { resumed_iters } else { 0 };
+            let inner_done = resumed_round && resumed_inner_done;
+            for iter in iter_start..self.config.max_admm_iters {
+                if inner_done {
+                    // The snapshot was taken after the inner loop finished;
+                    // only the objective push below remains for this round.
+                    break;
+                }
                 round += 1;
                 admm_iterations += 1;
                 // Scatter; the same closure serves the retry re-broadcasts.
+                // The replay log records what went out so a resumed server
+                // can rebuild device state.
+                log.push(BroadcastRecord { round, w0: w0.clone(), us: us.clone() });
                 let scatter = |t: usize| Message::Broadcast {
                     round,
                     w0: w0.clone(),
@@ -711,7 +1001,7 @@ impl DistributedPlos {
                 fleet.send_alive(&scatter);
                 // Quorum gather; a straggler's slot keeps its previous
                 // (w_t, v_t, ξ_t) — the carry-forward state.
-                fleet.gather(round, &scatter, &mut |t, w_t, v_t, xi_t| {
+                fleet.gather(round, true, &scatter, &mut |t, w_t, v_t, xi_t| {
                     if let (Some(w), Some(v), Some(xi)) =
                         (w_ts.get_mut(t), v_ts.get_mut(t), xi_ts.get_mut(t))
                     {
@@ -778,9 +1068,39 @@ impl DistributedPlos {
                     plos_obs::counter_add("distributed.admm_rounds", 1);
                 }
 
-                if dual_residual <= sqrt_2t * self.config.eps_abs
-                    && primal_residual <= sqrt_t * self.config.eps_abs
-                {
+                let residuals_met = dual_residual <= sqrt_2t * self.config.eps_abs
+                    && primal_residual <= sqrt_t * self.config.eps_abs;
+                if let Some(sess) = session.as_mut() {
+                    let (alive, missed, evicted, participation) = fleet.export_roster();
+                    let snapshot = DistributedState {
+                        fingerprint,
+                        phase: DistributedPhase::Admm,
+                        round,
+                        cccp_round: cccp_round as u32,
+                        iters_done: (iter + 1) as u32,
+                        inner_done: residuals_met || iter + 1 == self.config.max_admm_iters,
+                        admm_iterations: admm_iterations as u64,
+                        cccp_rounds: cccp_rounds as u32,
+                        converged,
+                        w0: w0.clone(),
+                        us: us.clone(),
+                        w_ts: w_ts.clone(),
+                        v_ts: v_ts.clone(),
+                        xi_ts: xi_ts.clone(),
+                        anchors: anchors.clone(),
+                        log: log.clone(),
+                        alive,
+                        missed,
+                        evicted,
+                        participation,
+                        protocol_errors: fleet.protocol_errors,
+                        late_discards: fleet.late_discards,
+                        history: history.values().to_vec(),
+                        residuals: residuals.iter().map(|r| (r.round, r.primal, r.dual)).collect(),
+                    };
+                    sess.save(&snapshot.encode())?;
+                }
+                if residuals_met {
                     break;
                 }
             }
@@ -814,11 +1134,11 @@ impl DistributedPlos {
 
         // ---- Refinement: multi-start per-device re-solve + closed-form w0
         // block updates (same messages, still only model parameters). ----
-        for refine_round in 0..self.config.refine_rounds {
+        for refine_round in refine_start as usize..self.config.refine_rounds {
             round += 1;
             let refine = |_t: usize| Message::Refine { round, w0: w0.clone() };
             fleet.send_alive(&refine);
-            fleet.gather(round, &refine, &mut |t, w_t, v_t, xi_t| {
+            fleet.gather(round, true, &refine, &mut |t, w_t, v_t, xi_t| {
                 if let (Some(w), Some(v), Some(xi)) =
                     (w_ts.get_mut(t), v_ts.get_mut(t), xi_ts.get_mut(t))
                 {
@@ -863,9 +1183,46 @@ impl DistributedPlos {
                 "refine_round",
                 &[("round", (refine_round + 1).into()), ("objective", objective.into())],
             );
+            if let Some(sess) = session.as_mut() {
+                let (alive, missed, evicted, participation) = fleet.export_roster();
+                let snapshot = DistributedState {
+                    fingerprint,
+                    phase: DistributedPhase::Refine { rounds_done: (refine_round + 1) as u32 },
+                    round,
+                    cccp_round: cccp_rounds.saturating_sub(1) as u32,
+                    iters_done: 0,
+                    inner_done: true,
+                    admm_iterations: admm_iterations as u64,
+                    cccp_rounds: cccp_rounds as u32,
+                    converged,
+                    w0: w0.clone(),
+                    us: us.clone(),
+                    // Refinement anchors each device at its own last w_t, so
+                    // that is what a resumed server must hand back.
+                    w_ts: w_ts.clone(),
+                    v_ts: v_ts.clone(),
+                    xi_ts: xi_ts.clone(),
+                    anchors: w_ts.clone(),
+                    log: Vec::new(),
+                    alive,
+                    missed,
+                    evicted,
+                    participation,
+                    protocol_errors: fleet.protocol_errors,
+                    late_discards: fleet.late_discards,
+                    history: history.values().to_vec(),
+                    residuals: residuals.iter().map(|r| (r.round, r.primal, r.dual)).collect(),
+                };
+                sess.save(&snapshot.encode())?;
+            }
         }
 
         fleet.shutdown();
+        // The run completed: drop the snapshot so the next run starts fresh
+        // instead of resuming a finished trajectory.
+        if let Some(sess) = &*session {
+            sess.clear()?;
+        }
 
         // Personalized hyperplanes are exactly the devices' final w_t. A
         // device evicted before it ever reported one falls back to the
@@ -1036,6 +1393,85 @@ mod tests {
         let err =
             DistributedPlos::new(PlosConfig::fast()).fit_with_faults(&data, &plan).unwrap_err();
         assert!(matches!(err, CoreError::Protocol { .. }), "got {err:?}");
+    }
+
+    fn model_bits(model: &PersonalizedModel) -> Vec<u64> {
+        let mut bits: Vec<u64> = model.global_hyperplane().iter().map(|c| c.to_bits()).collect();
+        for v in model.personal_biases() {
+            bits.extend(v.iter().map(|c| c.to_bits()));
+        }
+        bits
+    }
+
+    #[test]
+    fn killed_and_resumed_distributed_run_matches_uninterrupted_bit_for_bit() {
+        use crate::checkpoint::CheckpointPolicy;
+        let data = dataset(3, 2);
+        let config = PlosConfig::fast();
+        let (reference, ref_report) = DistributedPlos::new(config.clone()).fit(&data).unwrap();
+
+        let dir =
+            std::env::temp_dir().join(format!("plos-distributed-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Three seams: mid-ADMM, right at the inner-loop/objective boundary,
+        // and after the final refinement snapshot (everything done but the
+        // model assembly). Checkpoints are one per ADMM iteration plus one
+        // per refinement round.
+        let admm = ref_report.admm_iterations as u32;
+        for kill_after in [2, admm, admm + 1] {
+            let killed = DistributedPlos::new(config.clone())
+                .with_checkpointing(CheckpointPolicy::new(&dir).abort_after(kill_after))
+                .fit(&data);
+            assert!(
+                matches!(killed, Err(CoreError::Interrupted { .. })),
+                "kill switch must fire at {kill_after}, got {killed:?}"
+            );
+            let (resumed, report) = DistributedPlos::new(config.clone())
+                .with_checkpointing(CheckpointPolicy::new(&dir))
+                .fit(&data)
+                .unwrap();
+            assert_eq!(
+                model_bits(&resumed),
+                model_bits(&reference),
+                "resume after {kill_after} checkpoint(s) diverged"
+            );
+            assert_eq!(report.history.values(), ref_report.history.values());
+            assert_eq!(report.admm_iterations, ref_report.admm_iterations);
+            assert_eq!(report.cccp_rounds, ref_report.cccp_rounds);
+            assert_eq!(report.converged, ref_report.converged);
+            assert_eq!(report.residuals, ref_report.residuals);
+            assert_eq!(report.participation, ref_report.participation);
+            assert!(!report.degraded);
+            // Successful completion clears the snapshot for the next seam.
+            assert!(!dir.join("distributed.ckpt").exists());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_distributed_checkpoint_is_rejected_not_ignored() {
+        use crate::checkpoint::CheckpointPolicy;
+        let data = dataset(3, 2);
+        let dir =
+            std::env::temp_dir().join(format!("plos-distributed-mismatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = PlosConfig::fast();
+        let killed = DistributedPlos::new(config.clone())
+            .with_checkpointing(CheckpointPolicy::new(&dir).abort_after(1))
+            .fit(&data);
+        assert!(matches!(killed, Err(CoreError::Interrupted { .. })));
+
+        // A different rho changes the ADMM trajectory: the stale snapshot
+        // must be refused with a typed error, not silently resumed.
+        let other = PlosConfig { rho: config.rho * 2.0, ..config };
+        let resumed =
+            DistributedPlos::new(other).with_checkpointing(CheckpointPolicy::new(&dir)).fit(&data);
+        assert!(
+            matches!(resumed, Err(CoreError::Ckpt(_))),
+            "expected a checkpoint context error, got {resumed:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error type shared by the fallible trainers in this crate.
 
+use plos_ckpt::CkptError;
 use plos_ml::error::MlError;
 use plos_net::TransportError;
 use plos_opt::error::OptError;
@@ -42,6 +43,18 @@ pub enum CoreError {
         /// Replies required by the configured quorum fraction.
         required: usize,
     },
+    /// Writing or reading a checkpoint failed. A corrupted or incompatible
+    /// checkpoint is never silently ignored — the caller must delete it (or
+    /// point `PLOS_CKPT_DIR` elsewhere) to start fresh.
+    Ckpt(CkptError),
+    /// The run was deliberately interrupted by the checkpoint policy's
+    /// `abort_after` knob — the kill-switch used by the resume-parity
+    /// harness. The checkpoint written immediately before the abort is on
+    /// disk and valid.
+    Interrupted {
+        /// Checkpoints written before the abort fired.
+        checkpoints: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +71,10 @@ impl fmt::Display for CoreError {
                 "quorum lost in round {round}: no usable replies from {alive} live devices \
                  ({required} required)"
             ),
+            CoreError::Ckpt(e) => write!(f, "checkpoint failure: {e}"),
+            CoreError::Interrupted { checkpoints } => {
+                write!(f, "run interrupted by checkpoint policy after {checkpoints} checkpoint(s)")
+            }
         }
     }
 }
@@ -67,11 +84,13 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Opt(e) => Some(e),
             CoreError::Ml(e) => Some(e),
+            CoreError::Ckpt(e) => Some(e),
             CoreError::EmptyDataset
             | CoreError::InvalidConfig { .. }
             | CoreError::Transport { .. }
             | CoreError::Protocol { .. }
-            | CoreError::QuorumLost { .. } => None,
+            | CoreError::QuorumLost { .. }
+            | CoreError::Interrupted { .. } => None,
         }
     }
 }
@@ -100,6 +119,12 @@ impl From<plos_linalg::LinalgError> for CoreError {
     }
 }
 
+impl From<CkptError> for CoreError {
+    fn from(e: CkptError) -> Self {
+        CoreError::Ckpt(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +140,8 @@ mod tests {
             CoreError::Transport { detail: "peer disconnected".into() },
             CoreError::Protocol { detail: "update attributed to device 3 on link 1".into() },
             CoreError::QuorumLost { round: 7, alive: 4, required: 3 },
+            CoreError::Ckpt(CkptError::BadMagic),
+            CoreError::Interrupted { checkpoints: 2 },
         ];
         for c in cases {
             assert!(!format!("{c}").is_empty());
@@ -129,6 +156,8 @@ mod tests {
         assert!(o.source().is_some());
         let m = CoreError::from(MlError::BadLabel { index: 3 });
         assert!(m.source().is_some());
+        let c = CoreError::from(CkptError::BadMagic);
+        assert!(c.source().is_some());
     }
 
     #[test]

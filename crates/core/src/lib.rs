@@ -50,6 +50,7 @@
 pub mod asynchronous;
 pub mod baselines;
 pub mod centralized;
+pub mod checkpoint;
 pub mod config;
 pub mod distributed;
 pub mod dual;
@@ -63,6 +64,7 @@ pub mod prox;
 
 pub use asynchronous::{AsyncDistributedPlos, AsyncSpec};
 pub use centralized::CentralizedPlos;
+pub use checkpoint::CheckpointPolicy;
 pub use config::{FaultTolerance, PlosConfig, RetryPolicy};
 pub use distributed::{AdmmResiduals, DistributedPlos, DistributedReport, RoundParticipation};
 pub use error::CoreError;

@@ -85,6 +85,22 @@ impl LocalSolver {
         self.working_set.clear();
     }
 
+    /// Re-seeds the solver from a server checkpoint (`Message::Restore`):
+    /// adopts the checkpointed CCCP anchor `w_t` and cohort size, and clears
+    /// the working set and sign pattern so the next solve re-derives them
+    /// from the anchor — exactly the state a device is in right after
+    /// [`LocalSolver::advance_cccp`]. Replaying the interrupted CCCP round's
+    /// broadcasts then reproduces the pre-kill state bit for bit.
+    pub fn restore(&mut self, w_t: Vector, t_count: usize) {
+        let dim = self.user.features.first().map_or(0, Vector::len);
+        if w_t.len() == dim {
+            self.w_t = w_t;
+        }
+        self.signs = None;
+        self.working_set.clear();
+        self.set_cohort_size(t_count);
+    }
+
     /// Rescales the cohort size `T` after the server evicted dead devices
     /// (`RosterUpdate`), so `κ = λ/T` — and with it the `Σ_k γ_kt ≤ T/2λ`
     /// dual cap — matches the devices actually left in the consensus.
@@ -328,6 +344,45 @@ mod tests {
         let _ = solver.solve(&Vector::zeros(2), &Vector::zeros(2)).unwrap();
         let after = solver.local_loss();
         assert!(after < before, "loss did not improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn restore_and_replay_matches_uninterrupted_device() {
+        // Continuous device: CCCP round 1, advance, then two solves of
+        // round 2.
+        let w0_1 = Vector::from(vec![0.4, 0.1]);
+        let w0_2 = Vector::from(vec![0.6, -0.1]);
+        let w0_3 = Vector::from(vec![0.55, 0.0]);
+        let u = Vector::zeros(2);
+        let mut continuous = LocalSolver::new(labeled_user(), config(), 3);
+        let _ = continuous.solve(&w0_1, &u).unwrap();
+        let anchor = continuous.w_t.clone();
+        continuous.advance_cccp();
+        let _ = continuous.solve(&w0_2, &u).unwrap();
+        let expected = continuous.solve(&w0_3, &u).unwrap();
+
+        // Killed device: a fresh process restored from the round-2 anchor
+        // replays round 2's broadcasts.
+        let mut resumed = LocalSolver::new(labeled_user(), config(), 3);
+        resumed.restore(anchor, 3);
+        let _ = resumed.solve(&w0_2, &u).unwrap();
+        let replayed = resumed.solve(&w0_3, &u).unwrap();
+
+        let bits = |v: &Vector| v.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&replayed.w_t), bits(&expected.w_t));
+        assert_eq!(bits(&replayed.v_t), bits(&expected.v_t));
+        assert_eq!(replayed.xi_t.to_bits(), expected.xi_t.to_bits());
+    }
+
+    #[test]
+    fn restore_ignores_mismatched_dimension_and_zero_cohort() {
+        let mut solver = LocalSolver::new(labeled_user(), config(), 4);
+        let _ = solver.solve(&Vector::zeros(2), &Vector::zeros(2)).unwrap();
+        let kept = solver.w_t.clone();
+        solver.restore(Vector::zeros(5), 0);
+        assert_eq!(solver.w_t, kept, "mismatched anchor must be ignored");
+        assert_eq!(solver.cohort_size(), 4, "zero roster must be ignored");
+        assert_eq!(solver.working_set_len(), 0, "working set is always cleared");
     }
 
     #[test]

@@ -60,6 +60,19 @@ pub enum Message {
         /// Number of devices still participating.
         t_count: u32,
     },
+    /// Server → user: a resumed server re-seeds this device's solver state
+    /// from a checkpoint. Carries only the device's own CCCP anchor `w_t`
+    /// — a quantity the device itself sent earlier — never another user's
+    /// state and never raw samples, preserving the privacy property.
+    Restore {
+        /// Communication round of the restore handshake.
+        round: u32,
+        /// Cohort size at the checkpoint.
+        t_count: u32,
+        /// The device's hyperplane at the start of the interrupted CCCP
+        /// round (its sign-linearization anchor).
+        w_t: Vector,
+    },
 }
 
 const TAG_BROADCAST: u8 = 1;
@@ -68,6 +81,7 @@ const TAG_CCCP_ADVANCE: u8 = 3;
 const TAG_SHUTDOWN: u8 = 4;
 const TAG_REFINE: u8 = 5;
 const TAG_ROSTER_UPDATE: u8 = 6;
+const TAG_RESTORE: u8 = 7;
 
 impl Message {
     /// Encodes the message to its wire representation.
@@ -104,6 +118,12 @@ impl Message {
             Message::RosterUpdate { t_count } => {
                 buf.put_u8(TAG_ROSTER_UPDATE);
                 buf.put_u32_le(*t_count);
+            }
+            Message::Restore { round, t_count, w_t } => {
+                buf.put_u8(TAG_RESTORE);
+                buf.put_u32_le(*round);
+                buf.put_u32_le(*t_count);
+                codec::put_vector(&mut buf, w_t);
             }
         }
         buf.freeze()
@@ -143,6 +163,11 @@ impl Message {
             }),
             TAG_SHUTDOWN => Ok(Message::Shutdown),
             TAG_ROSTER_UPDATE => Ok(Message::RosterUpdate { t_count: codec::get_u32(&mut bytes)? }),
+            TAG_RESTORE => Ok(Message::Restore {
+                round: codec::get_u32(&mut bytes)?,
+                t_count: codec::get_u32(&mut bytes)?,
+                w_t: codec::get_vector(&mut bytes)?,
+            }),
             other => Err(CodecError::UnknownTag(other)),
         }
     }
@@ -160,6 +185,7 @@ impl Message {
             Message::Refine { w0, .. } => 4 + codec::vector_wire_len(w0),
             Message::Shutdown => 0,
             Message::RosterUpdate { .. } => 4,
+            Message::Restore { w_t, .. } => 4 + 4 + codec::vector_wire_len(w_t),
         }
     }
 }
@@ -201,6 +227,26 @@ mod tests {
         round_trip(Message::Shutdown);
         round_trip(Message::Refine { round: 3, w0: Vector::from(vec![1.0, -0.5]) });
         round_trip(Message::RosterUpdate { t_count: 11 });
+    }
+
+    #[test]
+    fn restore_round_trip() {
+        round_trip(Message::Restore {
+            round: 9,
+            t_count: 5,
+            w_t: Vector::from(vec![0.5, -0.25, 8.0]),
+        });
+        round_trip(Message::Restore { round: 0, t_count: 1, w_t: Vector::zeros(0) });
+    }
+
+    #[test]
+    fn restore_truncation_rejected() {
+        let m = Message::Restore { round: 2, t_count: 4, w_t: Vector::from(vec![1.0, 2.0]) };
+        let full = m.encode();
+        for cut in 1..full.len() {
+            let sliced = full.slice(0..cut);
+            assert!(Message::decode(sliced).is_err(), "decoding a {cut}-byte prefix should fail");
+        }
     }
 
     #[test]

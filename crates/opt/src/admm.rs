@@ -55,6 +55,52 @@ impl Default for ConsensusAdmm {
     }
 }
 
+/// Mid-run snapshot of a consensus-ADMM run: everything the loop reads at
+/// the top of an iteration. Exporting after iteration `k` and resuming via
+/// [`ConsensusAdmm::run_from`] reproduces the uninterrupted run bit-exactly,
+/// because the iteration body is a pure function of this state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmmState {
+    /// Global variable `z` after the last completed iteration.
+    pub z: Vector,
+    /// Local variables `x_t`.
+    pub xs: Vec<Vector>,
+    /// Scaled duals `u_t`.
+    pub us: Vec<Vector>,
+    /// Objective values recorded so far.
+    pub history: Vec<f64>,
+    /// Iterations already performed (they count against `max_iters`).
+    pub iterations: usize,
+    /// Whether the residual test had already passed.
+    pub converged: bool,
+    /// Dual residual after the last completed iteration.
+    pub dual_residual: f64,
+    /// Primal residual after the last completed iteration.
+    pub primal_residual: f64,
+}
+
+impl AdmmState {
+    /// The state of a run that has not taken any iterations yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_count` is zero.
+    pub fn fresh(z0: Vector, t_count: usize) -> Self {
+        assert!(t_count > 0, "ADMM requires at least one agent");
+        let dim = z0.len();
+        AdmmState {
+            z: z0,
+            xs: vec![Vector::zeros(dim); t_count],
+            us: vec![Vector::zeros(dim); t_count],
+            history: Vec::new(),
+            iterations: 0,
+            converged: false,
+            dual_residual: f64::INFINITY,
+            primal_residual: f64::INFINITY,
+        }
+    }
+}
+
 /// Result of an ADMM run.
 #[derive(Debug, Clone)]
 pub struct AdmmResult {
@@ -76,6 +122,23 @@ pub struct AdmmResult {
     pub primal_residual: f64,
 }
 
+impl AdmmResult {
+    /// Converts the result into a resumable snapshot, e.g. to continue with
+    /// a larger iteration budget or after a checkpoint round trip.
+    pub fn into_state(self) -> AdmmState {
+        AdmmState {
+            z: self.z,
+            xs: self.xs,
+            us: self.us,
+            history: self.history.values().to_vec(),
+            iterations: self.iterations,
+            converged: self.converged,
+            dual_residual: self.dual_residual,
+            primal_residual: self.primal_residual,
+        }
+    }
+}
+
 impl ConsensusAdmm {
     /// Runs ADMM from the given initial global variable.
     ///
@@ -85,24 +148,44 @@ impl ConsensusAdmm {
     /// match `problem.dim()`.
     pub fn run<P: AdmmProblem>(&self, problem: &mut P, z0: Vector) -> AdmmResult {
         let t_count = problem.num_agents();
+        assert_eq!(z0.len(), problem.dim(), "z0 dimension mismatch");
+        self.run_from(problem, AdmmState::fresh(z0, t_count))
+    }
+
+    /// Continues ADMM from a mid-run snapshot (see [`AdmmState`]).
+    ///
+    /// Iterations already recorded in `state` count against `max_iters`,
+    /// and a state that had already converged returns immediately, so
+    /// `run(k iters) → into_state → run_from` matches an uninterrupted run
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shapes disagree with the problem's.
+    pub fn run_from<P: AdmmProblem>(&self, problem: &mut P, state: AdmmState) -> AdmmResult {
+        let t_count = problem.num_agents();
         let dim = problem.dim();
         assert!(t_count > 0, "ADMM requires at least one agent");
-        assert_eq!(z0.len(), dim, "z0 dimension mismatch");
+        assert_eq!(state.z.len(), dim, "z0 dimension mismatch");
+        assert_eq!(state.xs.len(), t_count, "snapshot xs count mismatch");
+        assert_eq!(state.us.len(), t_count, "snapshot us count mismatch");
 
-        let mut z = z0;
-        let mut xs: Vec<Vector> = vec![Vector::zeros(dim); t_count];
-        let mut us: Vec<Vector> = vec![Vector::zeros(dim); t_count];
-        let mut history = History::new();
+        let AdmmState {
+            mut z,
+            mut xs,
+            mut us,
+            history,
+            mut iterations,
+            mut converged,
+            mut dual_residual,
+            mut primal_residual,
+        } = state;
+        let mut history = History::from_values(history);
 
         let sqrt_2t = (2.0 * t_count as f64).sqrt();
         let sqrt_t = (t_count as f64).sqrt();
 
-        let mut iterations = 0;
-        let mut converged = false;
-        let mut dual_residual = f64::INFINITY;
-        let mut primal_residual = f64::INFINITY;
-
-        while iterations < self.max_iters {
+        while !converged && iterations < self.max_iters {
             iterations += 1;
 
             // x-step: every agent solves its local subproblem.
@@ -252,6 +335,52 @@ mod tests {
         assert!(!result.converged);
         assert_eq!(result.iterations, 3);
         assert_eq!(result.history.len(), 3);
+    }
+
+    #[test]
+    fn split_run_matches_full_run_bit_exactly() {
+        let targets = vec![
+            Vector::from(vec![1.0, 0.5]),
+            Vector::from(vec![3.0, -2.0]),
+            Vector::from(vec![-2.0, 4.0]),
+        ];
+        let full = {
+            let mut problem = Averaging { targets: targets.clone(), rho: 1.0 };
+            let admm = ConsensusAdmm { rho: 1.0, eps_abs: 1e-6, max_iters: 200 };
+            admm.run(&mut problem, Vector::zeros(2))
+        };
+        for k in [1usize, 3, 7] {
+            let mut problem = Averaging { targets: targets.clone(), rho: 1.0 };
+            let head = ConsensusAdmm { rho: 1.0, eps_abs: 1e-6, max_iters: k };
+            let snapshot = head.run(&mut problem, Vector::zeros(2)).into_state();
+            let tail = ConsensusAdmm { rho: 1.0, eps_abs: 1e-6, max_iters: 200 };
+            let resumed = tail.run_from(&mut problem, snapshot);
+            assert_eq!(resumed.iterations, full.iterations, "split at {k}");
+            assert_eq!(resumed.converged, full.converged);
+            for (a, b) in resumed.z.iter().zip(full.z.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "z diverged after split at {k}");
+            }
+            for (xa, xb) in resumed.xs.iter().zip(&full.xs) {
+                for (a, b) in xa.iter().zip(xb.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            assert_eq!(resumed.history.len(), full.history.len());
+        }
+    }
+
+    #[test]
+    fn resuming_a_converged_state_is_a_no_op() {
+        let targets = vec![Vector::from(vec![2.0]), Vector::from(vec![4.0])];
+        let mut problem = Averaging { targets, rho: 1.0 };
+        let admm = ConsensusAdmm { rho: 1.0, eps_abs: 1e-6, max_iters: 2000 };
+        let done = admm.run(&mut problem, Vector::zeros(1));
+        assert!(done.converged);
+        let iterations = done.iterations;
+        let z_bits = done.z[0].to_bits();
+        let resumed = admm.run_from(&mut problem, done.into_state());
+        assert_eq!(resumed.iterations, iterations);
+        assert_eq!(resumed.z[0].to_bits(), z_bits);
     }
 
     #[test]

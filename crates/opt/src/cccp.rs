@@ -47,11 +47,27 @@ impl Cccp {
     /// `objective` is the *original* (non-convexified) objective evaluated at
     /// `new_state` — this is the quantity whose monotone decrease CCCP
     /// guarantees.
-    pub fn run<S>(&self, init: S, mut step: impl FnMut(&S) -> (S, f64)) -> CccpResult<S> {
+    pub fn run<S>(&self, init: S, step: impl FnMut(&S) -> (S, f64)) -> CccpResult<S> {
+        self.run_with_history(init, History::new(), step)
+    }
+
+    /// Runs CCCP from `init`, continuing a previously recorded objective
+    /// trajectory — the resume path for checkpointed runs.
+    ///
+    /// Rounds already present in `prior` count against `max_rounds`, and
+    /// convergence is re-checked on entry, so a run interrupted after its
+    /// convergence round does not take an extra step. With an empty prior
+    /// this is exactly [`Cccp::run`].
+    pub fn run_with_history<S>(
+        &self,
+        init: S,
+        prior: History,
+        mut step: impl FnMut(&S) -> (S, f64),
+    ) -> CccpResult<S> {
         let mut state = init;
-        let mut history = History::new();
-        let mut converged = false;
-        for _ in 0..self.max_rounds {
+        let mut history = prior;
+        let mut converged = history.converged(self.tol);
+        while !converged && history.len() < self.max_rounds {
             let (next, objective) = step(&state);
             state = next;
             history.push(objective);
@@ -59,10 +75,7 @@ impl Cccp {
                 "cccp_round",
                 &[("round", history.len().into()), ("objective", objective.into())],
             );
-            if history.converged(self.tol) {
-                converged = true;
-                break;
-            }
+            converged = history.converged(self.tol);
         }
         CccpResult { state, history, converged }
     }
@@ -113,6 +126,56 @@ mod tests {
         assert_eq!(calls, 5);
         assert!(!result.converged);
         assert_eq!(result.history.len(), 5);
+    }
+
+    #[test]
+    fn run_with_history_matches_uninterrupted_run() {
+        let cccp = Cccp { tol: 1e-12, max_rounds: 100 };
+        let f = |x: f64| x * x - x.abs();
+        let step = |&x: &f64| {
+            let s = if x >= 0.0 { 1.0 } else { -1.0 };
+            let next = s / 2.0;
+            (next, f(next))
+        };
+        let full = cccp.run(2.0_f64, step);
+        // Interrupt after one round: replay the first step, then resume
+        // with the recorded history.
+        let head = Cccp { tol: 1e-12, max_rounds: 1 }.run(2.0_f64, step);
+        let resumed = cccp.run_with_history(
+            head.state,
+            History::from_values(head.history.values().to_vec()),
+            step,
+        );
+        assert_eq!(resumed.converged, full.converged);
+        assert_eq!(resumed.history.len(), full.history.len());
+        assert_eq!(resumed.state.to_bits(), full.state.to_bits());
+    }
+
+    #[test]
+    fn run_with_history_skips_work_when_already_converged() {
+        let cccp = Cccp { tol: 1e-3, max_rounds: 50 };
+        let mut calls = 0;
+        let result = cccp.run_with_history(0.5_f64, History::from_values(vec![1.0, 1.0]), |&x| {
+            calls += 1;
+            (x, 1.0)
+        });
+        assert_eq!(calls, 0);
+        assert!(result.converged);
+        assert_eq!(result.history.len(), 2);
+    }
+
+    #[test]
+    fn run_with_history_counts_prior_rounds_against_budget() {
+        let cccp = Cccp { tol: 0.0, max_rounds: 5 };
+        let mut calls = 0;
+        let result =
+            cccp.run_with_history(0.0_f64, History::from_values(vec![3.0, 2.0, 1.0]), |&x| {
+                calls += 1;
+                (x + 1.0, -(x + 1.0))
+            });
+        assert_eq!(calls, 2);
+        assert_eq!(result.history.len(), 5);
+        assert!(!result.converged);
     }
 
     #[test]

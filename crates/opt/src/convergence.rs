@@ -22,6 +22,12 @@ impl History {
         History { values: Vec::new() }
     }
 
+    /// Rebuilds a history from previously recorded values, in order — used
+    /// when resuming an interrupted run from a checkpoint.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        History { values }
+    }
+
     /// Appends an objective value.
     pub fn push(&mut self, value: f64) {
         self.values.push(value);

@@ -32,7 +32,7 @@ pub mod error;
 pub mod pg;
 pub mod qp;
 
-pub use admm::{AdmmProblem, AdmmResult, ConsensusAdmm};
+pub use admm::{AdmmProblem, AdmmResult, AdmmState, ConsensusAdmm};
 pub use cccp::{Cccp, CccpResult};
 pub use convergence::History;
 pub use cutting_plane::{CuttingPlane, CuttingPlaneReport};

@@ -1,7 +1,7 @@
 //! Project-specific static analysis, run as `cargo run -p xtask -- lint`.
 //!
 //! Complements the `[workspace.lints]` table in the root `Cargo.toml` with
-//! invariants clippy cannot express. Seven rules, all textual and
+//! invariants clippy cannot express. Eight rules, all textual and
 //! zero-dependency so the gate works offline:
 //!
 //! 1. **std-sync** — no `std::sync::Mutex`/`RwLock` in first-party library
@@ -31,6 +31,12 @@
 //!    diagnostics flow through `plos-obs` (structured, switchable,
 //!    bit-parity-safe). Binaries (`src/bin/`) and the figure harness
 //!    `crates/bench` print tables by design and are exempt.
+//! 8. **ckpt-write** — no direct `fs::write`/`File::create` in library
+//!    crates outside `crates/ckpt` (the atomic, digest-framed store) and
+//!    `crates/obs` (the trace sink). Training state that bypasses
+//!    `plos-ckpt` has no version header, no integrity digests, and no
+//!    atomic rename — a crash mid-write would corrupt a resume. Binaries
+//!    write figures and reports and are exempt.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -168,11 +174,21 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
     let expect_call = [".expe", "ct("].concat();
     let println_call = ["print", "ln!("].concat();
     let eprintln_call = ["eprint", "ln!("].concat();
+    let fs_write = ["fs::wri", "te("].concat();
+    let file_create = ["File::cre", "ate("].concat();
 
     // Rule 7 scope: library code, excluding binary entry points and the
     // figure harness (both print tables to stdout by design).
     let stdout_banned =
         is_library && !rel_path.contains("/bin/") && !rel_path.starts_with("crates/bench/");
+
+    // Rule 8 scope: library code outside the two sanctioned write sites —
+    // the checkpoint store (atomic, digest-framed) and the trace sink.
+    let fs_write_banned = is_library
+        && !rel_path.contains("/bin/")
+        && !rel_path.starts_with("crates/ckpt/")
+        && !rel_path.starts_with("crates/obs/")
+        && !rel_path.starts_with("crates/bench/");
 
     for (idx, raw) in lines.iter().enumerate() {
         let line = raw.trim_start();
@@ -278,6 +294,21 @@ fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
                 rule: "no-stdout",
                 message: "println!/eprintln! in a library crate; emit a plos-obs \
                           event or counter instead"
+                    .to_string(),
+            });
+        }
+
+        // Rule 8: persistent training state goes through plos-ckpt, which
+        // frames, digests, and atomically renames; an ad-hoc fs write is a
+        // checkpoint that cannot be verified or safely resumed.
+        if fs_write_banned && (line.contains(&fs_write) || line.contains(&file_create)) {
+            out.push(Violation {
+                path: path.to_path_buf(),
+                line: lineno,
+                rule: "ckpt-write",
+                message: "direct filesystem write in a library crate; persist state \
+                          through the plos-ckpt store (versioned, digest-verified, \
+                          atomic) instead"
                     .to_string(),
             });
         }

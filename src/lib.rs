@@ -19,6 +19,8 @@
 //!   evaluation datasets (body-sensor, HAR-like, 2-D Gaussian synthetic).
 //! * [`net`] — the simulated distributed runtime: binary codec, message
 //!   schema, in-process transport with byte/energy accounting.
+//! * [`ckpt`] — versioned binary checkpoints: framed, digest-verified
+//!   snapshots of training state with bit-parity resume (`PLOS_CKPT_DIR`).
 //! * [`ml`] — classical-ML substrate: linear SVM, k-means, spectral
 //!   clustering, LSH, metrics.
 //! * [`exec`] — deterministic fork-join runtime: the scoped thread pool the
@@ -47,6 +49,7 @@
 //! assert_eq!(model.num_users(), 4);
 //! ```
 
+pub use plos_ckpt as ckpt;
 pub use plos_core as core;
 pub use plos_exec as exec;
 pub use plos_linalg as linalg;
@@ -60,8 +63,8 @@ pub use plos_sensing as sensing;
 pub mod prelude {
     pub use plos_core::baselines::{AllBaseline, GroupBaseline, SingleBaseline};
     pub use plos_core::{
-        AdmmResiduals, CentralizedPlos, DistributedPlos, DistributedReport, FaultTolerance,
-        PersonalizedModel, PlosConfig, RetryPolicy, RoundParticipation,
+        AdmmResiduals, CentralizedPlos, CheckpointPolicy, DistributedPlos, DistributedReport,
+        FaultTolerance, PersonalizedModel, PlosConfig, RetryPolicy, RoundParticipation,
     };
     pub use plos_linalg::{Matrix, Vector};
     pub use plos_net::{DeadLink, FaultPlan};

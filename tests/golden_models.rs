@@ -1,0 +1,151 @@
+//! Golden-model regression fixtures.
+//!
+//! Trains every method the paper evaluates — centralized PLOS, distributed
+//! PLOS, and the *All*/*Single*/*Group* baselines — on one fixed seeded
+//! dataset and compares a bit-exact FNV-1a digest of each result against
+//! the committed fixture `tests/fixtures/golden_digests.json`. Any silent
+//! numerical drift in a future change (a reordered reduction, a tweaked
+//! tolerance, a solver refactor that "shouldn't matter") fails loudly here
+//! instead of shipping as a quietly different model.
+//!
+//! When a change is *intentional*, regenerate the fixture:
+//!
+//! ```text
+//! PLOS_BLESS=1 cargo test --test golden_models
+//! ```
+//!
+//! and commit the rewritten JSON alongside the change that explains it.
+//! Digests are stored as 16-digit hex strings: JSON numbers are f64 and
+//! cannot hold a full u64 losslessly.
+
+// Integration tests assert by panicking; the panic-free gate covers
+// library code only (see [workspace.lints] in the root Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+use std::path::PathBuf;
+
+use plos::ckpt::{model_digest, Fnv1a};
+use plos::core::baselines::{GroupConfig, UserPredictions};
+use plos::obs::json::{parse, render_object};
+use plos::obs::Value;
+use plos::prelude::*;
+
+/// Fixture location, anchored to the crate root so the test is independent
+/// of the runner's working directory.
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_digests.json")
+}
+
+/// The one fixed dataset every golden digest is pinned to. Mirrors the
+/// `trace_parity` gate's spec so the two gates cross-check each other.
+fn golden_dataset() -> MultiUserDataset {
+    let spec = SyntheticSpec {
+        num_users: 6,
+        points_per_class: 30,
+        max_rotation: std::f64::consts::FRAC_PI_3,
+        flip_prob: 0.05,
+    };
+    generate_synthetic(&spec, 77).mask_labels(&LabelMask::providers(3, 0.2), 5)
+}
+
+/// Digest of a PLOS model: canonical `model_digest` fold (w0 then biases).
+fn plos_digest(model: &PersonalizedModel) -> u64 {
+    model_digest(model.global_hyperplane(), model.personal_biases())
+}
+
+/// Digest of a baseline's full prediction table. Baselines have no shared
+/// model shape (one hyperplane, per-user SVMs, per-group classifiers), so
+/// the pinned quantity is what the evaluation harness consumes: every
+/// user's predictions, in user order, with the variant tagged so a
+/// labels-vs-clusters switch can never collide.
+fn predictions_digest(predictions: &[UserPredictions]) -> u64 {
+    let mut h = Fnv1a::new();
+    for per_user in predictions {
+        match per_user {
+            UserPredictions::Labels(labels) => {
+                h.write(&[1u8]);
+                h.write_u64(labels.len() as u64);
+                for &label in labels {
+                    h.write(&label.to_le_bytes());
+                }
+            }
+            UserPredictions::Clusters(ids) => {
+                h.write(&[2u8]);
+                h.write_u64(ids.len() as u64);
+                for &id in ids {
+                    h.write_u64(id as u64);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Recomputes every golden digest from scratch.
+fn compute_digests() -> Vec<(&'static str, u64)> {
+    let data = golden_dataset();
+    let config = PlosConfig::fast();
+
+    let central = CentralizedPlos::new(config.clone()).fit(&data).expect("centralized fit");
+    let (dist, _report) = DistributedPlos::new(config).fit(&data).expect("distributed fit");
+    let all = AllBaseline::fit(&data).expect("All baseline fit");
+    let single = SingleBaseline::fit(&data, 11).expect("Single baseline fit");
+    let group = GroupBaseline::fit(&data, &GroupConfig { seed: 11, ..GroupConfig::default() })
+        .expect("Group baseline fit");
+
+    vec![
+        ("centralized", plos_digest(&central)),
+        ("distributed", plos_digest(&dist)),
+        ("baseline_all", predictions_digest(&all.predict_all(&data))),
+        ("baseline_single", predictions_digest(&single.predict_all(&data))),
+        ("baseline_group", predictions_digest(&group.predict_all(&data))),
+    ]
+}
+
+#[test]
+fn models_match_golden_digests() {
+    let digests = compute_digests();
+
+    if std::env::var("PLOS_BLESS").is_ok_and(|v| v == "1") {
+        let fields: Vec<(&str, Value)> =
+            digests.iter().map(|(name, d)| (*name, Value::Str(format!("{d:016x}")))).collect();
+        let rendered = render_object(&fields);
+        std::fs::write(fixture_path(), format!("{rendered}\n")).expect("write fixture");
+        eprintln!("blessed {} digests into {}", digests.len(), fixture_path().display());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(fixture_path()).expect(
+        "missing tests/fixtures/golden_digests.json — generate it with \
+         PLOS_BLESS=1 cargo test --test golden_models",
+    );
+    let fixture = parse(&raw).expect("fixture is valid JSON");
+
+    let mut mismatches = Vec::new();
+    for (name, actual) in &digests {
+        let expected = fixture
+            .get(name)
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| panic!("fixture is missing the {name:?} digest"));
+        let actual_hex = format!("{actual:016x}");
+        if expected != actual_hex {
+            mismatches.push(format!("  {name}: fixture {expected}, recomputed {actual_hex}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden model digests drifted:\n{}\nIf the numerical change is intentional, \
+         regenerate with PLOS_BLESS=1 cargo test --test golden_models and commit the fixture.",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_digests_are_reproducible_within_a_run() {
+    // The fixture is only meaningful if the training pipeline is
+    // deterministic in the first place: two fits in the same process must
+    // agree bit-for-bit before cross-commit comparison means anything.
+    let first = compute_digests();
+    let second = compute_digests();
+    assert_eq!(first, second, "same-process retrain produced different digests");
+}
