@@ -13,6 +13,38 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo run -p xtask -- lint"
 cargo run -p xtask -- lint
 
+# Dynamic checkers complement the plos-lint static rules. Miri interprets
+# the pure wire/digest crates (framing, JSON, digests — no threads, no
+# blocking I/O in their unit tests) and catches UB the syntactic rules
+# cannot see. It needs a nightly toolchain with the miri component, so the
+# step probes first and skips with a visible notice when unavailable.
+echo "==> cargo miri test (wire/digest crates: plos-ckpt, plos-obs)"
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    cargo +nightly miri test -q -p plos-ckpt -p plos-obs
+else
+    echo "    SKIPPED: no nightly miri component on this host" \
+         "(rustup +nightly component add miri to enable)"
+fi
+
+# ThreadSanitizer build over the concurrency-bearing crates. Opt-in via
+# PLOS_TSAN=1 because it requires nightly + rust-src and multiplies test
+# runtime; skipped with a visible notice when the toolchain lacks support.
+if [ "${PLOS_TSAN:-0}" = "1" ]; then
+    echo "==> ThreadSanitizer (PLOS_TSAN=1: plos-exec, plos-obs)"
+    tsan_host="$(rustc -vV | sed -n 's/^host: //p')"
+    if rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^rust-src (installed)'; then
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -q -Zbuild-std --target "$tsan_host" \
+            -p plos-exec -p plos-obs
+    else
+        echo "    SKIPPED: nightly rust-src unavailable" \
+             "(rustup +nightly component add rust-src to enable)"
+    fi
+else
+    echo "==> ThreadSanitizer: opt-in, rerun with PLOS_TSAN=1"
+fi
+
 echo "==> cargo test -q"
 cargo test -q
 

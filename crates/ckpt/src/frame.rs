@@ -74,6 +74,7 @@ impl CheckpointFile {
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // plos-lint: allow(C2): a checkpoint holds a handful of fixed section tags; the count cannot approach u32
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         for (tag, payload) in &self.sections {
             out.extend_from_slice(&tag.to_le_bytes());

@@ -18,6 +18,7 @@ use crate::error::CoreError;
 use crate::local::{LocalSolver, LocalUpdate};
 use crate::model::PersonalizedModel;
 use crate::problem;
+use crate::wire_u32;
 use parking_lot::Mutex;
 use plos_linalg::Vector;
 use plos_net::{star, Endpoint, Message, TrafficStats, TransportError};
@@ -195,7 +196,7 @@ impl AsyncDistributedPlos {
                             solver.initial_hyperplane().unwrap_or_else(|| Vector::zeros(w0.len()));
                         let reply = Message::ClientUpdate {
                             round,
-                            user: t as u32,
+                            user: wire_u32(t),
                             w_t: w_init,
                             v_t: Vector::zeros(w0.len()),
                             xi_t: 0.0,
@@ -228,7 +229,7 @@ impl AsyncDistributedPlos {
                     };
                     let reply = Message::ClientUpdate {
                         round,
-                        user: t as u32,
+                        user: wire_u32(t),
                         w_t: update.w_t,
                         v_t: update.v_t,
                         xi_t: update.xi_t,
@@ -252,7 +253,7 @@ impl AsyncDistributedPlos {
                     last = Some(update.clone());
                     let reply = Message::ClientUpdate {
                         round,
-                        user: t as u32,
+                        user: wire_u32(t),
                         w_t: update.w_t,
                         v_t: update.v_t,
                         xi_t: update.xi_t,
@@ -274,7 +275,7 @@ impl AsyncDistributedPlos {
                     last = None; // the anchor changed; a cached reply is stale
                     let reply = Message::ClientUpdate {
                         round,
-                        user: t as u32,
+                        user: wire_u32(t),
                         w_t: Vector::zeros(0),
                         v_t: Vector::zeros(0),
                         xi_t: 0.0,
@@ -346,7 +347,7 @@ impl AsyncDistributedPlos {
             cccp_rounds += 1;
             if cccp_round > 0 {
                 for end in ends {
-                    end.send(&Message::CccpAdvance { cccp_round: cccp_round as u32 })?;
+                    end.send(&Message::CccpAdvance { cccp_round: wire_u32(cccp_round) })?;
                 }
             }
             for _ in 0..self.config.max_admm_iters {
@@ -386,6 +387,7 @@ impl AsyncDistributedPlos {
                     let mut delta = w_t.clone();
                     delta -= &w0_new;
                     delta -= v_t;
+                    // plos-lint: allow(D3): fold runs in fixed device-index order; this scalar trajectory is pinned by the golden digests
                     primal_sq += delta.norm_squared();
                     *u_t += &delta;
                 }

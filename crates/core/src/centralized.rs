@@ -19,6 +19,7 @@ use crate::dual::DualSolver;
 use crate::error::CoreError;
 use crate::model::PersonalizedModel;
 use crate::problem::{self, Prepared};
+use crate::wire_u32;
 use plos_ckpt::{CentralizedPhase, CentralizedState, CkptError, KIND_CENTRALIZED};
 use plos_linalg::Vector;
 use plos_ml::svm::{LinearSvm, SvmParams};
@@ -298,11 +299,11 @@ impl CentralizedPlos {
             if let Some(sess) = session.as_mut() {
                 let snapshot = CentralizedState {
                     fingerprint,
-                    phase: CentralizedPhase::Refine { rounds_done: (round + 1) as u32 },
+                    phase: CentralizedPhase::Refine { rounds_done: wire_u32(round + 1) },
                     w0: w0.clone(),
                     vectors: w_ts.clone(),
                     history: history.values().to_vec(),
-                    cccp_rounds: cccp_round_count as u32,
+                    cccp_rounds: wire_u32(cccp_round_count),
                     cccp_converged,
                     cutting_rounds: cutting_rounds as u64,
                     constraints_added: constraints_added as u64,
@@ -430,7 +431,7 @@ impl CentralizedPlos {
                     w0: solution.w0.clone(),
                     vectors: solution.vs.clone(),
                     history: saved_history.clone(),
-                    cccp_rounds: saved_history.len() as u32,
+                    cccp_rounds: wire_u32(saved_history.len()),
                     // Convergence is re-derived from the history on resume.
                     cccp_converged: false,
                     cutting_rounds: *cutting_rounds as u64,
@@ -459,7 +460,7 @@ impl CentralizedPlos {
             for &(i, y) in &user.labeled {
                 if let Some(x) = user.features.get(i) {
                     xs.push(x.clone());
-                    ys.push(y as i8);
+                    ys.push(if y > 0.0 { 1 } else { -1 });
                 }
             }
         }

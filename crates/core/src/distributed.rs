@@ -42,6 +42,7 @@ use crate::error::CoreError;
 use crate::local::LocalSolver;
 use crate::model::PersonalizedModel;
 use crate::problem;
+use crate::wire_u32;
 use parking_lot::Mutex;
 use plos_ckpt::{
     BroadcastRecord, CkptError, DistributedPhase, DistributedState, ParticipationRecord,
@@ -270,7 +271,7 @@ impl<'a> Fleet<'a> {
     fn publish_roster(&mut self) {
         while self.roster_dirty {
             self.roster_dirty = false;
-            let t_count = self.alive_count() as u32;
+            let t_count = wire_u32(self.alive_count());
             // Publishing can itself reveal dead links, re-dirtying the
             // roster; the loop converges because evictions are monotone.
             self.send_alive(&move |_t| Message::RosterUpdate { t_count });
@@ -314,7 +315,7 @@ impl<'a> Fleet<'a> {
                 round: p.round,
                 replied: p.replied as usize,
                 alive: p.alive as usize,
-                retries: p.retries as u32,
+                retries: wire_u32(p.retries),
             })
             .collect();
         self.protocol_errors = state.protocol_errors;
@@ -367,6 +368,11 @@ impl<'a> Fleet<'a> {
         let t_count = self.links.len();
         let mut replied = vec![false; t_count];
         let mut replies = 0usize;
+        // D2 audit: these clocks gate only the retry/deadline machinery —
+        // replies are matched by round tag, late ones discarded, so which
+        // wall-clock instant a reply arrived at never reaches model state.
+        // Asserted clock-independent by tests/clock_independence.rs.
+        // plos-lint: allow(D2): retry-window/deadline timeout plumbing only
         let started = Instant::now();
         let first_window = started + self.ft.retry.recv_timeout;
         let deadline = started + self.ft.retry.round_deadline;
@@ -385,6 +391,7 @@ impl<'a> Fleet<'a> {
             let outstanding: Vec<usize> = (0..t_count)
                 .filter(|&t| self.is_alive(t) && !replied.get(t).copied().unwrap_or(true))
                 .collect();
+            // plos-lint: allow(D2): retry-window/deadline timeout plumbing only
             let now = Instant::now();
             if outstanding.is_empty()
                 || now >= deadline
@@ -398,6 +405,7 @@ impl<'a> Fleet<'a> {
                     let message = rebroadcast(t);
                     self.send_to(t, &message);
                 }
+                // plos-lint: allow(D2): backoff window for re-broadcasts only
                 window_ends = Instant::now() + backoff;
                 backoff = backoff.mul_f64(self.ft.retry.backoff_factor);
             }
@@ -412,12 +420,12 @@ impl<'a> Fleet<'a> {
                         if r != round || replied.get(t).copied().unwrap_or(false) {
                             // A late reply to a closed round, or a duplicate:
                             // discard by tag, never merge.
-                            self.late_discards += 1;
+                            self.late_discards = self.late_discards.saturating_add(1);
                         } else if user as usize != t {
                             // An update attributed to the wrong device used
                             // to be a hard assert; now it is a counted,
                             // recoverable protocol error.
-                            self.protocol_errors += 1;
+                            self.protocol_errors = self.protocol_errors.saturating_add(1);
                         } else {
                             if let Some(slot) = replied.get_mut(t) {
                                 *slot = true;
@@ -426,7 +434,7 @@ impl<'a> Fleet<'a> {
                             sink(t, w_t, v_t, xi_t);
                         }
                     }
-                    Ok(_) => self.protocol_errors += 1,
+                    Ok(_) => self.protocol_errors = self.protocol_errors.saturating_add(1),
                     // A corrupted frame surfaced as a codec error; the retry
                     // layer re-broadcasts, the device recomputes.
                     Err(TransportError::Timeout | TransportError::Codec(_)) => {}
@@ -578,6 +586,7 @@ impl DistributedPlos {
         plan: &FaultPlan,
     ) -> Result<(PersonalizedModel, DistributedReport), CoreError> {
         let _span = plos_obs::Span::enter("distributed_fit");
+        // plos-lint: allow(D2): wall_clock field of the report only
         let started = Instant::now();
         plan.validate().map_err(|detail| CoreError::Protocol {
             detail: format!("invalid fault plan: {detail}"),
@@ -687,7 +696,7 @@ impl DistributedPlos {
         mut solver: LocalSolver,
         endpoint: Endpoint,
     ) -> ClientOutcome {
-        let user = user as u32;
+        let user = wire_u32(user);
         let mut compute = Duration::ZERO;
         loop {
             match endpoint.recv_timeout(CLIENT_IDLE) {
@@ -695,6 +704,7 @@ impl DistributedPlos {
                     if round == 0 {
                         // Init round: contribute a local hyperplane if this
                         // device has labels of both classes.
+                        // plos-lint: allow(D2): per-device compute-time metering only
                         let start = Instant::now();
                         let w_init =
                             solver.initial_hyperplane().unwrap_or_else(|| Vector::zeros(w0.len()));
@@ -710,6 +720,7 @@ impl DistributedPlos {
                             break;
                         }
                     } else {
+                        // plos-lint: allow(D2): per-device compute-time metering only
                         let start = Instant::now();
                         // A failed local solve degrades this device to the
                         // consensus update rather than poisoning the
@@ -736,6 +747,7 @@ impl DistributedPlos {
                 }
                 Ok(Message::CccpAdvance { .. }) => solver.advance_cccp(),
                 Ok(Message::Refine { round, w0 }) => {
+                    // plos-lint: allow(D2): per-device compute-time metering only
                     let start = Instant::now();
                     let seed = solver.seed_for_round(round);
                     let update =
@@ -849,7 +861,7 @@ impl DistributedPlos {
             // Reposition the survivors: each adopts its CCCP anchor and the
             // checkpointed cohort size, then acks (unrecorded — the
             // uninterrupted run never had these rounds).
-            let cohort = fleet.alive_count() as u32;
+            let cohort = wire_u32(fleet.alive_count());
             let restore_round = st.round;
             let restore_anchors = st.anchors.clone();
             let restore = move |t: usize| Message::Restore {
@@ -922,6 +934,7 @@ impl DistributedPlos {
             })?;
             fleet.publish_roster();
 
+            // plos-lint: allow(D2): server compute-time metering only
             let t0 = Instant::now();
             w0 = Vector::zeros(dim);
             let mut contributors = 0usize;
@@ -971,7 +984,9 @@ impl DistributedPlos {
             if !resumed_round {
                 cccp_rounds += 1;
                 if cccp_round > 0 {
-                    fleet.send_alive(&|_t| Message::CccpAdvance { cccp_round: cccp_round as u32 });
+                    fleet.send_alive(&|_t| Message::CccpAdvance {
+                        cccp_round: wire_u32(cccp_round),
+                    });
                     fleet.publish_roster();
                     // New linearization: devices re-anchor at their own w_t.
                     // Record the anchors and start a fresh replay log.
@@ -1014,6 +1029,7 @@ impl DistributedPlos {
 
                 // Eq. (23): closed-form z- and u-updates over the live
                 // cohort; every T-dependent scalar uses the shrunk size.
+                // plos-lint: allow(D2): server compute-time metering only
                 let t0 = Instant::now();
                 let cohort = fleet.alive_count() as f64;
                 let mut w0_new = Vector::zeros(dim);
@@ -1038,6 +1054,7 @@ impl DistributedPlos {
                     let mut delta = w_t.clone();
                     delta -= &w0_new;
                     delta -= v_t;
+                    // plos-lint: allow(D3): fold runs in fixed device-index order; this scalar trajectory is pinned by the golden digests
                     primal_sq += delta.norm_squared();
                     if let Some(u_t) = us.get_mut(t) {
                         *u_t += &delta;
@@ -1076,11 +1093,11 @@ impl DistributedPlos {
                         fingerprint,
                         phase: DistributedPhase::Admm,
                         round,
-                        cccp_round: cccp_round as u32,
-                        iters_done: (iter + 1) as u32,
+                        cccp_round: wire_u32(cccp_round),
+                        iters_done: wire_u32(iter + 1),
                         inner_done: residuals_met || iter + 1 == self.config.max_admm_iters,
                         admm_iterations: admm_iterations as u64,
-                        cccp_rounds: cccp_rounds as u32,
+                        cccp_rounds: wire_u32(cccp_rounds),
                         converged,
                         w0: w0.clone(),
                         us: us.clone(),
@@ -1149,6 +1166,7 @@ impl DistributedPlos {
             })?;
             fleet.publish_roster();
 
+            // plos-lint: allow(D2): server compute-time metering only
             let t0 = Instant::now();
             let cohort = fleet.alive_count() as f64;
             let mut mean = Vector::zeros(dim);
@@ -1187,13 +1205,13 @@ impl DistributedPlos {
                 let (alive, missed, evicted, participation) = fleet.export_roster();
                 let snapshot = DistributedState {
                     fingerprint,
-                    phase: DistributedPhase::Refine { rounds_done: (refine_round + 1) as u32 },
+                    phase: DistributedPhase::Refine { rounds_done: wire_u32(refine_round + 1) },
                     round,
-                    cccp_round: cccp_rounds.saturating_sub(1) as u32,
+                    cccp_round: wire_u32(cccp_rounds.saturating_sub(1)),
                     iters_done: 0,
                     inner_done: true,
                     admm_iterations: admm_iterations as u64,
-                    cccp_rounds: cccp_rounds as u32,
+                    cccp_rounds: wire_u32(cccp_rounds),
                     converged,
                     w0: w0.clone(),
                     us: us.clone(),

@@ -173,7 +173,7 @@ pub fn select_lambda(
             return f64::NEG_INFINITY;
         }
         let config = base.clone().with_lambda(lambda);
-        let mut total = 0.0;
+        let mut score_sum = 0.0;
         for &held_out in &folds {
             // Hide the held-out provider's labels.
             let mut users = dataset.users().to_vec();
@@ -191,9 +191,10 @@ pub fn select_lambda(
             let user = fold_data.user(held_out);
             let preds = model.predict_batch(held_out, &user.features);
             let correct = preds.iter().zip(&user.truth).filter(|(p, y)| p == y).count();
-            total += correct as f64 / user.num_samples() as f64;
+            // plos-lint: allow(D3): per-fold scores accumulate in fixed fold order across sequential fits, not over a slice
+            score_sum += correct as f64 / user.num_samples() as f64;
         }
-        total / folds.len() as f64
+        score_sum / folds.len() as f64
     });
     match fit_err {
         Some(e) => Err(e),

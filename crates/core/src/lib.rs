@@ -62,6 +62,15 @@ pub mod multiclass;
 pub mod problem;
 pub mod prox;
 
+/// Narrowing conversion for wire/checkpoint count fields (rounds,
+/// iteration counts, device indices). Every call site passes a value
+/// bounded by configuration caps or by the u32-sized roster, so the
+/// saturating fallback is a defensive clamp, never an expected path —
+/// which is why this is infallible instead of returning a typed error.
+pub(crate) fn wire_u32<T: TryInto<u32>>(n: T) -> u32 {
+    n.try_into().unwrap_or(u32::MAX)
+}
+
 pub use asynchronous::{AsyncDistributedPlos, AsyncSpec};
 pub use centralized::CentralizedPlos;
 pub use checkpoint::CheckpointPolicy;

@@ -144,7 +144,9 @@ impl LocalSolver {
             .user
             .labeled
             .iter()
-            .filter_map(|&(i, y)| self.user.features.get(i).map(|x| (x.clone(), y as i8)))
+            .filter_map(|&(i, y)| {
+                self.user.features.get(i).map(|x| (x.clone(), if y > 0.0 { 1 } else { -1 }))
+            })
             .unzip();
         // Features were bias-augmented during prepare(); keep the SVM raw.
         let params =

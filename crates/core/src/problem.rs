@@ -122,6 +122,7 @@ pub fn most_violated_constraint(
         let x = &user.features[i];
         if y * w_t.dot(x) < 1.0 {
             s.axpy(config.c_labeled / m * y, x);
+            // plos-lint: allow(D3): running subgradient coefficient in fixed sample order; part of the blessed numeric trajectory
             c += config.c_labeled / m;
         }
     }
@@ -129,6 +130,7 @@ pub fn most_violated_constraint(
         let x = &user.features[i];
         if sign * w_t.dot(x) < 1.0 {
             s.axpy(config.c_unlabeled / m * sign, x);
+            // plos-lint: allow(D3): running subgradient coefficient in fixed sample order; part of the blessed numeric trajectory
             c += config.c_unlabeled / m;
         }
     }
@@ -177,9 +179,11 @@ pub fn true_user_loss(user: &PreparedUser, w_t: &Vector, config: &PlosConfig) ->
     let m = user.num_samples() as f64;
     let mut loss = 0.0;
     for &(i, y) in &user.labeled {
+        // plos-lint: allow(D3): loss accumulates in fixed sample order; part of the blessed numeric trajectory
         loss += config.c_labeled / m * (1.0 - y * w_t.dot(&user.features[i])).max(0.0);
     }
     for &i in &user.unlabeled {
+        // plos-lint: allow(D3): loss accumulates in fixed sample order; part of the blessed numeric trajectory
         loss += config.c_unlabeled / m * (1.0 - w_t.dot(&user.features[i]).abs()).max(0.0);
     }
     loss

@@ -1,0 +1,518 @@
+//! Hand-rolled Rust lexer.
+//!
+//! Produces the significant token stream plus a separate comment list, each
+//! carrying a line/column span. Unlike the old regex linter, everything
+//! downstream sees *tokens*: string literals, char literals and comments can
+//! never be mistaken for code, so a rule message that mentions `println!`
+//! does not trip the rule it documents.
+//!
+//! The lexer is deliberately forgiving — it never fails. Unknown bytes
+//! become single-character punctuation tokens, and an unterminated literal
+//! runs to end of file. A linter must degrade to "no findings on garbage",
+//! not abort the gate.
+
+/// What a significant token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// Lifetime such as `'a` (the quote is kept in the text).
+    Lifetime,
+    /// Integer literal, including suffixed forms (`42u32`, `0xff`).
+    Int,
+    /// Float literal, including suffixed forms (`1.0f64`, `2e-3`).
+    Float,
+    /// String, raw-string, byte-string or char literal.
+    Literal,
+    /// Punctuation; multi-character operators are fused (see `OPERATORS`).
+    Punct,
+}
+
+/// One significant token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text (for `Literal` the quotes are included).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// 1-based source column of the token's first character.
+    pub col: usize,
+}
+
+impl Tok {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// One comment, line (`//`, `///`, `//!`) or block (`/* .. */`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including its delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: usize,
+}
+
+/// Lexer output: significant tokens plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators fused into one `Punct` token, longest first.
+/// `>>`/`<<` are intentionally absent so closing generic brackets stay
+/// individual `>` tokens.
+const OPERATORS: &[&str] = &[
+    "..=", "::", "->", "=>", "+=", "-=", "*=", "/=", "%=", "^=", "&&", "||", "==", "!=", "<=",
+    ">=", "..",
+];
+
+/// Character-cursor over the source with line/column tracking.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn new(text: &str) -> Self {
+        Cursor { chars: text.chars().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes characters while `keep` holds, returning the consumed text.
+    fn take_while(&mut self, keep: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if !keep(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+        out
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `text` into tokens and comments. Never fails; see module docs.
+pub fn lex(text: &str) -> Lexed {
+    let mut cur = Cursor::new(text);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let body = cur.take_while(|ch| ch != '\n');
+            out.comments.push(Comment { text: body, line, end_line: line });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let comment = lex_block_comment(&mut cur);
+            out.comments.push(Comment { text: comment, line, end_line: cur.line });
+            continue;
+        }
+        // Raw strings and raw identifiers: r"..", r#".."#, r#ident, br#"..".
+        if (c == 'r' || c == 'b') && starts_raw_or_byte(&cur) {
+            let (kind, tok_text) = lex_r_or_b(&mut cur);
+            out.toks.push(Tok { kind, text: tok_text, line, col });
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            let s = lex_string(&mut cur);
+            out.toks.push(Tok { kind: TokKind::Literal, text: s, line, col });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let (kind, s) = lex_quote(&mut cur);
+            out.toks.push(Tok { kind, text: s, line, col });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (kind, s) = lex_number(&mut cur);
+            out.toks.push(Tok { kind, text: s, line, col });
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let s = cur.take_while(is_ident_continue);
+            out.toks.push(Tok { kind: TokKind::Ident, text: s, line, col });
+            continue;
+        }
+        // Fused multi-character operators, longest first.
+        if let Some(op) = OPERATORS.iter().find(|op| matches_at(&cur, op)) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            out.toks.push(Tok { kind: TokKind::Punct, text: (*op).to_string(), line, col });
+            continue;
+        }
+        // Anything else: one punctuation character.
+        cur.bump();
+        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line, col });
+    }
+    out
+}
+
+fn matches_at(cur: &Cursor, op: &str) -> bool {
+    op.chars().enumerate().all(|(i, expected)| cur.peek(i) == Some(expected))
+}
+
+/// True when the cursor sits on a raw string / raw ident / byte literal
+/// introducer rather than a plain identifier starting with `r` or `b`.
+fn starts_raw_or_byte(cur: &Cursor) -> bool {
+    match cur.peek(0) {
+        Some('r') => matches!(cur.peek(1), Some('"' | '#')),
+        Some('b') => match cur.peek(1) {
+            Some('"' | '\'') => true,
+            Some('r') => matches!(cur.peek(2), Some('"' | '#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Lexes the `r`/`b`-introduced forms: raw strings, raw identifiers, byte
+/// strings and byte chars.
+fn lex_r_or_b(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    if cur.peek(0) == Some('b') {
+        text.push('b');
+        cur.bump();
+        match cur.peek(0) {
+            Some('"') => {
+                text.push_str(&lex_string(cur));
+                return (TokKind::Literal, text);
+            }
+            Some('\'') => {
+                let (_, s) = lex_quote(cur);
+                text.push_str(&s);
+                return (TokKind::Literal, text);
+            }
+            _ => {}
+        }
+    }
+    if cur.peek(0) == Some('r') {
+        text.push('r');
+        cur.bump();
+        // Raw identifier r#ident (no quote after the hashes).
+        if cur.peek(0) == Some('#') && cur.peek(1).is_some_and(is_ident_start) {
+            cur.bump();
+            let ident = cur.take_while(is_ident_continue);
+            return (TokKind::Ident, ident);
+        }
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some('#') {
+            text.push('#');
+            cur.bump();
+            hashes += 1;
+        }
+        if cur.peek(0) == Some('"') {
+            text.push('"');
+            cur.bump();
+            // Consume until `"` followed by `hashes` hash marks.
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '"' && (0..hashes).all(|i| cur.peek(i) == Some('#')) {
+                    for _ in 0..hashes {
+                        text.push('#');
+                        cur.bump();
+                    }
+                    break;
+                }
+            }
+            return (TokKind::Literal, text);
+        }
+    }
+    // `r` or `b` that turned out to start a plain identifier after all.
+    let rest = cur.take_while(is_ident_continue);
+    text.push_str(&rest);
+    (TokKind::Ident, text)
+}
+
+/// Lexes a `"`-delimited string with escapes; cursor sits on the quote.
+fn lex_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(escaped) = cur.bump() {
+                    text.push(escaped);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    text
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime); cursor sits on
+/// the opening quote.
+fn lex_quote(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    match cur.peek(0) {
+        // Escape: definitely a char literal.
+        Some('\\') => {
+            if let Some(backslash) = cur.bump() {
+                text.push(backslash);
+            }
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            (TokKind::Literal, text)
+        }
+        Some(c) if is_ident_start(c) => {
+            let ident = cur.take_while(is_ident_continue);
+            text.push_str(&ident);
+            if cur.peek(0) == Some('\'') && ident.chars().count() == 1 {
+                // 'x' — a char literal after all.
+                text.push('\'');
+                cur.bump();
+                (TokKind::Literal, text)
+            } else {
+                (TokKind::Lifetime, text)
+            }
+        }
+        // Any other single char: 'x' with x non-ident (e.g. '+', ' ').
+        Some(_) => {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            (TokKind::Literal, text)
+        }
+        None => (TokKind::Literal, text),
+    }
+}
+
+/// Lexes a numeric literal; cursor sits on the first digit.
+fn lex_number(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    let mut float = false;
+    // Hex/octal/binary prefixes never contain `.`.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        text.push_str(&cur.take_while(|c| c.is_alphanumeric() || c == '_'));
+        return (TokKind::Int, text);
+    }
+    text.push_str(&cur.take_while(|c| c.is_ascii_digit() || c == '_'));
+    // Fractional part: a `.` followed by a digit (so `1.max(2)` and `0..n`
+    // stay integer + punctuation).
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        text.push('.');
+        cur.bump();
+        text.push_str(&cur.take_while(|c| c.is_ascii_digit() || c == '_'));
+    }
+    // A trailing `1.` form (digit, dot, not a digit/ident/dot after): float.
+    if !float
+        && cur.peek(0) == Some('.')
+        && !cur.peek(1).is_some_and(|c| is_ident_start(c) || c == '.')
+    {
+        float = true;
+        text.push('.');
+        cur.bump();
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e' | 'E'))
+        && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek(1), Some('+' | '-'))
+                && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        float = true;
+        text.push_str(&cur.take_while(|c| {
+            c.is_ascii_digit() || c == 'e' || c == 'E' || c == '+' || c == '-' || c == '_'
+        }));
+    }
+    // Type suffix (u32, f64, usize, ...).
+    let suffix = cur.take_while(is_ident_continue);
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    text.push_str(&suffix);
+    (if float { TokKind::Float } else { TokKind::Int }, text)
+}
+
+/// Lexes a (possibly nested) block comment; cursor sits on the `/`.
+fn lex_block_comment(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    // Consume "/*".
+    for _ in 0..2 {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    depth += 1;
+    while depth > 0 {
+        match cur.bump() {
+            Some('/') if cur.peek(0) == Some('*') => {
+                text.push('/');
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+                depth += 1;
+            }
+            Some('*') if cur.peek(0) == Some('/') => {
+                text.push('*');
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+                depth -= 1;
+            }
+            Some(c) => text.push(c),
+            None => break,
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let lexed = lex("let x = \"println!(HashMap)\"; // Instant::now\n/* fs::write */ y");
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "y"]);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("<'a> 'x' '\\n' 'static");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(toks.contains(&(TokKind::Literal, "'x'".to_string())));
+        assert!(toks.contains(&(TokKind::Literal, "'\\n'".to_string())));
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".to_string())));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let lexed = lex("r#\"a \" b\"# end");
+        assert_eq!(lexed.toks.len(), 2);
+        assert!(lexed.toks.first().is_some_and(|t| t.kind == TokKind::Literal));
+        assert!(lexed.toks.get(1).is_some_and(|t| t.is_ident("end")));
+    }
+
+    #[test]
+    fn numbers_classified() {
+        assert_eq!(
+            kinds("1 1.5 0xff 2e-3 1f64 3usize"),
+            vec![
+                (TokKind::Int, "1".into()),
+                (TokKind::Float, "1.5".into()),
+                (TokKind::Int, "0xff".into()),
+                (TokKind::Float, "2e-3".into()),
+                (TokKind::Float, "1f64".into()),
+                (TokKind::Int, "3usize".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("0..n 1..=2");
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..=".into())));
+        assert!(toks.contains(&(TokKind::Int, "0".into())));
+    }
+
+    #[test]
+    fn operators_fused() {
+        let toks = kinds("a += b::c -> d => e");
+        assert!(toks.contains(&(TokKind::Punct, "+=".into())));
+        assert!(toks.contains(&(TokKind::Punct, "::".into())));
+        assert!(toks.contains(&(TokKind::Punct, "->".into())));
+        assert!(toks.contains(&(TokKind::Punct, "=>".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still */ x");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.toks.len(), 1);
+    }
+
+    #[test]
+    fn generic_closers_stay_single() {
+        let toks = kinds("Vec<Vec<u8>>");
+        let gt: usize = toks.iter().filter(|(k, t)| *k == TokKind::Punct && t == ">").count();
+        assert_eq!(gt, 2);
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let lexed = lex("a\n  b");
+        let b = lexed.toks.get(1).cloned();
+        assert!(b.is_some_and(|t| t.line == 2 && t.col == 3));
+    }
+}

@@ -1,0 +1,440 @@
+//! plos-lint: a parser-based determinism and concurrency analyzer for the
+//! PLOS workspace.
+//!
+//! Pipeline: [`lexer`] turns source text into significant tokens plus a
+//! comment side-channel, [`syntax`] recovers a lightweight per-file model
+//! (use-trees, fn items, `#[cfg(test)]` extents, loops, let bindings), and
+//! [`rules`] runs the scope-aware rule engine over it. This crate replaces
+//! the eight textual rules that used to live in `xtask` — because rules now
+//! see tokens and scopes, string literals and test modules can no longer
+//! produce false positives, and a new family of determinism (D1–D3) and
+//! concurrency (C1–C3) rules becomes expressible.
+//!
+//! Violations are suppressed by **justification directives** written in
+//! comments. The grammar requires naming the rule and giving a reason:
+//!
+//! * line-scoped, on the line above or trailing the offending line:
+//!   `plos-lint: allow(C2): device count is bounded by the u32 wire format`
+//! * file-scoped, anywhere in the file:
+//!   `plos-lint: allow-file(D2): bench-only crate, timing is the product`
+//!
+//! A directive with an unknown rule ID or a missing reason is itself a
+//! violation (A1), so stale or vague suppressions fail the gate.
+
+pub mod lexer;
+pub mod rules;
+pub mod syntax;
+
+pub use rules::{FileFindings, LockEdge, Scope, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// One catalogue entry: a machine-readable ID plus a short name and summary.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Machine-readable ID (`R1`..`R8`, `D1`..`D3`, `C1`..`C3`, `A1`).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// The full rule catalogue.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "R1",
+        name: "std-sync",
+        summary: "std::sync::Mutex/RwLock banned in library code; use parking_lot",
+    },
+    RuleInfo {
+        id: "R2",
+        name: "thread-spawn",
+        summary: "thread::spawn/scope only inside crates/exec and crates/net",
+    },
+    RuleInfo {
+        id: "R3",
+        name: "solver-result",
+        summary: "public solve*/fit*/train* entry points must return Result",
+    },
+    RuleInfo {
+        id: "R4",
+        name: "float-cast",
+        summary: "f64→usize casts in crates/sensing must round explicitly",
+    },
+    RuleInfo {
+        id: "R5",
+        name: "allow-justification",
+        summary: "#[allow] attributes need a justification comment above",
+    },
+    RuleInfo {
+        id: "R6",
+        name: "endpoint-recv",
+        summary: "transport waits are timeout-driven and fallible, never bare recv()/expect",
+    },
+    RuleInfo {
+        id: "R7",
+        name: "no-stdout",
+        summary: "no print!-family macros in library crates; use plos-obs",
+    },
+    RuleInfo {
+        id: "R8",
+        name: "ckpt-write",
+        summary: "direct fs writes only inside plos-ckpt/plos-obs",
+    },
+    RuleInfo {
+        id: "D1",
+        name: "map-iteration",
+        summary: "no HashMap/HashSet iteration in library code (unordered breaks bit-parity)",
+    },
+    RuleInfo {
+        id: "D2",
+        name: "wall-clock",
+        summary: "Instant::now/SystemTime::now outside net/bench needs an audited justification",
+    },
+    RuleInfo {
+        id: "D3",
+        name: "float-fold",
+        summary: "float += reductions in loops must use fixed-order linalg::kernels accumulators",
+    },
+    RuleInfo {
+        id: "C1",
+        name: "lock-order",
+        summary: "parking_lot locks held simultaneously must be acquired in one global order",
+    },
+    RuleInfo {
+        id: "C2",
+        name: "narrowing-cast",
+        summary: "no `as` narrowing casts on lengths/indices in library code",
+    },
+    RuleInfo {
+        id: "C3",
+        name: "counter-arith",
+        summary: "counters/byte totals accumulate with saturating_*/checked_*",
+    },
+    RuleInfo {
+        id: "A1",
+        name: "allow-directive",
+        summary: "justification directives must name a known rule and give a reason",
+    },
+];
+
+/// Short name for a rule ID (`"unknown"` for IDs not in the catalogue).
+pub fn rule_name(id: &str) -> &'static str {
+    RULES.iter().find(|r| r.id == id).map_or("unknown", |r| r.name)
+}
+
+/// True when `id` names a suppressible rule (everything except A1, which
+/// polices the directives themselves).
+fn suppressible(id: &str) -> bool {
+    id != "A1" && RULES.iter().any(|r| r.id == id)
+}
+
+/// Computes the path-derived [`Scope`] for a workspace-relative path
+/// (forward-slash separated).
+pub fn scope_of(rel: &str) -> Scope {
+    let is_bin = rel.contains("/bin/") || rel.ends_with("src/main.rs");
+    let in_crate = |name: &str| rel.starts_with(&format!("crates/{name}/"));
+    let is_library = ((rel.starts_with("crates/") && rel.contains("/src/"))
+        || rel.starts_with("src/"))
+        && !is_bin;
+    let in_bench = in_crate("bench");
+    Scope {
+        is_library,
+        in_net: in_crate("net"),
+        in_exec: in_crate("exec"),
+        in_sensing: in_crate("sensing"),
+        in_linalg: in_crate("linalg"),
+        in_bench,
+        stdout_banned: is_library && !in_bench,
+        fs_write_banned: is_library && !in_bench && !in_crate("ckpt") && !in_crate("obs"),
+    }
+}
+
+/// Parsed justification directives for one file.
+#[derive(Debug, Default)]
+struct Allows {
+    /// Rule IDs allowed for the whole file.
+    file_wide: Vec<String>,
+    /// `(line, rule)` pairs: the rule is allowed on that line.
+    lines: Vec<(usize, String)>,
+    /// A1 violations: malformed directives.
+    bad: Vec<(usize, String)>,
+}
+
+/// The directive marker, split so this file does not read as a directive to
+/// itself when the workspace lints its own sources.
+const MARKER: &str = concat!("plos-", "lint:");
+
+/// Parses every justification directive in the comment side-channel.
+/// `tok_lines` must hold the sorted list of lines bearing significant
+/// tokens (for trailing-vs-preceding resolution).
+fn parse_allows(comments: &[lexer::Comment], tok_lines: &[usize]) -> Allows {
+    let mut out = Allows::default();
+    for c in comments {
+        let body = c.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix(MARKER) else { continue };
+        let rest = rest.trim();
+        let (file_wide, rest) = match rest.strip_prefix("allow-file(") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow(") {
+                Some(r) => (false, r),
+                None => {
+                    out.bad.push((
+                        c.line,
+                        "directive must be `allow(<rule>): <reason>` or \
+                         `allow-file(<rule>): <reason>`"
+                            .to_string(),
+                    ));
+                    continue;
+                }
+            },
+        };
+        let Some((id, tail)) = rest.split_once(')') else {
+            out.bad.push((c.line, "unclosed rule ID parenthesis".to_string()));
+            continue;
+        };
+        let id = id.trim();
+        if !suppressible(id) {
+            out.bad.push((c.line, format!("unknown or unsuppressible rule ID `{id}`")));
+            continue;
+        }
+        let reason = tail.trim().strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            out.bad.push((c.line, format!("directive for {id} needs a reason after the colon")));
+            continue;
+        }
+        if file_wide {
+            out.file_wide.push(id.to_string());
+        } else {
+            // Trailing form: a token shares the comment's line. Preceding
+            // form: the directive covers the next line bearing a token.
+            let target = if tok_lines.binary_search(&c.line).is_ok() {
+                Some(c.line)
+            } else {
+                tok_lines.iter().find(|&&l| l > c.line).copied()
+            };
+            if let Some(line) = target {
+                out.lines.push((line, id.to_string()));
+            }
+        }
+    }
+    out
+}
+
+impl Allows {
+    fn covers(&self, rule: &str, line: usize) -> bool {
+        self.file_wide.iter().any(|r| r == rule)
+            || self.lines.iter().any(|(l, r)| *l == line && r == rule)
+    }
+}
+
+/// Lints one in-memory source file, returning violations plus the
+/// lock-order facts needed for the cross-file C1 pass.
+pub fn lint_source(rel: &str, src: &str) -> FileFindings {
+    let lexed = lexer::lex(src);
+    let model = syntax::build(&lexed.toks);
+    let scope = scope_of(rel);
+    let ctx =
+        rules::FileCtx { rel, toks: &lexed.toks, comments: &lexed.comments, model: &model, scope };
+    let found = rules::check_file(&ctx);
+    let mut tok_lines: Vec<usize> = lexed.toks.iter().map(|t| t.line).collect();
+    tok_lines.dedup();
+    let allows = parse_allows(&lexed.comments, &tok_lines);
+    let mut violations: Vec<Violation> =
+        found.violations.into_iter().filter(|v| !allows.covers(v.rule, v.line)).collect();
+    for (line, msg) in &allows.bad {
+        violations.push(Violation {
+            path: rel.to_string(),
+            line: *line,
+            col: 1,
+            rule: "A1",
+            name: rule_name("A1"),
+            message: msg.clone(),
+        });
+    }
+    let lock_edges =
+        found.lock_edges.into_iter().filter(|e| !allows.covers("C1", e.line)).collect();
+    FileFindings { violations, lock_edges }
+}
+
+/// Lints a set of in-memory files as one unit, including the cross-file C1
+/// lock-order consistency pass. Returns violations sorted by
+/// (path, line, col, rule).
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (rel, src) in files {
+        let mut f = lint_source(rel, src);
+        violations.append(&mut f.violations);
+        edges.append(&mut f.lock_edges);
+    }
+    violations.extend(lock_order_conflicts(&edges));
+    violations
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    violations
+}
+
+/// Lints one file standalone (the cross-file C1 pass still runs, over this
+/// file's own edges).
+pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
+    lint_sources(&[(rel.to_string(), src.to_string())])
+}
+
+/// C1 cross-file pass: if (a, b) and (b, a) acquisition orders both occur
+/// anywhere in the linted set, every edge of the rarer direction is flagged,
+/// naming a counterexample site.
+fn lock_order_conflicts(edges: &[LockEdge]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for e in edges {
+        let reversed = edges.iter().find(|o| o.first == e.second && o.second == e.first);
+        let Some(rev) = reversed else { continue };
+        // Flag only the direction that is lexicographically later, so one
+        // conflicting pair yields violations on one side, not both.
+        if (e.first.as_str(), e.second.as_str()) < (rev.first.as_str(), rev.second.as_str()) {
+            continue;
+        }
+        out.push(Violation {
+            path: e.path.clone(),
+            line: e.line,
+            col: e.col,
+            rule: "C1",
+            name: rule_name("C1"),
+            message: format!(
+                "lock order `{}` then `{}` conflicts with the reverse order at \
+                 {}:{} — pick one global acquisition order",
+                e.first, e.second, rev.path, rev.line
+            ),
+        });
+    }
+    out
+}
+
+/// First-party Rust sources under `root`: `crates/`, `src/`, `tests/`,
+/// `examples/`, skipping `target/`, `vendor/`, dot-directories, and the
+/// analyzer's own `lint_fixtures` corpus (those files trip rules by design).
+pub fn first_party_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target"
+                || name == "vendor"
+                || name == "lint_fixtures"
+                || name.starts_with('.')
+            {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`. Reads every first-party
+/// Rust file and runs the full engine including the cross-file C1 pass.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut sources = Vec::new();
+    for path in first_party_rust_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let text = std::fs::read_to_string(&path)?;
+        sources.push((rel, text));
+    }
+    Ok(lint_sources(&sources))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_directive_suppresses_on_preceding_line() {
+        let src = format!(
+            "use std::time::Instant;\nfn f() {{\n    // {} allow(D2): timeout only\n    let t = Instant::now();\n}}\n",
+            MARKER
+        );
+        assert!(lint_file("crates/core/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_trailing() {
+        let src = format!(
+            "use std::time::Instant;\nfn f() {{\n    let t = Instant::now(); // {} allow(D2): timeout only\n}}\n",
+            MARKER
+        );
+        assert!(lint_file("crates/core/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn allow_file_covers_whole_file() {
+        let src = format!(
+            "// {} allow-file(C2): indices bounded by wire format\nfn f(a: usize, b: usize) -> u32 {{ (a as u32) + (b as u32) }}\n",
+            MARKER
+        );
+        assert!(lint_file("crates/core/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_id_is_a1() {
+        let src = format!("// {} allow(Z9): nope\nfn f() {{}}\n", MARKER);
+        let v = lint_file("crates/core/src/a.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert!(v.first().is_some_and(|v| v.rule == "A1"));
+    }
+
+    #[test]
+    fn missing_reason_is_a1() {
+        let src = format!("// {} allow(C2)\nfn f(n: usize) -> u32 {{ n as u32 }}\n", MARKER);
+        let v = lint_file("crates/core/src/a.rs", &src);
+        assert!(v.iter().any(|v| v.rule == "A1"));
+        assert!(v.iter().any(|v| v.rule == "C2"), "unreasoned directive must not suppress");
+    }
+
+    #[test]
+    fn cross_file_lock_order_conflict() {
+        let a = "fn f(x: &M, y: &M) { let a = x.lock(); let b = y.lock(); }".to_string();
+        let b = "fn g(x: &M, y: &M) { let a = y.lock(); let b = x.lock(); }".to_string();
+        let v = lint_sources(&[
+            ("crates/core/src/a.rs".to_string(), a),
+            ("crates/core/src/b.rs".to_string(), b),
+        ]);
+        assert_eq!(v.iter().filter(|v| v.rule == "C1").count(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let a = "fn f(x: &M, y: &M) { let a = x.lock(); let b = y.lock(); }".to_string();
+        let b = "fn g(x: &M, y: &M) { let a = x.lock(); let b = y.lock(); }".to_string();
+        let v = lint_sources(&[
+            ("crates/core/src/a.rs".to_string(), a),
+            ("crates/core/src/b.rs".to_string(), b),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn scope_classifies_paths() {
+        assert!(scope_of("crates/core/src/lib.rs").is_library);
+        assert!(!scope_of("crates/bench/src/main.rs").is_library);
+        assert!(!scope_of("tests/parity.rs").is_library);
+        assert!(scope_of("crates/net/src/sim.rs").in_net);
+        assert!(!scope_of("crates/obs/src/lib.rs").fs_write_banned);
+        assert!(scope_of("crates/core/src/lib.rs").fs_write_banned);
+    }
+}

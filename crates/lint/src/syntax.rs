@@ -1,0 +1,509 @@
+//! Per-file syntax model.
+//!
+//! One pass over the token stream recovers the structure the rules need:
+//! flattened use-trees, `fn` items with signature/body extents, `#[cfg(test)]`
+//! module extents, loop headers and bodies, `let` bindings, and attributes.
+//! This is deliberately not a full Rust parser — it tracks exactly the
+//! structure the rule engine consumes, and it degrades gracefully on input
+//! it does not understand (missing structure, never wrong structure).
+
+use crate::lexer::{Tok, TokKind};
+
+/// One leaf path from a flattened use-tree: `use std::sync::{Mutex, Arc}`
+/// yields `["std","sync","Mutex"]` and `["std","sync","Arc"]`.
+#[derive(Debug, Clone)]
+pub struct UsePath {
+    /// Path segments, root first.
+    pub segments: Vec<String>,
+    /// 1-based line of the `use` keyword.
+    pub line: usize,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// True for bare `pub` (not `pub(crate)`/`pub(super)`: those are not
+    /// public API).
+    pub is_pub: bool,
+    /// Token range `[start, end)` of the signature: from the `fn` keyword to
+    /// the body `{` or terminating `;` (exclusive).
+    pub sig: (usize, usize),
+    /// Token range `[start, end)` of the body including both braces, when
+    /// the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// One attribute, outer (`#[..]`) or inner (`#![..]`).
+#[derive(Debug, Clone)]
+pub struct Attr {
+    /// Token range `[start, end)` covering `#` through `]`.
+    pub range: (usize, usize),
+    /// Rendered content between the brackets, tokens joined by one space.
+    pub content: String,
+    /// 1-based line of the `#`.
+    pub line: usize,
+}
+
+/// One loop: `for`, `while` (incl. `while let`) or `loop`.
+#[derive(Debug, Clone)]
+pub struct LoopItem {
+    /// For `for` loops, the token range of the iterated expression (between
+    /// `in` and the body `{`); empty range for `while`/`loop`.
+    pub header: (usize, usize),
+    /// Token range `[start, end)` of the body including both braces.
+    pub body: (usize, usize),
+}
+
+/// One single-identifier `let` binding (destructuring patterns are skipped).
+#[derive(Debug, Clone)]
+pub struct LetBinding {
+    /// Bound name.
+    pub name: String,
+    /// Type-ascription tokens joined by one space (empty when inferred).
+    pub ty: String,
+    /// First tokens of the initializer, joined by one space (capped).
+    pub init: String,
+    /// Token index of the bound name.
+    pub idx: usize,
+}
+
+/// Everything the rule engine reads about one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Flattened use-tree leaves.
+    pub uses: Vec<UsePath>,
+    /// `fn` items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Attributes, in source order.
+    pub attrs: Vec<Attr>,
+    /// Token ranges of `#[cfg(test)]` (or `mod tests`) module bodies.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Loops, in source order.
+    pub loops: Vec<LoopItem>,
+    /// Single-identifier `let` bindings, in source order.
+    pub lets: Vec<LetBinding>,
+}
+
+impl FileModel {
+    /// True when the token at `idx` sits inside a `#[cfg(test)]` module.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// True when the token at `idx` sits inside some loop body.
+    pub fn in_loop_body(&self, idx: usize) -> bool {
+        self.loops.iter().any(|l| idx > l.body.0 && idx < l.body.1)
+    }
+
+    /// The innermost function whose body contains `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| idx >= s && idx < e))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(s, e)| e - s))
+    }
+}
+
+/// Index of the token closing the brace opened at `open` (which must hold a
+/// `{`), or `toks.len()` when unbalanced.
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Finds the next `{` or `;` at zero paren/bracket depth starting at `from`.
+/// Returns `(index, is_brace)`.
+fn next_body_or_semi(toks: &[Tok], from: usize) -> (usize, bool) {
+    let mut depth = 0isize;
+    let mut i = from;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "(" | "[" if t.kind == TokKind::Punct => depth += 1,
+            ")" | "]" if t.kind == TokKind::Punct => depth -= 1,
+            "{" if t.kind == TokKind::Punct && depth == 0 => return (i, true),
+            ";" if t.kind == TokKind::Punct && depth == 0 => return (i, false),
+            _ => {}
+        }
+        i += 1;
+    }
+    (toks.len(), false)
+}
+
+/// Builds the [`FileModel`] for a token stream.
+pub fn build(toks: &[Tok]) -> FileModel {
+    let mut model = FileModel::default();
+    // Attributes seen since the last non-attribute token, for the
+    // `#[cfg(test)] mod` association.
+    let mut pending_attrs: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    while let Some(t) = toks.get(i) {
+        // ---- attributes ----
+        if t.is_punct("#") {
+            let bang = toks.get(i + 1).is_some_and(|t| t.is_punct("!"));
+            let open = i + 1 + usize::from(bang);
+            if toks.get(open).is_some_and(|t| t.is_punct("[")) {
+                let mut depth = 0isize;
+                let mut j = open;
+                while let Some(tj) = toks.get(j) {
+                    if tj.is_punct("[") {
+                        depth += 1;
+                    } else if tj.is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end = (j + 1).min(toks.len());
+                let content = render(toks, open + 1, j);
+                model.attrs.push(Attr { range: (i, end), content, line: t.line });
+                pending_attrs.push(model.attrs.len() - 1);
+                i = end;
+                continue;
+            }
+        }
+        // ---- use declarations ----
+        if t.is_ident("use") {
+            // A use-tree may contain `{..}` groups but never a `;`, so the
+            // next semicolon terminates the declaration.
+            let mut semi = i + 1;
+            while toks.get(semi).is_some_and(|t| !t.is_punct(";")) {
+                semi += 1;
+            }
+            let line = t.line;
+            let mut leaves = Vec::new();
+            flatten_use(toks, i + 1, semi, &[], &mut leaves);
+            model.uses.extend(leaves.into_iter().map(|segments| UsePath { segments, line }));
+            pending_attrs.clear();
+            i = semi + 1;
+            continue;
+        }
+        // ---- mod items (for cfg(test) scoping) ----
+        if t.is_ident("mod") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = toks.get(i + 1).map(|t| t.text.clone()).unwrap_or_default();
+            if toks.get(i + 2).is_some_and(|t| t.is_punct("{")) {
+                let close = matching_brace(toks, i + 2);
+                let is_test = name == "tests"
+                    || pending_attrs.iter().any(|&a| {
+                        model
+                            .attrs
+                            .get(a)
+                            .is_some_and(|attr| attr.content.replace(' ', "").contains("cfg(test)"))
+                    });
+                if is_test {
+                    model.test_ranges.push((i + 2, close + 1));
+                }
+                pending_attrs.clear();
+                // Recurse into the module body by just continuing the scan.
+                i += 3;
+                continue;
+            }
+        }
+        // ---- fn items ----
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = toks.get(i + 1).map(|t| t.text.clone()).unwrap_or_default();
+            let is_pub = fn_is_pub(toks, i);
+            let (stop, is_brace) = next_body_or_semi(toks, i + 1);
+            let body = if is_brace {
+                let close = matching_brace(toks, stop);
+                Some((stop, close + 1))
+            } else {
+                None
+            };
+            model.fns.push(FnItem { name, is_pub, sig: (i, stop), body, line: t.line });
+            pending_attrs.clear();
+            i += 2;
+            continue;
+        }
+        // ---- loops ----
+        if t.is_ident("for") && !toks.get(i + 1).is_some_and(|t| t.is_punct("<")) {
+            // Distinguish a for-loop from `impl Trait for Type`: a loop has
+            // an `in` at zero depth before its body brace.
+            if let Some(in_idx) = find_loop_in(toks, i + 1) {
+                let (open, is_brace) = next_body_or_semi(toks, in_idx + 1);
+                if is_brace {
+                    let close = matching_brace(toks, open);
+                    model
+                        .loops
+                        .push(LoopItem { header: (in_idx + 1, open), body: (open, close + 1) });
+                }
+            }
+            pending_attrs.clear();
+            i += 1;
+            continue;
+        }
+        if (t.is_ident("while"))
+            || (t.is_ident("loop") && toks.get(i + 1).is_some_and(|t| t.is_punct("{")))
+        {
+            let (open, is_brace) = next_body_or_semi(toks, i + 1);
+            if is_brace {
+                let close = matching_brace(toks, open);
+                model.loops.push(LoopItem { header: (open, open), body: (open, close + 1) });
+            }
+            pending_attrs.clear();
+            i += 1;
+            continue;
+        }
+        // ---- let bindings ----
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks
+                    .get(j + 1)
+                    .is_some_and(|t| t.is_punct(":") || t.is_punct("=") || t.is_punct(";"))
+            {
+                let name = toks.get(j).map(|t| t.text.clone()).unwrap_or_default();
+                let mut ty = String::new();
+                let mut k = j + 1;
+                if toks.get(k).is_some_and(|t| t.is_punct(":")) {
+                    // Type ascription runs to the `=`/`;` at zero depth
+                    // (angle brackets do not nest with parens here, so track
+                    // `<`/`>` alongside parens/brackets).
+                    let ty_start = k + 1;
+                    let mut depth = 0isize;
+                    while let Some(tk) = toks.get(k) {
+                        match tk.text.as_str() {
+                            "(" | "[" | "<" if tk.kind == TokKind::Punct => depth += 1,
+                            ")" | "]" | ">" if tk.kind == TokKind::Punct => depth -= 1,
+                            "=" | ";" if tk.kind == TokKind::Punct && depth <= 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    ty = render(toks, ty_start, k);
+                }
+                let mut init = String::new();
+                if toks.get(k).is_some_and(|t| t.is_punct("=")) {
+                    let init_end = (k + 9).min(toks.len());
+                    init = render(toks, k + 1, init_end);
+                }
+                model.lets.push(LetBinding { name, ty, init, idx: j });
+            }
+            pending_attrs.clear();
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Punct || !t.text.starts_with('#') {
+            pending_attrs.clear();
+        }
+        i += 1;
+    }
+    model
+}
+
+/// True when the `fn` keyword at `fn_idx` is preceded by a bare `pub`
+/// (qualifiers `const`/`unsafe`/`async`/`extern "C"` may intervene).
+fn fn_is_pub(toks: &[Tok], fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    while i > 0 {
+        i -= 1;
+        let Some(t) = toks.get(i) else { break };
+        match t.text.as_str() {
+            "const" | "unsafe" | "async" | "extern" => continue,
+            _ if t.kind == TokKind::Literal => continue, // extern "C"
+            ")" => {
+                // `pub(crate)` / `pub(super)`: restricted, not public API.
+                return false;
+            }
+            "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Finds the `in` of a for-loop header starting after the `for` keyword, at
+/// zero paren/bracket/brace depth; `None` when this `for` is not a loop.
+fn find_loop_in(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut i = from;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "(" | "[" if t.kind == TokKind::Punct => depth += 1,
+            ")" | "]" if t.kind == TokKind::Punct => depth -= 1,
+            "{" if t.kind == TokKind::Punct && depth == 0 => return None,
+            ";" if t.kind == TokKind::Punct && depth == 0 => return None,
+            "in" if t.kind == TokKind::Ident && depth == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Joins token texts in `[start, end)` with single spaces.
+pub fn render(toks: &[Tok], start: usize, end: usize) -> String {
+    let mut out = String::new();
+    for t in toks.iter().take(end).skip(start) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+/// Flattens the use-tree tokens in `[from, to)` into leaf segment paths.
+/// `prefix` carries the segments accumulated so far.
+fn flatten_use(
+    toks: &[Tok],
+    from: usize,
+    to: usize,
+    prefix: &[String],
+    out: &mut Vec<Vec<String>>,
+) {
+    let mut segments: Vec<String> = Vec::new();
+    let mut i = from;
+    while i < to {
+        let Some(t) = toks.get(i) else { break };
+        if t.kind == TokKind::Ident && t.text != "as" {
+            segments.push(t.text.clone());
+            i += 1;
+        } else if t.is_punct("::") {
+            i += 1;
+        } else if t.is_punct("{") {
+            // Group: recurse per comma-separated branch.
+            let close = matching_group(toks, i, to);
+            let mut branch_start = i + 1;
+            let mut depth = 0isize;
+            let mut j = i + 1;
+            while j < close {
+                let Some(tj) = toks.get(j) else { break };
+                if tj.is_punct("{") {
+                    depth += 1;
+                } else if tj.is_punct("}") {
+                    depth -= 1;
+                } else if tj.is_punct(",") && depth == 0 {
+                    let mut nested = prefix.to_vec();
+                    nested.extend(segments.iter().cloned());
+                    flatten_use(toks, branch_start, j, &nested, out);
+                    branch_start = j + 1;
+                }
+                j += 1;
+            }
+            let mut nested = prefix.to_vec();
+            nested.extend(segments.iter().cloned());
+            flatten_use(toks, branch_start, close, &nested, out);
+            return;
+        } else if t.is_punct("*") {
+            segments.push("*".to_string());
+            i += 1;
+        } else if t.is_ident("as") {
+            // Rename: the path itself is what matters; skip the alias.
+            break;
+        } else {
+            i += 1;
+        }
+    }
+    if !segments.is_empty() || !prefix.is_empty() {
+        let mut leaf = prefix.to_vec();
+        leaf.append(&mut segments);
+        if !leaf.is_empty() {
+            out.push(leaf);
+        }
+    }
+}
+
+/// Matching `}` for the `{` at `open`, bounded by `to`.
+fn matching_group(toks: &[Tok], open: usize, to: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < to {
+        let Some(t) = toks.get(i) else { break };
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        build(&lex(src).toks)
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let m = model("use std::sync::{Mutex, atomic::{AtomicBool, Ordering}};\nuse a::b;");
+        let paths: Vec<String> = m.uses.iter().map(|u| u.segments.join("::")).collect();
+        assert!(paths.contains(&"std::sync::Mutex".to_string()), "{paths:?}");
+        assert!(paths.contains(&"std::sync::atomic::AtomicBool".to_string()), "{paths:?}");
+        assert!(paths.contains(&"std::sync::atomic::Ordering".to_string()), "{paths:?}");
+        assert!(paths.contains(&"a::b".to_string()), "{paths:?}");
+    }
+
+    #[test]
+    fn fns_with_bodies_and_visibility() {
+        let m = model("pub fn fit(x: usize) -> Result<(), ()> { x; }\nfn helper() {}\npub(crate) fn inner() {}");
+        assert_eq!(m.fns.len(), 3);
+        assert!(m.fns.first().is_some_and(|f| f.is_pub && f.name == "fit" && f.body.is_some()));
+        assert!(m.fns.get(1).is_some_and(|f| !f.is_pub));
+        assert!(m.fns.get(2).is_some_and(|f| !f.is_pub), "pub(crate) is not public API");
+    }
+
+    #[test]
+    fn cfg_test_mod_ranges() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { bad(); } }";
+        let m = model(src);
+        assert_eq!(m.test_ranges.len(), 1);
+        let lexed = lex(src);
+        let bad = lexed.toks.iter().position(|t| t.is_ident("bad"));
+        assert!(bad.is_some_and(|i| m.in_test(i)));
+        let lib = lexed.toks.iter().position(|t| t.is_ident("lib"));
+        assert!(lib.is_some_and(|i| !m.in_test(i)));
+    }
+
+    #[test]
+    fn for_loop_vs_impl_for() {
+        let m = model("impl Display for Foo { fn f(&self) { for x in 0..3 { y(x); } } }");
+        assert_eq!(m.loops.len(), 1);
+    }
+
+    #[test]
+    fn let_bindings_record_type_and_init() {
+        let m = model("fn f() { let mut acc: f64 = 0.0; let v = Vec::new(); }");
+        assert_eq!(m.lets.len(), 2);
+        assert!(m.lets.first().is_some_and(|l| l.name == "acc" && l.ty == "f64"));
+        assert!(m.lets.get(1).is_some_and(|l| l.init.starts_with("Vec :: new")));
+    }
+
+    #[test]
+    fn enclosing_fn_and_loops() {
+        let src = "fn outer() { while go() { step(); } }";
+        let m = model(src);
+        let lexed = lex(src);
+        let step = lexed.toks.iter().position(|t| t.is_ident("step"));
+        assert!(step.is_some_and(|i| m.in_loop_body(i)));
+        assert!(step.and_then(|i| m.enclosing_fn(i)).is_some_and(|f| f.name == "outer"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Fixture corpus driver: every `.rs` file under `tests/lint_fixtures/`
+//! encodes its expectation in its name.
+//!
+//! * `<rule>_fire_<desc>.rs` — linting the file must produce **exactly one**
+//!   violation, carrying that rule's ID.
+//! * `<rule>_clean_<desc>.rs` — linting the file must produce **zero**
+//!   violations.
+//!
+//! The first line of every fixture is a `//@path <pretend path>` header:
+//! the file is linted *as if* it lived at that workspace-relative path, so
+//! fixtures can exercise path-derived scopes (library vs test vs the
+//! net/exec/sensing/ckpt carve-outs) without living there. The corpus
+//! directory itself is skipped by `first_party_rust_files`, so these
+//! intentionally-violating files never reach the workspace gate.
+
+// Tests assert by panicking; the panic-free gate applies to library code
+// only (see [workspace.lints] in the root Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+use std::fs;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("lint_fixtures")
+}
+
+/// `(file stem, expected rule ID, expects a firing, source text)` for every
+/// fixture, sorted by file name.
+fn corpus() -> Vec<(String, String, bool, String)> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(fixtures_dir()).expect("fixture corpus directory") {
+        let path = entry.expect("read fixture entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let mut parts = stem.splitn(3, '_');
+        let rule = parts.next().expect("rule segment").to_uppercase();
+        let kind = parts.next().unwrap_or("");
+        let fire = match kind {
+            "fire" => true,
+            "clean" => false,
+            other => panic!("{stem}: second segment must be fire/clean, got `{other}`"),
+        };
+        let src = fs::read_to_string(&path).expect("read fixture");
+        out.push((stem, rule, fire, src));
+    }
+    out.sort();
+    assert!(!out.is_empty(), "fixture corpus is empty");
+    out
+}
+
+/// The `//@path` header of a fixture.
+fn pretend_path(stem: &str, src: &str) -> String {
+    src.lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@path "))
+        .map(|p| p.trim().to_string())
+        .unwrap_or_else(|| panic!("{stem}: first line must be `//@path <pretend path>`"))
+}
+
+#[test]
+fn every_fixture_meets_its_expectation() {
+    let mut failures = Vec::new();
+    for (stem, rule, fire, src) in corpus() {
+        let rel = pretend_path(&stem, &src);
+        let violations = plos_lint::lint_file(&rel, &src);
+        if fire {
+            if violations.len() != 1 {
+                failures.push(format!(
+                    "{stem}: expected exactly one {rule} violation, got {}: {violations:?}",
+                    violations.len()
+                ));
+            } else if violations[0].rule != rule {
+                failures.push(format!(
+                    "{stem}: expected {rule}, got {} ({})",
+                    violations[0].rule, violations[0].message
+                ));
+            }
+        } else if !violations.is_empty() {
+            failures.push(format!("{stem}: expected clean, got {violations:?}"));
+        }
+    }
+    assert!(failures.is_empty(), "fixture mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_covers_every_rule_with_fire_and_clean() {
+    let corpus = corpus();
+    for info in plos_lint::RULES {
+        let fire = corpus.iter().any(|(_, r, f, _)| r == info.id && *f);
+        let clean = corpus.iter().any(|(_, r, f, _)| r == info.id && !*f);
+        assert!(fire, "rule {} ({}) has no firing fixture", info.id, info.name);
+        assert!(clean, "rule {} ({}) has no clean fixture", info.id, info.name);
+    }
+}
+
+#[test]
+fn fire_fixtures_report_spans_and_names() {
+    for (stem, _rule, fire, src) in corpus() {
+        if !fire {
+            continue;
+        }
+        let rel = pretend_path(&stem, &src);
+        for v in plos_lint::lint_file(&rel, &src) {
+            assert!(v.line >= 1 && v.col >= 1, "{stem}: zeroed span {v:?}");
+            assert_eq!(v.path, rel, "{stem}: violation path must be the pretend path");
+            assert_ne!(v.name, "unknown", "{stem}: rule {} missing from catalogue", v.rule);
+            assert!(!v.message.is_empty(), "{stem}: empty message");
+        }
+    }
+}

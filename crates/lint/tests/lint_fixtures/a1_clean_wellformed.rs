@@ -1,0 +1,5 @@
+//@path crates/core/src/fx.rs
+fn f(n: usize) -> u32 {
+    // plos-lint: allow(C2): n is a device index bounded by the u32 roster
+    n as u32
+}

@@ -1,0 +1,3 @@
+//@path crates/core/src/fx.rs
+// plos-lint: allow(C2)
+fn f() {}

@@ -1,0 +1,3 @@
+//@path crates/core/src/fx.rs
+// plos-lint: allow(Z9): this rule id does not exist
+fn f() {}

@@ -1,0 +1,13 @@
+//@path crates/core/src/fx.rs
+fn f(x: &parking_lot::Mutex<u64>, y: &parking_lot::Mutex<u64>) {
+    let a = x.lock();
+    let b = y.lock();
+    drop(b);
+    drop(a);
+}
+fn g(x: &parking_lot::Mutex<u64>, y: &parking_lot::Mutex<u64>) {
+    let a = y.lock();
+    let b = x.lock();
+    drop(b);
+    drop(a);
+}

@@ -1,0 +1,7 @@
+//@path crates/core/src/fx.rs
+fn f(m: &parking_lot::Mutex<u64>) {
+    let a = m.lock();
+    let b = m.lock();
+    drop(b);
+    drop(a);
+}

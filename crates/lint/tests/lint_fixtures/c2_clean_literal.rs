@@ -1,0 +1,7 @@
+//@path crates/core/src/fx.rs
+fn f() -> u32 {
+    7 as u32
+}
+fn g(n: u32) -> u64 {
+    u64::from(n)
+}

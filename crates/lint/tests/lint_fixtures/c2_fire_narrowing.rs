@@ -1,0 +1,4 @@
+//@path crates/core/src/fx.rs
+fn f(n: usize) -> u32 {
+    n as u32
+}

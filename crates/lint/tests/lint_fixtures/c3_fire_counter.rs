@@ -1,0 +1,7 @@
+//@path crates/core/src/fx.rs
+struct Stats {
+    total_bytes: u64,
+}
+fn f(s: &mut Stats, n: u64) {
+    s.total_bytes += n;
+}

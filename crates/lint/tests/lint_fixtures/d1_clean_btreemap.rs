@@ -1,0 +1,8 @@
+//@path crates/core/src/fx.rs
+use std::collections::BTreeMap;
+fn f() -> u64 {
+    let m: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut s = 0;
+    for (_k, v) in m.iter() { s += *v; }
+    s
+}

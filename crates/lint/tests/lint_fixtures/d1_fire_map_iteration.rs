@@ -1,0 +1,8 @@
+//@path crates/core/src/fx.rs
+use std::collections::HashMap;
+fn f() -> u64 {
+    let m: HashMap<u64, u64> = HashMap::new();
+    let mut s = 0;
+    for (_k, v) in m.iter() { s += *v; }
+    s
+}

@@ -1,0 +1,5 @@
+//@path crates/core/src/fx.rs
+use std::time::Instant;
+fn f() {
+    let _t = Instant::now();
+}

@@ -1,0 +1,8 @@
+//@path crates/opt/src/fx.rs
+fn f(xs: &[u64]) -> u64 {
+    let mut n = 0;
+    for _x in xs {
+        n += 1;
+    }
+    n
+}

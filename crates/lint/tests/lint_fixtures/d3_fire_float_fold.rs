@@ -1,0 +1,8 @@
+//@path crates/opt/src/fx.rs
+fn f(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}

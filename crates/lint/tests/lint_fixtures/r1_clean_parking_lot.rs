@@ -1,0 +1,5 @@
+//@path crates/core/src/fx.rs
+use parking_lot::Mutex;
+fn f() {
+    let _m = Mutex::new(0u64);
+}

@@ -1,0 +1,3 @@
+//@path crates/core/src/fx.rs
+use std::sync::Mutex;
+fn f() {}

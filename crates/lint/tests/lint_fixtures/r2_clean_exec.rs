@@ -1,0 +1,4 @@
+//@path crates/exec/src/fx.rs
+fn f() {
+    std::thread::spawn(|| ());
+}

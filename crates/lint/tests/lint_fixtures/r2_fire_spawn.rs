@@ -1,0 +1,4 @@
+//@path crates/core/src/fx.rs
+fn f() {
+    std::thread::spawn(|| ());
+}

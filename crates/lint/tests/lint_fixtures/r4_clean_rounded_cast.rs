@@ -1,0 +1,4 @@
+//@path crates/sensing/src/fx.rs
+fn f(x: f64) -> usize {
+    (x * 2.0).round() as usize
+}

@@ -1,0 +1,5 @@
+//@path crates/core/src/fx.rs
+fn a() {}
+// held for the follow-up change that wires this entry point in
+#[allow(dead_code)]
+fn f() {}

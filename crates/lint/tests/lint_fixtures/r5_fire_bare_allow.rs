@@ -1,0 +1,4 @@
+//@path crates/core/src/fx.rs
+fn a() {}
+#[allow(dead_code)]
+fn f() {}

@@ -1,0 +1,6 @@
+//@path crates/core/src/fx.rs
+use plos_net::Endpoint;
+use std::time::Duration;
+fn f(e: &Endpoint) {
+    let _m = e.recv_timeout(Duration::from_millis(5));
+}

@@ -1,0 +1,5 @@
+//@path crates/core/src/fx.rs
+use plos_net::Endpoint;
+fn f(e: &Endpoint) {
+    let _m = e.recv();
+}

@@ -1,0 +1,7 @@
+//@path crates/core/src/fx.rs
+#[cfg(test)]
+mod tests {
+    fn f() {
+        println!("debug {}", 1);
+    }
+}

@@ -1,0 +1,4 @@
+//@path crates/core/src/fx.rs
+fn f() {
+    println!("debug {}", 1);
+}

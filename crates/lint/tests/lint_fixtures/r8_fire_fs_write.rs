@@ -1,0 +1,4 @@
+//@path crates/core/src/fx.rs
+fn save(p: &str, b: &[u8]) {
+    let _ = std::fs::write(p, b);
+}

@@ -27,7 +27,9 @@ pub fn histogram_jaccard(u: &[f64], v: &[f64]) -> f64 {
     let mut max_sum = 0.0;
     for (&a, &b) in u.iter().zip(v) {
         assert!(a >= 0.0 && b >= 0.0, "histograms must be non-negative");
+        // plos-lint: allow(D3): bin-order fold is fixed by the histogram layout; changing it would shift blessed similarity digests
         min_sum += a.min(b);
+        // plos-lint: allow(D3): bin-order fold is fixed by the histogram layout; changing it would shift blessed similarity digests
         max_sum += a.max(b);
     }
     if max_sum == 0.0 {

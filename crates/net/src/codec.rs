@@ -50,6 +50,7 @@ const MAX_VEC_LEN: u64 = 16 * 1024 * 1024;
 
 /// Appends a vector: `u32` length + little-endian `f64` components.
 pub fn put_vector(buf: &mut BytesMut, v: &Vector) {
+    // plos-lint: allow(C2): encode-side lengths are model dimensions, far below u32; the decoder enforces MAX_VEC_LEN
     buf.put_u32_le(v.len() as u32);
     for &x in v.iter() {
         buf.put_f64_le(x);

@@ -41,8 +41,8 @@ impl LinkModel {
     /// Total link time for a traffic snapshot: per-message latency plus
     /// serialization time for every byte in both directions.
     pub fn total_time(&self, traffic: &TrafficStats) -> Duration {
-        let latency_total =
-            self.latency.checked_mul(traffic.total_messages() as u32).unwrap_or(Duration::MAX);
+        let messages = u32::try_from(traffic.total_messages()).unwrap_or(u32::MAX);
+        let latency_total = self.latency.checked_mul(messages).unwrap_or(Duration::MAX);
         latency_total + Duration::from_secs_f64(traffic.total_bytes() as f64 / self.bytes_per_sec)
     }
 }

@@ -96,7 +96,9 @@ pub fn render_str(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // plos-lint: allow(C2): char to u32 is a widening scalar-value conversion, not a narrowing
             c if (c as u32) < 0x20 => {
+                // plos-lint: allow(C2): char to u32 is a widening scalar-value conversion, not a narrowing
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),

@@ -36,6 +36,7 @@ pub fn project_capped_simplex(x: &mut [f64], cap: f64) {
     let mut cumulative = 0.0;
     let mut tau = 0.0;
     for (k, &v) in sorted.iter().enumerate() {
+        // plos-lint: allow(D3): prefix sum over the sorted values IS the simplex-projection algorithm; order is the semantics
         cumulative += v;
         let candidate = (cumulative - cap) / (k as f64 + 1.0);
         if sorted.get(k + 1).is_none_or(|&next| next <= candidate) {

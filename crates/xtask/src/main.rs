@@ -1,410 +1,111 @@
-//! Project-specific static analysis, run as `cargo run -p xtask -- lint`.
+//! Workspace automation driver.
 //!
-//! Complements the `[workspace.lints]` table in the root `Cargo.toml` with
-//! invariants clippy cannot express. Eight rules, all textual and
-//! zero-dependency so the gate works offline:
+//! `cargo run -p xtask -- lint [--json]` runs the plos-lint analyzer over
+//! every first-party Rust file and reports violations with machine-readable
+//! rule IDs and spans. The analysis itself — lexer, syntax model, rule
+//! engine, justification-directive grammar — lives in `crates/lint`; this
+//! binary only resolves the workspace root, invokes the engine, and formats
+//! the result.
 //!
-//! 1. **std-sync** — no `std::sync::Mutex`/`RwLock` in first-party library
-//!    code; the workspace mandates `parking_lot` (no lock poisoning, so no
-//!    `unwrap` on every acquisition).
-//! 2. **thread-spawn** — no bare `thread::spawn`/`thread::scope` outside
-//!    `crates/exec` and `crates/net`; solver concurrency flows through the
-//!    deterministic fork-join pool and network concurrency through the
-//!    simulated transport, so results stay reproducible and byte/energy
-//!    accounting stays exact.
-//! 3. **solver-result** — every public solver entry point (`solve*`,
-//!    `fit*`, `train*`) returns `Result`; panicking trainers poison the
-//!    distributed protocol.
-//! 4. **float-cast** — no truncating `f64 as usize` casts in
-//!    `crates/sensing`; sample counts must round explicitly
-//!    (`.round()`/`.floor()`/`.ceil()`) before casting.
-//! 5. **allow-justification** — every `#[allow(...)]` (and file-level
-//!    `#![allow(...)]`/`cfg_attr` variant) is immediately preceded by a
-//!    `//` comment justifying the suppression.
-//! 6. **endpoint-recv** — in library code that talks to the transport
-//!    (references `plos_net`) outside `crates/net` itself, no bare
-//!    blocking `recv()` and no `expect` chained onto a send/recv: every
-//!    wait runs under a timeout (`recv_timeout` + `RetryPolicy`) and every
-//!    transport failure propagates as `CoreError::Transport`, so a dead
-//!    device can never hang or panic a trainer.
-//! 7. **no-stdout** — no `println!`/`eprintln!` in library crates; all
-//!    diagnostics flow through `plos-obs` (structured, switchable,
-//!    bit-parity-safe). Binaries (`src/bin/`) and the figure harness
-//!    `crates/bench` print tables by design and are exempt.
-//! 8. **ckpt-write** — no direct `fs::write`/`File::create` in library
-//!    crates outside `crates/ckpt` (the atomic, digest-framed store) and
-//!    `crates/obs` (the trace sink). Training state that bypasses
-//!    `plos-ckpt` has no version header, no integrity digests, and no
-//!    atomic rename — a crash mid-write would corrupt a resume. Binaries
-//!    write figures and reports and are exempt.
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
-use std::fmt::Write as _;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// One rule violation at a file location.
-struct Violation {
-    path: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--json]");
+    eprintln!("       cargo run -p xtask -- rules");
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => run_lint(),
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
-            ExitCode::from(2)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let json = args.iter().any(|a| a == "--json");
+            if args.len() > 1 + usize::from(json) {
+                return usage();
+            }
+            run_lint(json)
         }
+        Some("rules") => {
+            for r in plos_lint::RULES {
+                println!("{:3}  {:20}  {}", r.id, r.name, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
     }
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(json: bool) -> ExitCode {
     let root = workspace_root();
-    let files = first_party_rust_files(&root);
-    if files.is_empty() {
-        eprintln!("xtask: no Rust sources found under {}", root.display());
-        return ExitCode::from(2);
-    }
-
-    let mut violations = Vec::new();
-    for path in &files {
-        let Ok(text) = fs::read_to_string(path) else {
-            eprintln!("xtask: cannot read {}", path.display());
+    let violations = match plos_lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask lint: failed to read workspace sources: {e}");
             return ExitCode::from(2);
-        };
-        check_file(&root, path, &text, &mut violations);
+        }
+    };
+    if json {
+        print_json(&violations);
+    } else {
+        for v in &violations {
+            println!("{}:{}:{}: [{}] {}: {}", v.path, v.line, v.col, v.rule, v.name, v.message);
+        }
     }
-
     if violations.is_empty() {
-        println!("xtask lint: {} files clean", files.len());
-        return ExitCode::SUCCESS;
+        if !json {
+            println!("xtask lint: clean ({} rules)", plos_lint::RULES.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+        }
+        ExitCode::FAILURE
     }
-    for v in &violations {
-        println!("{}:{}: [{}] {}", v.path.display(), v.line, v.rule, v.message);
-    }
-    println!("xtask lint: {} violation(s) in {} files scanned", violations.len(), files.len());
-    ExitCode::FAILURE
 }
 
-/// The workspace root: the directory holding the top-level `Cargo.toml`,
-/// two levels above this crate's manifest.
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(Path::parent).map_or(manifest.clone(), Path::to_path_buf)
-}
-
-/// Every first-party `.rs` file: `crates/*/src`, facade `src/`, `tests/`,
-/// `examples/`, and `crates/bench/benches`. Vendored shims and build
-/// output are exempt — they are not held to the workspace gate.
-fn first_party_rust_files(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    for top in ["crates", "src", "tests", "examples"] {
-        collect_rs(&root.join(top), &mut files);
+/// Minimal JSON encoding (no dependencies): a list of violation objects.
+fn print_json(violations: &[plos_lint::Violation]) {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"col\":{},\"rule\":{},\"name\":{},\"message\":{}}}",
+            json_str(&v.path),
+            v.line,
+            v.col,
+            json_str(v.rule),
+            json_str(v.name),
+            json_str(&v.message)
+        ));
     }
-    files.sort();
-    files
+    out.push(']');
+    println!("{out}");
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            let skip = path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n == "target" || n == "vendor" || n.starts_with('.'));
-            if !skip {
-                collect_rs(&path, out);
-            }
-        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
-            out.push(path);
+fn json_str(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
-}
-
-/// Path relative to the workspace root, with `/` separators, for scoping.
-fn rel(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .components()
-        .filter_map(|c| c.as_os_str().to_str())
-        .fold(String::new(), |mut acc, c| {
-            if !acc.is_empty() {
-                acc.push('/');
-            }
-            acc.push_str(c);
-            acc
-        })
-}
-
-fn check_file(root: &Path, path: &Path, text: &str, out: &mut Vec<Violation>) {
-    let rel_path = rel(root, path);
-    // The linter's own sources talk about the patterns it bans; exempt it.
-    if rel_path.starts_with("crates/xtask/") {
-        return;
-    }
-    let lines: Vec<&str> = text.lines().collect();
-
-    // Library code scopes. Tests, benches, and examples assert by
-    // panicking and may use whatever std primitives they like; rules 1-4
-    // guard the code that ships.
-    let is_library = (rel_path.starts_with("crates/") && rel_path.contains("/src/"))
-        || rel_path.starts_with("src/");
-    let in_net = rel_path.starts_with("crates/net/");
-    let in_exec = rel_path.starts_with("crates/exec/");
-    let in_sensing = rel_path.starts_with("crates/sensing/");
-    // Rule 6 applies to transport consumers: library files that reference
-    // the net crate but live outside it.
-    let talks_to_transport = !in_net && text.contains("plos_net");
-
-    // Banned-pattern fragments are concatenated at use sites so this file
-    // never contains them verbatim (the linter must pass itself).
-    let std_mutex = ["std::sync::", "Mutex"].concat();
-    let std_rwlock = ["std::sync::", "RwLock"].concat();
-    let spawn = ["thread::", "spawn"].concat();
-    let scope = ["thread::", "scope"].concat();
-    let recv_call = [".re", "cv"].concat();
-    let bare_recv = [&recv_call, "()"].concat();
-    let send_call = [".se", "nd("].concat();
-    let expect_call = [".expe", "ct("].concat();
-    let println_call = ["print", "ln!("].concat();
-    let eprintln_call = ["eprint", "ln!("].concat();
-    let fs_write = ["fs::wri", "te("].concat();
-    let file_create = ["File::cre", "ate("].concat();
-
-    // Rule 7 scope: library code, excluding binary entry points and the
-    // figure harness (both print tables to stdout by design).
-    let stdout_banned =
-        is_library && !rel_path.contains("/bin/") && !rel_path.starts_with("crates/bench/");
-
-    // Rule 8 scope: library code outside the two sanctioned write sites —
-    // the checkpoint store (atomic, digest-framed) and the trace sink.
-    let fs_write_banned = is_library
-        && !rel_path.contains("/bin/")
-        && !rel_path.starts_with("crates/ckpt/")
-        && !rel_path.starts_with("crates/obs/")
-        && !rel_path.starts_with("crates/bench/");
-
-    for (idx, raw) in lines.iter().enumerate() {
-        let line = raw.trim_start();
-        let lineno = idx + 1;
-        if line.starts_with("//") {
-            continue;
-        }
-
-        if is_library {
-            // Rule 1: parking_lot is mandated for first-party locking.
-            if line.contains(&std_mutex) || line.contains(&std_rwlock) {
-                out.push(Violation {
-                    path: path.to_path_buf(),
-                    line: lineno,
-                    rule: "std-sync",
-                    message: "std::sync locks are banned; use parking_lot (no poisoning)"
-                        .to_string(),
-                });
-            }
-            // Rule 2: the fork-join pool and the accounted transport are
-            // the only sanctioned spawn sites.
-            if !in_net && !in_exec && (line.contains(&spawn) || line.contains(&scope)) {
-                out.push(Violation {
-                    path: path.to_path_buf(),
-                    line: lineno,
-                    rule: "thread-spawn",
-                    message: "bare thread spawn/scope outside crates/exec and crates/net; \
-                              route solver work through the plos-exec pool and network \
-                              work through the transport"
-                        .to_string(),
-                });
-            }
-            // Rule 3: public solver entry points are fallible.
-            if let Some(name) = solver_entry_name(line) {
-                let signature = signature_text(&lines, idx);
-                if !signature.contains("Result<") {
-                    let mut message = String::new();
-                    let _ = write!(
-                        message,
-                        "public solver entry `{name}` must return Result \
-                         (panicking trainers poison the distributed protocol)"
-                    );
-                    out.push(Violation {
-                        path: path.to_path_buf(),
-                        line: lineno,
-                        rule: "solver-result",
-                        message,
-                    });
-                }
-            }
-            // Rule 4: explicit rounding before float→index casts.
-            if in_sensing
-                && line.contains("as usize")
-                && line.contains("f64")
-                && !["round", "floor", "ceil", "trunc"]
-                    .iter()
-                    .any(|m| line.contains(&[".", m, "()"].concat()))
-            {
-                out.push(Violation {
-                    path: path.to_path_buf(),
-                    line: lineno,
-                    rule: "float-cast",
-                    message: "truncating f64→usize cast; round explicitly \
-                              (.round()/.floor()/.ceil()) before casting"
-                        .to_string(),
-                });
-            }
-            // Rule 6: transport waits are timeout-driven and fallible
-            // outside crates/net.
-            if talks_to_transport {
-                if line.contains(&bare_recv) {
-                    out.push(Violation {
-                        path: path.to_path_buf(),
-                        line: lineno,
-                        rule: "endpoint-recv",
-                        message: "bare blocking recv() on the transport; use \
-                                  recv_timeout under a RetryPolicy so a dead \
-                                  device cannot hang the trainer"
-                            .to_string(),
-                    });
-                }
-                if (line.contains(&send_call) || line.contains(&recv_call))
-                    && line.contains(&expect_call)
-                {
-                    out.push(Violation {
-                        path: path.to_path_buf(),
-                        line: lineno,
-                        rule: "endpoint-recv",
-                        message: "expect on a transport send/recv; propagate \
-                                  CoreError::Transport instead of panicking"
-                            .to_string(),
-                    });
-                }
-            }
-        }
-
-        // Rule 7: library crates never print; telemetry goes through
-        // plos-obs so it can be disabled without touching solver output.
-        if stdout_banned && (line.contains(&println_call) || line.contains(&eprintln_call)) {
-            out.push(Violation {
-                path: path.to_path_buf(),
-                line: lineno,
-                rule: "no-stdout",
-                message: "println!/eprintln! in a library crate; emit a plos-obs \
-                          event or counter instead"
-                    .to_string(),
-            });
-        }
-
-        // Rule 8: persistent training state goes through plos-ckpt, which
-        // frames, digests, and atomically renames; an ad-hoc fs write is a
-        // checkpoint that cannot be verified or safely resumed.
-        if fs_write_banned && (line.contains(&fs_write) || line.contains(&file_create)) {
-            out.push(Violation {
-                path: path.to_path_buf(),
-                line: lineno,
-                rule: "ckpt-write",
-                message: "direct filesystem write in a library crate; persist state \
-                          through the plos-ckpt store (versioned, digest-verified, \
-                          atomic) instead"
-                    .to_string(),
-            });
-        }
-
-        // Rule 5: every allow carries a justification comment (all
-        // first-party code, including tests/benches/examples).
-        if is_allow_attribute(line) && !preceded_by_comment(&lines, idx) {
-            out.push(Violation {
-                path: path.to_path_buf(),
-                line: lineno,
-                rule: "allow-justification",
-                message: "#[allow] without a justification comment on the line above".to_string(),
-            });
-        }
-    }
-}
-
-/// If the line opens a `pub fn` whose name starts with `solve`, `fit`, or
-/// `train`, returns the function name.
-fn solver_entry_name(line: &str) -> Option<&str> {
-    let rest = line.strip_prefix("pub fn ")?;
-    let name_len = rest
-        .char_indices()
-        .find(|&(_, c)| !(c.is_alphanumeric() || c == '_'))
-        .map_or(rest.len(), |(i, _)| i);
-    let name = rest.get(..name_len)?;
-    ["solve", "fit", "train"].iter().any(|p| name.starts_with(p)).then_some(name)
-}
-
-/// The signature text from the `fn` line to its body brace (or `;`).
-fn signature_text(lines: &[&str], start: usize) -> String {
-    let mut sig = String::new();
-    for line in lines.iter().skip(start).take(16) {
-        sig.push_str(line);
-        sig.push(' ');
-        if line.contains('{') || line.trim_end().ends_with(';') {
-            break;
-        }
-    }
-    sig
-}
-
-/// Matches outer/inner `allow` attributes, including the
-/// `cfg_attr(test, allow(...))` form.
-fn is_allow_attribute(line: &str) -> bool {
-    let allow_open = ["allow", "("].concat();
-    (line.starts_with(&["#", "["].concat()) || line.starts_with(&["#!", "["].concat()))
-        && line.contains(&allow_open)
-}
-
-/// True when the previous non-empty line is a `//` comment.
-fn preceded_by_comment(lines: &[&str], idx: usize) -> bool {
-    lines
-        .iter()
-        .take(idx)
-        .rev()
-        .map(|l| l.trim())
-        .find(|l| !l.is_empty())
-        .is_some_and(|l| l.starts_with("//"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn solver_entries_detected_with_and_without_result() {
-        assert_eq!(solver_entry_name("pub fn fit(&self) -> Model {"), Some("fit"));
-        assert_eq!(solver_entry_name("pub fn solve_qp("), Some("solve_qp"));
-        assert_eq!(solver_entry_name("pub fn fitness(&self)"), Some("fitness"));
-        assert_eq!(solver_entry_name("fn fit(&self)"), None);
-        assert_eq!(solver_entry_name("pub fn predict(&self)"), None);
-    }
-
-    #[test]
-    fn multiline_signatures_are_joined() {
-        let lines = vec!["pub fn fit(", "    a: usize,", ") -> Result<(), ()> {"];
-        assert!(signature_text(&lines, 0).contains("Result<"));
-    }
-
-    #[test]
-    fn allow_attribute_forms_recognized() {
-        let outer = ["#", "[allow(clippy::unwrap_used)]"].concat();
-        let inner = ["#!", "[allow(clippy::expect_used)]"].concat();
-        let cfg = ["#!", "[cfg_attr(test, allow(clippy::panic))]"].concat();
-        assert!(is_allow_attribute(&outer));
-        assert!(is_allow_attribute(&inner));
-        assert!(is_allow_attribute(&cfg));
-        assert!(!is_allow_attribute("#[derive(Debug)]"));
-    }
-
-    #[test]
-    fn comment_lookup_skips_blank_lines() {
-        let lines = vec!["// why", "", "#[allow(x)]"];
-        assert!(preceded_by_comment(&lines, 2));
-        let bare = vec!["let x = 1;", "#[allow(x)]"];
-        assert!(!preceded_by_comment(&bare, 1));
-    }
+    out.push('"');
+    out
 }
